@@ -1,0 +1,74 @@
+// Ablation A3: the baselines the paper's Sec. 3 argues against.
+//
+//  - round-robin distribution spreads load but ignores proximity;
+//  - closest-only distribution honours proximity but cannot relieve a
+//    locally swamped server;
+//  - static placement never adapts;
+//  - full replication is the storage-unbounded lower bound on bandwidth.
+//
+// Expected shape: radar/radar approaches full replication's bandwidth at
+// ~1/20 of its storage; round-robin burns bandwidth; closest-only matches
+// radar on bandwidth for these globally-spread workloads but fails on
+// locally concentrated overload (see the integration test for that
+// scenario — it needs an asymmetric demand pattern none of the paper's
+// four workloads produce).
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace radar;
+  driver::SimConfig base = bench::PaperConfig();
+  bench::PrintHeader(std::cout, "Ablation A3: baseline policies", base);
+
+  struct Policy {
+    const char* label;
+    baselines::DistributionPolicy distribution;
+    baselines::PlacementPolicy placement;
+  };
+  const Policy policies[] = {
+      {"radar/radar", baselines::DistributionPolicy::kRadar,
+       baselines::PlacementPolicy::kRadar},
+      {"round-robin/radar", baselines::DistributionPolicy::kRoundRobin,
+       baselines::PlacementPolicy::kRadar},
+      {"closest/radar", baselines::DistributionPolicy::kClosest,
+       baselines::PlacementPolicy::kRadar},
+      {"closest/static", baselines::DistributionPolicy::kClosest,
+       baselines::PlacementPolicy::kStatic},
+      {"closest/full-repl", baselines::DistributionPolicy::kClosest,
+       baselines::PlacementPolicy::kFullReplication},
+  };
+
+  for (const driver::WorkloadKind kind :
+       {driver::WorkloadKind::kRegional, driver::WorkloadKind::kZipf}) {
+    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
+              << " ----\n";
+    std::cout << "  policy               bw(byte-hops/s)  latency(s)  "
+                 "maxload   replicas\n";
+    for (const Policy& policy : policies) {
+      driver::SimConfig config = base;
+      config.workload = kind;
+      config.distribution = policy.distribution;
+      config.placement = policy.placement;
+      if (policy.placement != baselines::PlacementPolicy::kRadar) {
+        config.duration = base.duration / 3;  // no adaptation to wait for
+      }
+      const driver::RunReport report = bench::RunOnce(config);
+      const std::size_t n =
+          report.CompleteBuckets(report.max_load.num_buckets());
+      const double late_max =
+          n >= 3 ? report.max_load.MaxOver(n - 3, n - 1) : 0.0;
+      std::cout << std::fixed << "  " << std::left << std::setw(21)
+                << policy.label << std::right << std::setw(15)
+                << std::setprecision(0)
+                << report.EquilibriumBandwidthRate() << std::setw(12)
+                << std::setprecision(4) << report.EquilibriumLatency()
+                << std::setw(9) << std::setprecision(1) << late_max
+                << std::setw(11) << std::setprecision(2)
+                << report.final_avg_replicas << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

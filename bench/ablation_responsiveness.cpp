@@ -1,0 +1,93 @@
+// Ablation A4: responsiveness to demand-pattern changes, and the value of
+// en-masse relocation.
+//
+// The system runs under the regional workload until it has adapted, then
+// the demand pattern flips to zipf (a global flash of popularity). We
+// measure how long the re-adjustment takes, with and without bulk
+// offloading — the paper argues that relocating "multiple objects at
+// once, without waiting for new access statistics after each move" is
+// what keeps the system responsive at scale (Sec. 1.2).
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+
+namespace {
+
+radar::driver::RunReport RunShift(radar::driver::SimConfig config,
+                                  radar::SimTime shift_at) {
+  using namespace radar;
+  driver::HostingSimulation sim(config);
+  auto before = std::make_unique<workload::RegionalWorkload>(
+      config.num_objects, sim.topology());
+  auto after = std::make_unique<workload::ZipfWorkload>(config.num_objects);
+  sim.SetWorkload(std::make_unique<workload::DemandShiftWorkload>(
+      std::move(before), std::move(after), shift_at));
+  return sim.Run();
+}
+
+/// Seconds after the shift until the traffic rate settles to within 10%
+/// of the post-shift equilibrium.
+double ReAdjustSeconds(const radar::driver::RunReport& report,
+                       radar::SimTime shift_at) {
+  using namespace radar;
+  const auto& payload = report.traffic.payload();
+  const std::size_t n = report.CompleteBuckets(payload.num_buckets());
+  const auto shift_bucket =
+      static_cast<std::size_t>(shift_at / report.bucket_width);
+  if (n <= shift_bucket + 4) return -1.0;
+  const std::size_t tail = (n - shift_bucket) / 4;
+  const double equilibrium =
+      payload.MeanRateOver(n - std::max<std::size_t>(tail, 1), n - 1);
+  const double threshold = 1.10 * equilibrium;
+  int run = 0;
+  for (std::size_t i = shift_bucket; i < n; ++i) {
+    if (payload.RateAt(i) <= threshold) {
+      ++run;
+      if (run >= 3) {
+        return SimToSeconds(payload.BucketStart(i + 1 -
+                                                static_cast<std::size_t>(run)) -
+                            shift_at);
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace radar;
+  driver::SimConfig base = bench::PaperConfig();
+  base.duration = 2 * base.duration;
+  const SimTime shift_at = base.duration / 2;
+  bench::PrintHeader(std::cout,
+                     "Ablation A4: responsiveness to a demand shift "
+                     "(regional -> zipf at half-time)",
+                     base);
+
+  for (const bool bulk : {true, false}) {
+    driver::SimConfig config = base;
+    config.protocol.bulk_offload = bulk;
+    const driver::RunReport report = RunShift(config, shift_at);
+    const double readjust = ReAdjustSeconds(report, shift_at);
+    std::cout << (bulk ? "[en-masse offloading (paper)]\n"
+                       : "[one object per round (ablation)]\n");
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "  re-adjustment after shift: "
+              << (readjust >= 0.0 ? FormatMinutes(readjust)
+                                  : std::string("did not settle"))
+              << "\n";
+    std::cout << "  relocations: " << report.TotalRelocations()
+              << " (load-migrations " << report.offload_migrations
+              << ", load-replications " << report.offload_replications
+              << ")\n";
+    std::cout << "  equilibrium bandwidth after shift: "
+              << std::setprecision(0) << report.EquilibriumBandwidthRate()
+              << " byte-hops/s\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation A2: deletion threshold u and the m/u ratio.
+//
+// u controls how aggressively replicas are culled; m/u must exceed 4
+// (Theorem 5) or replicas created by a legitimate replication can fall
+// under the deletion threshold and oscillate (create/delete churn). The
+// paper uses m/u = 6 "to prevent boundary effects" and defers the sweep
+// to [1]; this bench performs both sweeps, including a configuration that
+// deliberately violates the stability rule.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+void Row(const radar::driver::RunReport& report, const std::string& label,
+         bool stable) {
+  using namespace radar;
+  std::cout << std::fixed << "  " << std::left << std::setw(18) << label
+            << std::right << (stable ? "  yes   " : "  NO    ")
+            << std::setw(14) << std::setprecision(0)
+            << report.EquilibriumBandwidthRate() << std::setw(10)
+            << std::setprecision(2) << report.final_avg_replicas
+            << std::setw(12) << report.affinity_drops << std::setw(11)
+            << std::setprecision(2) << report.traffic.OverheadPercent()
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace radar;
+  driver::SimConfig base = bench::PaperConfig();
+  base.workload = driver::WorkloadKind::kHotPages;
+  bench::PrintHeader(
+      std::cout, "Ablation A2: deletion/replication thresholds (hot-pages)",
+      base);
+
+  std::cout << "  config            4u<m?   bw(bh/s)     replicas"
+               "   aff-drops  overhead%\n";
+
+  std::cout << "-- u sweep (m = 6u, the paper's ratio) --\n";
+  for (const double u : {0.01, 0.03, 0.09}) {
+    driver::SimConfig config = base;
+    config.protocol.deletion_threshold_u = u;
+    config.protocol.replication_threshold_m = 6.0 * u;
+    const driver::RunReport report = bench::RunOnce(config);
+    Row(report, "u=" + std::to_string(u).substr(0, 5),
+        config.protocol.IsStable());
+  }
+
+  std::cout << "-- m/u sweep (u = 0.03) --\n";
+  for (const double ratio : {2.0, 4.5, 6.0, 12.0}) {
+    driver::SimConfig config = base;
+    config.protocol.deletion_threshold_u = 0.03;
+    config.protocol.replication_threshold_m = ratio * 0.03;
+    const driver::RunReport report = bench::RunOnce(config);
+    Row(report, "m/u=" + std::to_string(ratio).substr(0, 4),
+        config.protocol.IsStable());
+  }
+
+  std::cout << "\n  (expected: smaller u -> more replicas and overhead;"
+            << " m/u = 2 violates Theorem 5's\n   4u < m rule and inflates"
+            << " the affinity-drop churn relative to stable settings)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace radar::bench {
+
+double EnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+std::vector<driver::WorkloadKind> PaperWorkloads() {
+  return {driver::WorkloadKind::kZipf, driver::WorkloadKind::kHotSites,
+          driver::WorkloadKind::kHotPages, driver::WorkloadKind::kRegional};
+}
+
+driver::SimConfig PaperConfig() {
+  driver::SimConfig config;
+  config.duration = SecondsToSim(EnvOr("RADAR_BENCH_DURATION", 2400.0));
+  config.num_objects =
+      static_cast<ObjectId>(EnvOr("RADAR_BENCH_OBJECTS", 10000.0));
+  config.seed = static_cast<std::uint64_t>(EnvOr("RADAR_BENCH_SEED", 1.0));
+  return config;
+}
+
+driver::RunReport RunOnce(const driver::SimConfig& config) {
+  driver::HostingSimulation simulation(config);
+  return simulation.Run();
+}
+
+void PrintHeader(std::ostream& os, const std::string& artefact,
+                 const driver::SimConfig& config) {
+  os << "==== " << artefact << " ====\n";
+  os << "Table 1 parameters: objects=" << config.num_objects
+     << " object-size=" << config.object_bytes << "B"
+     << " node-rate=" << config.node_request_rate << "req/s"
+     << " capacity=" << config.server_capacity << "req/s"
+     << " hw=" << config.protocol.high_watermark
+     << " lw=" << config.protocol.low_watermark
+     << " u=" << config.protocol.deletion_threshold_u
+     << " m=" << config.protocol.replication_threshold_m << "\n";
+  os << "run: duration=" << SimToSeconds(config.duration)
+     << "s seed=" << config.seed << "\n\n";
+}
+
+}  // namespace radar::bench

@@ -1,0 +1,38 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Each bench binary regenerates one artefact of the paper's evaluation
+// (Sec. 6.2) as textual rows/series. Environment knobs keep full paper-
+// scale runs available without recompiling:
+//   RADAR_BENCH_DURATION   simulated seconds per run (default 2400)
+//   RADAR_BENCH_OBJECTS    objects in the system (default 10000)
+//   RADAR_BENCH_SEED       root RNG seed (default 1)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/config.h"
+#include "driver/hosting_simulation.h"
+#include "driver/report.h"
+
+namespace radar::bench {
+
+/// The four workloads of Sec. 6.1, in the paper's reporting order.
+std::vector<driver::WorkloadKind> PaperWorkloads();
+
+/// A SimConfig preset with Table 1 values and the environment overrides
+/// applied.
+driver::SimConfig PaperConfig();
+
+/// Runs one simulation and returns the report (convenience wrapper).
+driver::RunReport RunOnce(const driver::SimConfig& config);
+
+/// Prints the standard bench header: which figure/table, parameters used.
+void PrintHeader(std::ostream& os, const std::string& artefact,
+                 const driver::SimConfig& config);
+
+/// Reads an environment variable as double, with a default.
+double EnvOr(const char* name, double fallback);
+
+}  // namespace radar::bench

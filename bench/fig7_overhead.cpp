@@ -1,0 +1,41 @@
+// Figure 7: relocation traffic (object copies between hosts) as a
+// percentage of total backbone traffic, over time, for the four workloads.
+//
+// Expected shape (paper): the overhead is "always below 2.5% of (already
+// reduced) total traffic", highest during the initial adjustment.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace radar;
+  driver::SimConfig base = bench::PaperConfig();
+  bench::PrintHeader(std::cout, "Figure 7: network overhead", base);
+
+  for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
+    driver::SimConfig config = base;
+    config.workload = kind;
+    const driver::RunReport report = bench::RunOnce(config);
+
+    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
+              << " ----\n";
+    std::cout << std::fixed;
+    std::cout << "  total overhead: " << std::setprecision(2)
+              << report.traffic.OverheadPercent() << "% ("
+              << report.object_copies << " object copies, "
+              << report.TotalRelocations() << " relocations)\n";
+    std::cout << "  t(s)  overhead(% of total traffic)\n";
+    const auto series = report.traffic.OverheadPercentSeries();
+    const std::size_t n = report.CompleteBuckets(series.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::cout << std::setw(6) << std::setprecision(0)
+                << SimToSeconds(static_cast<SimTime>(i) *
+                                report.bucket_width)
+                << std::setw(10) << std::setprecision(3) << series[i]
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 8a: maximum host load over time for the four workloads — the
+// protocol must pull every host below the high watermark.
+// Figure 8b: one host's actual load bracketed by the running high and low
+// load estimates the protocol maintains (Sec. 2.1 / Theorems 1-4).
+//
+// Expected shape (paper): max load converges below hw; the measured load
+// always lies between the two estimates.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace radar;
+  driver::SimConfig base = bench::PaperConfig();
+  bench::PrintHeader(std::cout,
+                     "Figure 8: maximum load and load estimates", base);
+
+  std::cout << "---- Fig. 8a: maximum host load (req/s) over time ----\n";
+  std::cout << "  t(s)";
+  for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
+    std::cout << std::setw(11) << driver::WorkloadKindName(kind);
+  }
+  std::cout << "\n";
+
+  std::vector<driver::RunReport> reports;
+  for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
+    driver::SimConfig config = base;
+    config.workload = kind;
+    if (kind == driver::WorkloadKind::kHotSites) {
+      config.duration = 2 * base.duration;
+    }
+    config.tracked_host = 10;
+    reports.push_back(bench::RunOnce(config));
+  }
+
+  const std::size_t rows =
+      reports[0].CompleteBuckets(reports[0].max_load.num_buckets());
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::cout << std::fixed << std::setw(6) << std::setprecision(0)
+              << SimToSeconds(static_cast<SimTime>(i) *
+                              reports[0].bucket_width);
+    for (const auto& report : reports) {
+      const double value = i < report.max_load.num_buckets()
+                               ? report.max_load.MaxAt(i)
+                               : 0.0;
+      std::cout << std::setw(11) << std::setprecision(1) << value;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n  high watermark: " << base.protocol.high_watermark
+            << " req/s\n\n";
+
+  std::cout << "---- Fig. 8b: load estimates vs actual (host 10, "
+            << "hot-pages) ----\n";
+  std::cout << "  t(s)    low-est    actual    high-est   bracketed\n";
+  const driver::RunReport& hp = reports[2];  // hot-pages
+  int violations = 0;
+  for (std::size_t i = 0; i < hp.tracked_host_loads.size(); ++i) {
+    const auto& s = hp.tracked_host_loads[i];
+    const bool ok =
+        s.lower_estimate <= s.measured && s.measured <= s.upper_estimate;
+    if (!ok) ++violations;
+    // Print every third sample to keep the table readable.
+    if (i % 3 != 0) continue;
+    std::cout << std::fixed << std::setw(6) << std::setprecision(0)
+              << SimToSeconds(s.t) << std::setw(11) << std::setprecision(2)
+              << s.lower_estimate << std::setw(10) << s.measured
+              << std::setw(12) << s.upper_estimate << std::setw(9)
+              << (ok ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\n  estimate violations: " << violations << " / "
+            << hp.tracked_host_loads.size() << " samples\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// request distribution, routing-table construction, workload sampling,
+// the event queue, and host-side access counting.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/cluster.h"
+#include "core/redirector.h"
+#include "net/routing.h"
+#include "net/uunet.h"
+#include "sim/event_queue.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace radar;
+
+core::MatrixDistanceOracle MakeOracle(std::int32_t n) {
+  core::MatrixDistanceOracle oracle(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      oracle.Set(a, b, (b - a) % 7 + 1);
+    }
+  }
+  return oracle;
+}
+
+void BM_ChooseReplica(benchmark::State& state) {
+  const auto replicas = static_cast<int>(state.range(0));
+  core::MatrixDistanceOracle oracle = MakeOracle(53);
+  core::Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, 0);
+  for (NodeId host = 1; host < replicas; ++host) {
+    redirector.OnReplicaCreated(1, host);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto gateway = static_cast<NodeId>(rng.NextBounded(53));
+    benchmark::DoNotOptimize(redirector.ChooseReplica(1, gateway));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChooseReplica)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(53);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  const net::Topology topology = net::MakeUunetBackbone();
+  for (auto _ : state) {
+    net::RoutingTable routing(topology.graph());
+    benchmark::DoNotOptimize(routing.HopDistance(0, 52));
+  }
+}
+BENCHMARK(BM_RoutingTableBuild);
+
+void BM_ReedsZipfSample(benchmark::State& state) {
+  ReedsZipf zipf(10000);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReedsZipfSample);
+
+void BM_ExactZipfSample(benchmark::State& state) {
+  ExactZipf zipf(10000);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactZipfSample);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  Rng rng(3);
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.Push(static_cast<SimTime>(rng.NextBounded(1'000'000)), [] {});
+  }
+  SimTime base = 1'000'000;
+  for (auto _ : state) {
+    queue.Push(base + static_cast<SimTime>(rng.NextBounded(1000)), [] {});
+    benchmark::DoNotOptimize(queue.Pop());
+    ++base;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_RecordServiced(benchmark::State& state) {
+  core::ProtocolParams params;
+  core::HostAgent agent(0, 53, &params);
+  agent.AddInitialReplica(1);
+  const std::vector<NodeId> path{0, 7, 13, 21, 35};
+  for (auto _ : state) {
+    agent.RecordServiced(1, path);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordServiced);
+
+void BM_PlacementRound(benchmark::State& state) {
+  // One host deciding placement for 200 objects with populated counters.
+  const auto objects = static_cast<ObjectId>(state.range(0));
+  core::MatrixDistanceOracle oracle = MakeOracle(53);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ProtocolParams params;
+    core::Cluster cluster(53, oracle, params, {0});
+    Rng rng(4);
+    for (ObjectId x = 0; x < objects; ++x) {
+      cluster.PlaceInitialObject(x, 0);
+      std::vector<NodeId> path{0,
+                               static_cast<NodeId>(1 + rng.NextBounded(52))};
+      for (int i = 0; i < 20; ++i) {
+        cluster.host(0).RecordServiced(x, path);
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        cluster.RunPlacement(0, SecondsToSim(100.0)));
+  }
+}
+BENCHMARK(BM_PlacementRound)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

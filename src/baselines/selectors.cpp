@@ -1,0 +1,47 @@
+#include "baselines/selectors.h"
+
+#include "common/check.h"
+
+namespace radar::baselines {
+
+const char* DistributionPolicyName(DistributionPolicy p) {
+  switch (p) {
+    case DistributionPolicy::kRadar: return "radar";
+    case DistributionPolicy::kRoundRobin: return "round-robin";
+    case DistributionPolicy::kClosest: return "closest";
+  }
+  return "?";
+}
+
+const char* PlacementPolicyName(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRadar: return "radar";
+    case PlacementPolicy::kStatic: return "static";
+    case PlacementPolicy::kFullReplication: return "full-replication";
+  }
+  return "?";
+}
+
+NodeId RoundRobinSelector::Choose(ObjectId x,
+                                  const std::vector<NodeId>& replicas) {
+  RADAR_CHECK(!replicas.empty());
+  const std::uint64_t turn = next_[x]++;
+  return replicas[static_cast<std::size_t>(turn % replicas.size())];
+}
+
+NodeId ClosestSelector::Choose(NodeId gateway,
+                               const std::vector<NodeId>& replicas) const {
+  RADAR_CHECK(!replicas.empty());
+  NodeId best = replicas.front();
+  std::int32_t best_distance = distance_.Distance(gateway, best);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const std::int32_t d = distance_.Distance(gateway, replicas[i]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = replicas[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace radar::baselines

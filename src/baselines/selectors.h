@@ -1,0 +1,58 @@
+// Baseline request-distribution and placement policies.
+//
+// These are the comparison points the paper's introduction argues against:
+// round-robin distribution spreads load but ignores proximity; always-
+// closest distribution honours proximity but cannot relieve a server
+// swamped by local demand (Sec. 3's America/Europe example). Static and
+// replicate-everywhere placement bracket the dynamic protocol from below
+// and above in storage cost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/distance.h"
+
+namespace radar::baselines {
+
+enum class DistributionPolicy : std::uint8_t {
+  kRadar,       ///< the paper's Fig. 2 algorithm
+  kRoundRobin,  ///< cycle through replicas, oblivious to proximity
+  kClosest,     ///< always the replica nearest the gateway
+};
+
+enum class PlacementPolicy : std::uint8_t {
+  kRadar,            ///< the paper's Figs. 3-5 algorithm
+  kStatic,           ///< initial placement, never relocates
+  kFullReplication,  ///< every object on every node, never relocates
+};
+
+const char* DistributionPolicyName(DistributionPolicy p);
+const char* PlacementPolicyName(PlacementPolicy p);
+
+/// Per-object round-robin over whatever replica set currently exists.
+class RoundRobinSelector {
+ public:
+  /// `replicas` must be non-empty; stable (sorted) order is the caller's
+  /// responsibility so rotation is deterministic.
+  NodeId Choose(ObjectId x, const std::vector<NodeId>& replicas);
+
+ private:
+  std::unordered_map<ObjectId, std::uint64_t> next_;
+};
+
+/// Always the replica closest to the gateway (ties: lowest node id).
+class ClosestSelector {
+ public:
+  explicit ClosestSelector(const core::DistanceOracle& distance)
+      : distance_(distance) {}
+
+  NodeId Choose(NodeId gateway, const std::vector<NodeId>& replicas) const;
+
+ private:
+  const core::DistanceOracle& distance_;
+};
+
+}  // namespace radar::baselines

@@ -1,0 +1,33 @@
+// Lightweight always-on invariant checking.
+//
+// RADAR_CHECK is used for protocol invariants that must hold regardless of
+// build type; violating one indicates a bug in the library, so we terminate
+// with a diagnostic rather than continue with corrupted state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace radar::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "RADAR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace radar::internal
+
+#define RADAR_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::radar::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                              \
+  } while (false)
+
+#define RADAR_CHECK_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::radar::internal::CheckFailed(msg, __FILE__, __LINE__);     \
+    }                                                              \
+  } while (false)

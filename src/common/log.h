@@ -1,0 +1,27 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is single-threaded, so no synchronization is needed. Logging
+// defaults to kWarn so simulation hot paths stay quiet unless a caller
+// raises the level (examples do, to narrate protocol actions).
+#pragma once
+
+#include <cstdarg>
+
+namespace radar {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging; drops the message if below the global level.
+void LogF(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace radar
+
+#define RADAR_LOG_DEBUG(...) ::radar::LogF(::radar::LogLevel::kDebug, __VA_ARGS__)
+#define RADAR_LOG_INFO(...) ::radar::LogF(::radar::LogLevel::kInfo, __VA_ARGS__)
+#define RADAR_LOG_WARN(...) ::radar::LogF(::radar::LogLevel::kWarn, __VA_ARGS__)
+#define RADAR_LOG_ERROR(...) ::radar::LogF(::radar::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be exactly reproducible across runs and platforms, so
+// we use a self-contained xoshiro256** generator seeded via SplitMix64
+// rather than std::mt19937 + distribution objects (whose outputs are not
+// pinned by the standard for all distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace radar {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// Requires bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Forks an independent child stream; children of distinct indices are
+  /// statistically independent of each other and of the parent.
+  Rng Fork(std::uint64_t stream_index) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_origin_ = 0;
+};
+
+}  // namespace radar

@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace radar {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+BucketedSeries::BucketedSeries(SimTime bucket_width)
+    : bucket_width_(bucket_width) {
+  RADAR_CHECK(bucket_width > 0);
+}
+
+void BucketedSeries::Add(SimTime t, double value) {
+  RADAR_CHECK(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / bucket_width_);
+  if (idx >= sums_.size()) {
+    sums_.resize(idx + 1, 0.0);
+    counts_.resize(idx + 1, 0);
+  }
+  sums_[idx] += value;
+  ++counts_[idx];
+}
+
+SimTime BucketedSeries::BucketStart(std::size_t i) const {
+  return static_cast<SimTime>(i) * bucket_width_;
+}
+
+double BucketedSeries::MeanAt(std::size_t i) const {
+  RADAR_CHECK(i < sums_.size());
+  return counts_[i] > 0 ? sums_[i] / static_cast<double>(counts_[i]) : 0.0;
+}
+
+double BucketedSeries::RateAt(std::size_t i) const {
+  RADAR_CHECK(i < sums_.size());
+  return sums_[i] / SimToSeconds(bucket_width_);
+}
+
+double BucketedSeries::MeanRateOver(std::size_t first, std::size_t last) const {
+  if (sums_.empty()) return 0.0;
+  last = std::min(last, sums_.size() - 1);
+  if (first > last) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = first; i <= last; ++i) total += RateAt(i);
+  return total / static_cast<double>(last - first + 1);
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  RADAR_CHECK(pct >= 0.0 && pct <= 100.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::string FormatMinutes(double seconds) {
+  const auto total = static_cast<long>(seconds + 0.5);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld:%02ld", total / 60, total % 60);
+  return buf;
+}
+
+}  // namespace radar

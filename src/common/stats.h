@@ -1,0 +1,81 @@
+// Streaming statistics and bucketed time series used by the metrics layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace radar {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A time series that accumulates values into fixed-width time buckets.
+/// Each bucket records both the sum and the count of added values, so it
+/// can report either totals (e.g. bytes per bucket) or means (e.g. mean
+/// latency per bucket).
+class BucketedSeries {
+ public:
+  /// bucket_width must be positive.
+  explicit BucketedSeries(SimTime bucket_width);
+
+  /// Adds a sample at the given simulated time.
+  void Add(SimTime t, double value);
+
+  SimTime bucket_width() const { return bucket_width_; }
+  std::size_t num_buckets() const { return sums_.size(); }
+
+  /// Start time of bucket i.
+  SimTime BucketStart(std::size_t i) const;
+
+  double SumAt(std::size_t i) const { return sums_[i]; }
+  std::int64_t CountAt(std::size_t i) const { return counts_[i]; }
+  /// Mean of samples in bucket i (0 if empty).
+  double MeanAt(std::size_t i) const;
+  /// Sum divided by bucket width in seconds — a rate (e.g. bytes/sec).
+  double RateAt(std::size_t i) const;
+
+  /// Mean of per-bucket rates over buckets [first, last] (inclusive,
+  /// clamped). Returns 0 for an empty range.
+  double MeanRateOver(std::size_t first, std::size_t last) const;
+
+  const std::vector<double>& sums() const { return sums_; }
+
+ private:
+  SimTime bucket_width_;
+  std::vector<double> sums_;
+  std::vector<std::int64_t> counts_;
+};
+
+/// Exact percentile over a retained sample vector. Intended for offline
+/// reporting, not hot paths.
+double Percentile(std::vector<double> values, double pct);
+
+/// Formats seconds as "mm:ss" for report printing.
+std::string FormatMinutes(double seconds);
+
+}  // namespace radar

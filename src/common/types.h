@@ -1,0 +1,44 @@
+// Fundamental identifier and time types shared by all radar libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace radar {
+
+/// Index of a node (router + co-located host) in the hosting platform.
+using NodeId = std::int32_t;
+
+/// Identifier of a hosted Web object.
+using ObjectId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObject = -1;
+
+/// Simulated time in integer microseconds. Integer time keeps event
+/// ordering and repeated runs exactly reproducible.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosPerMilli = 1'000;
+inline constexpr SimTime kMicrosPerSecond = 1'000'000;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Converts seconds (possibly fractional) to simulated microseconds.
+constexpr SimTime SecondsToSim(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+/// Converts milliseconds to simulated microseconds.
+constexpr SimTime MillisToSim(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kMicrosPerMilli));
+}
+
+/// Converts simulated microseconds to (fractional) seconds.
+constexpr double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+}  // namespace radar

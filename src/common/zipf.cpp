@@ -1,0 +1,45 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace radar {
+
+ReedsZipf::ReedsZipf(std::int64_t n) : n_(n), log_n_(std::log(static_cast<double>(n))) {
+  RADAR_CHECK(n >= 1);
+}
+
+std::int64_t ReedsZipf::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  const double u = rng.NextDouble();
+  const auto rank = static_cast<std::int64_t>(std::llround(std::exp(u * log_n_)));
+  return std::clamp<std::int64_t>(rank, 1, n_);
+}
+
+ExactZipf::ExactZipf(std::int64_t n, double exponent) {
+  RADAR_CHECK(n >= 1);
+  RADAR_CHECK(exponent > 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), exponent);
+    cdf_[static_cast<std::size_t>(i - 1)] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::int64_t ExactZipf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ExactZipf::Pmf(std::int64_t rank) const {
+  RADAR_CHECK(rank >= 1 && rank <= n());
+  const auto idx = static_cast<std::size_t>(rank - 1);
+  return idx == 0 ? cdf_[0] : cdf_[idx] - cdf_[idx - 1];
+}
+
+}  // namespace radar

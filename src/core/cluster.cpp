@@ -1,0 +1,128 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::core {
+
+Cluster::Cluster(std::int32_t num_nodes, const DistanceOracle& distance,
+                 const ProtocolParams& params,
+                 std::vector<NodeId> redirector_homes)
+    : params_(params),
+      distance_(distance),
+      redirectors_(distance, params.distribution_constant,
+                   std::move(redirector_homes)) {
+  RADAR_CHECK(num_nodes > 0);
+  params_.CheckStructure();
+  agents_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    agents_.emplace_back(n, num_nodes, &params_);
+  }
+}
+
+HostAgent& Cluster::host(NodeId n) {
+  RADAR_CHECK(n >= 0 && n < num_nodes());
+  return agents_[static_cast<std::size_t>(n)];
+}
+
+const HostAgent& Cluster::host(NodeId n) const {
+  RADAR_CHECK(n >= 0 && n < num_nodes());
+  return agents_[static_cast<std::size_t>(n)];
+}
+
+void Cluster::PlaceInitialObject(ObjectId x, NodeId home) {
+  host(home).AddInitialReplica(x);
+  redirectors_.For(x).RegisterObject(x, home);
+}
+
+NodeId Cluster::RouteRequest(ObjectId x, NodeId gateway) {
+  return redirectors_.For(x).ChooseReplica(x, gateway);
+}
+
+void Cluster::TickMeasurement(NodeId n, SimTime now) {
+  host(n).OnMeasurementTick(now);
+}
+
+PlacementStats Cluster::RunPlacement(NodeId n, SimTime now) {
+  now_ = now;
+  return host(n).RunPlacement(*this, now);
+}
+
+CreateObjResponse Cluster::CreateObjRpc(NodeId from, NodeId to,
+                                        CreateObjMethod method, ObjectId x,
+                                        double unit_load) {
+  RADAR_CHECK(from != to);
+  if (method == CreateObjMethod::kReplicate && replica_cap_) {
+    const int cap = replica_cap_(x);
+    if (cap > 0 && redirectors_.For(x).ReplicaCount(x) >= cap &&
+        !host(to).HasObject(x)) {
+      return {};  // consistency-limited object (Sec. 5): refuse new copies
+    }
+  }
+  const CreateObjResponse resp =
+      host(to).HandleCreateObj(method, x, unit_load, now_);
+  if (resp.accepted) {
+    // Fig. 4: the recipient notifies the redirector *after* the copy
+    // exists, preserving the subset invariant.
+    redirectors_.For(x).OnReplicaCreated(x, to);
+    ++total_transfers_;
+    if (resp.created_new_copy) ++total_copies_;
+    if (transfer_hook_) {
+      transfer_hook_(from, to, x, method, resp.created_new_copy);
+    }
+  }
+  return resp;
+}
+
+Redirector& Cluster::RedirectorFor(ObjectId x) { return redirectors_.For(x); }
+
+std::int32_t Cluster::Distance(NodeId from, NodeId to) const {
+  return distance_.Distance(from, to);
+}
+
+NodeId Cluster::FindOffloadRecipient(NodeId self) {
+  // Idealized load directory (Sec. 4.2.2): pick the least-loaded host whose
+  // reported (weight-normalized) load is under the low watermark. Reports
+  // are the hosts' admission-load estimates, so in-flight acquisitions
+  // count against them.
+  NodeId best = kInvalidNode;
+  double best_load = params_.low_watermark;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (n == self) continue;
+    const double load = ReportedLoad(n);
+    if (load < best_load) {
+      best_load = load;
+      best = n;
+    }
+  }
+  return best;
+}
+
+double Cluster::ReportedLoad(NodeId n) const {
+  const HostAgent& agent = host(n);
+  return agent.AdmissionLoad() / agent.weight();
+}
+
+double Cluster::HostWeight(NodeId n) const { return host(n).weight(); }
+
+double Cluster::AverageReplicasPerObject() const {
+  const auto [replicas, objects] = redirectors_.TotalReplicasAndObjects();
+  return objects > 0 ? static_cast<double>(replicas) /
+                           static_cast<double>(objects)
+                     : 0.0;
+}
+
+void Cluster::CheckRedirectorSubsetInvariant() const {
+  for (int i = 0; i < redirectors_.size(); ++i) {
+    const Redirector& r = const_cast<RedirectorGroup&>(redirectors_).At(i);
+    for (const ObjectId x : r.Objects()) {
+      for (const NodeId h : r.ReplicaHosts(x)) {
+        RADAR_CHECK_MSG(host(h).HasObject(x),
+                        "redirector records a replica that does not exist");
+      }
+    }
+  }
+}
+
+}  // namespace radar::core

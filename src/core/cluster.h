@@ -1,0 +1,97 @@
+// The hosting platform's control plane: all host agents plus the
+// redirector group, wired together through the PlacementContext.
+//
+// Cluster is deliberately free of any event-driven machinery so that unit
+// and property tests can drive the protocol step by step; the simulation
+// driver owns the clock and calls into Cluster at the right simulated
+// times, registering hooks to charge object-copy traffic to the network.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/distance.h"
+#include "core/host_agent.h"
+#include "core/params.h"
+#include "core/protocol.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+
+class Cluster : public PlacementContext {
+ public:
+  /// Called whenever a CreateObj acceptance moved an object: `copied` is
+  /// true when actual object bytes travel from -> to (a brand-new copy),
+  /// false for a pure affinity increment.
+  using TransferHook = std::function<void(
+      NodeId from, NodeId to, ObjectId x, CreateObjMethod method, bool copied)>;
+
+  /// Optional per-object replica cap (Sec. 5: objects with non-commuting
+  /// updates keep a bounded replica set; cap 1 = migrate-only). Return 0
+  /// for "unlimited".
+  using ReplicaCapFn = std::function<int(ObjectId)>;
+
+  Cluster(std::int32_t num_nodes, const DistanceOracle& distance,
+          const ProtocolParams& params, std::vector<NodeId> redirector_homes);
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(agents_.size()); }
+  const ProtocolParams& params() const { return params_; }
+
+  HostAgent& host(NodeId n);
+  const HostAgent& host(NodeId n) const;
+  RedirectorGroup& redirectors() { return redirectors_; }
+  const RedirectorGroup& redirectors() const { return redirectors_; }
+
+  void set_transfer_hook(TransferHook hook) { transfer_hook_ = std::move(hook); }
+  void set_replica_cap(ReplicaCapFn fn) { replica_cap_ = std::move(fn); }
+
+  /// Bootstrap: installs the initial sole copy of x on `home` and
+  /// registers it with x's redirector.
+  void PlaceInitialObject(ObjectId x, NodeId home);
+
+  /// Request distribution entry point: the redirector for x picks the
+  /// servicing replica for a request entering at `gateway`.
+  NodeId RouteRequest(ObjectId x, NodeId gateway);
+
+  /// Runs host n's measurement tick at `now`.
+  void TickMeasurement(NodeId n, SimTime now);
+
+  /// Runs host n's placement round at `now`.
+  PlacementStats RunPlacement(NodeId n, SimTime now);
+
+  // ---- PlacementContext ----
+  CreateObjResponse CreateObjRpc(NodeId from, NodeId to,
+                                 CreateObjMethod method, ObjectId x,
+                                 double unit_load) override;
+  Redirector& RedirectorFor(ObjectId x) override;
+  std::int32_t Distance(NodeId from, NodeId to) const override;
+  NodeId FindOffloadRecipient(NodeId self) override;
+  double ReportedLoad(NodeId host) const override;
+  double HostWeight(NodeId host) const override;
+
+  // ---- Census (metrics / tests) ----
+
+  /// Mean number of physical replicas per object.
+  double AverageReplicasPerObject() const;
+
+  /// Checks the subset invariant: every replica the redirectors record
+  /// physically exists on the corresponding host. Aborts on violation.
+  void CheckRedirectorSubsetInvariant() const;
+
+  std::int64_t total_transfers() const { return total_transfers_; }
+  std::int64_t total_copies() const { return total_copies_; }
+
+ private:
+  ProtocolParams params_;
+  const DistanceOracle& distance_;
+  RedirectorGroup redirectors_;
+  std::vector<HostAgent> agents_;
+  TransferHook transfer_hook_;
+  ReplicaCapFn replica_cap_;
+  SimTime now_ = 0;  // time of the in-progress placement round
+  std::int64_t total_transfers_ = 0;
+  std::int64_t total_copies_ = 0;
+};
+
+}  // namespace radar::core

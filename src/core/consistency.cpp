@@ -1,0 +1,200 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::core {
+
+void ObjectCatalog::Register(ObjectId x, ObjectCategory category,
+                             NodeId primary, int replica_cap) {
+  RADAR_CHECK(x >= 0);
+  RADAR_CHECK_MSG(!Knows(x), "object already catalogued");
+  ObjectMeta meta;
+  meta.category = category;
+  meta.primary = primary;
+  if (replica_cap >= 0) {
+    meta.replica_cap = replica_cap;
+  } else {
+    // Category defaults: unlimited for 1 and 2, migrate-only for 3.
+    meta.replica_cap =
+        category == ObjectCategory::kNonCommutingUpdates ? 1 : 0;
+  }
+  meta_.emplace(x, meta);
+}
+
+bool ObjectCatalog::Knows(ObjectId x) const {
+  return meta_.find(x) != meta_.end();
+}
+
+const ObjectMeta& ObjectCatalog::MetaOf(ObjectId x) const {
+  const auto it = meta_.find(x);
+  RADAR_CHECK_MSG(it != meta_.end(), "object not catalogued");
+  return it->second;
+}
+
+int ObjectCatalog::ReplicaCap(ObjectId x) const {
+  const auto it = meta_.find(x);
+  return it != meta_.end() ? it->second.replica_cap : 0;
+}
+
+bool ObjectCatalog::MayReplicate(ObjectId x) const {
+  return ReplicaCap(x) != 1;
+}
+
+UpdateManager::UpdateManager(const ObjectCatalog* catalog,
+                             ReplicaSetFn replica_set_fn,
+                             PropagationPolicy policy)
+    : catalog_(catalog),
+      replica_set_fn_(std::move(replica_set_fn)),
+      policy_(policy) {
+  RADAR_CHECK(catalog_ != nullptr);
+  RADAR_CHECK(replica_set_fn_ != nullptr);
+}
+
+UpdateManager::ObjectState& UpdateManager::StateOf(ObjectId x) {
+  return states_[x];
+}
+
+const UpdateManager::ObjectState* UpdateManager::FindState(ObjectId x) const {
+  const auto it = states_.find(x);
+  return it != states_.end() ? &it->second : nullptr;
+}
+
+void UpdateManager::PushToReplicas(ObjectId x, ObjectState& state,
+                                   SimTime now, std::int64_t* deliveries) {
+  const NodeId primary = catalog_->MetaOf(x).primary;
+  for (const NodeId host : replica_set_fn_(x)) {
+    auto& version = state.replica_version[host];
+    if (version >= state.primary_version) continue;
+    version = state.primary_version;
+    state.replica_updated_at[host] = now;
+    if (host != primary && on_propagate_) on_propagate_(primary, host, x);
+    if (deliveries != nullptr) ++(*deliveries);
+  }
+  state.batch_pending = false;
+}
+
+std::int64_t UpdateManager::ProviderUpdate(ObjectId x, SimTime now) {
+  RADAR_CHECK_MSG(catalog_->Knows(x), "update for uncatalogued object");
+  ObjectState& state = StateOf(x);
+  ++state.primary_version;
+  state.primary_updated_at = now;
+  // The primary itself is always current.
+  const NodeId primary = catalog_->MetaOf(x).primary;
+  state.replica_version[primary] = state.primary_version;
+  state.replica_updated_at[primary] = now;
+  if (policy_ == PropagationPolicy::kImmediate) {
+    PushToReplicas(x, state, now, nullptr);
+  } else {
+    state.batch_pending = true;
+  }
+  return state.primary_version;
+}
+
+std::int64_t UpdateManager::FlushBatch(SimTime now) {
+  std::int64_t deliveries = 0;
+  // Deterministic order: collect pending ids and sort.
+  std::vector<ObjectId> pending;
+  for (const auto& [x, state] : states_) {
+    if (state.batch_pending) pending.push_back(x);
+  }
+  std::sort(pending.begin(), pending.end());
+  for (const ObjectId x : pending) {
+    PushToReplicas(x, StateOf(x), now, &deliveries);
+  }
+  return deliveries;
+}
+
+std::int64_t UpdateManager::VersionAt(ObjectId x, NodeId host) const {
+  const ObjectState* state = FindState(x);
+  if (state == nullptr) return 0;
+  const auto it = state->replica_version.find(host);
+  return it != state->replica_version.end() ? it->second : 0;
+}
+
+std::int64_t UpdateManager::PrimaryVersion(ObjectId x) const {
+  const ObjectState* state = FindState(x);
+  return state != nullptr ? state->primary_version : 0;
+}
+
+bool UpdateManager::IsConsistent(ObjectId x) const {
+  const ObjectState* state = FindState(x);
+  if (state == nullptr || state->primary_version == 0) return true;
+  for (const NodeId host : replica_set_fn_(x)) {
+    const auto it = state->replica_version.find(host);
+    const std::int64_t version =
+        it != state->replica_version.end() ? it->second : 0;
+    if (version < state->primary_version) return false;
+  }
+  return true;
+}
+
+double UpdateManager::StalenessSeconds(ObjectId x, NodeId host,
+                                       SimTime now) const {
+  const ObjectState* state = FindState(x);
+  if (state == nullptr || state->primary_version == 0) return 0.0;
+  const auto it = state->replica_version.find(host);
+  const std::int64_t version =
+      it != state->replica_version.end() ? it->second : 0;
+  if (version >= state->primary_version) return 0.0;
+  return SimToSeconds(now - state->primary_updated_at);
+}
+
+void UpdateManager::RecordCommutingUpdate(ObjectId x, NodeId host,
+                                          std::int64_t delta) {
+  StateOf(x).commuting_counter[host] += delta;
+}
+
+std::int64_t UpdateManager::MergedStatistic(ObjectId x) const {
+  const ObjectState* state = FindState(x);
+  if (state == nullptr) return 0;
+  std::int64_t total = state->archived_statistic;
+  for (const auto& [host, count] : state->commuting_counter) total += count;
+  return total;
+}
+
+void UpdateManager::OnReplicaCreated(ObjectId x, NodeId host, SimTime now) {
+  ObjectState& state = StateOf(x);
+  // Copies are made from a live replica, so the newcomer starts current.
+  state.replica_version[host] = state.primary_version;
+  state.replica_updated_at[host] = now;
+}
+
+void UpdateManager::OnReplicaDropped(ObjectId x, NodeId host) {
+  const auto it = states_.find(x);
+  if (it == states_.end()) return;
+  ObjectState& state = it->second;
+  const auto counter = state.commuting_counter.find(host);
+  if (counter != state.commuting_counter.end()) {
+    state.archived_statistic += counter->second;
+    state.commuting_counter.erase(counter);
+  }
+  state.replica_version.erase(host);
+  state.replica_updated_at.erase(host);
+}
+
+std::int64_t UpdateManager::pending_batch_size() const {
+  std::int64_t pending = 0;
+  for (const auto& [x, state] : states_) {
+    if (state.batch_pending) ++pending;
+  }
+  return pending;
+}
+
+ConsistencyBridge::ConsistencyBridge(UpdateManager* manager, ClockFn clock)
+    : manager_(manager), clock_(std::move(clock)) {
+  RADAR_CHECK(manager_ != nullptr);
+  RADAR_CHECK(clock_ != nullptr);
+}
+
+void ConsistencyBridge::OnReplicaAdded(ObjectId x, NodeId host) {
+  manager_->OnReplicaCreated(x, host, clock_());
+}
+
+void ConsistencyBridge::OnReplicaRemoved(ObjectId x, NodeId host) {
+  manager_->OnReplicaDropped(x, host);
+}
+
+}  // namespace radar::core

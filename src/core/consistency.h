@@ -1,0 +1,171 @@
+// Replica consistency (Sec. 5).
+//
+// The paper divides hosted objects into three categories:
+//   1. objects that only change when the content provider updates them —
+//      maintained with a primary copy and asynchronous propagation
+//      (immediately or in epidemic-style batches),
+//   2. objects whose only per-access mutation is commuting (e.g. access
+//      statistics) — replicas record locally and the statistics are merged,
+//   3. objects with non-commuting per-access updates — in general only
+//      migrated; when bounded inconsistency is tolerable, replicated under
+//      a replica cap.
+//
+// ObjectCatalog carries the category / primary / cap metadata (the cap
+// plugs into Cluster::set_replica_cap); UpdateManager implements the
+// primary-copy propagation and statistics merging over whatever replica
+// sets the redirectors currently record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+
+enum class ObjectCategory : std::uint8_t {
+  kProviderUpdated = 1,  ///< static pages / read-only dynamic content
+  kCommutingUpdates = 2,
+  kNonCommutingUpdates = 3,
+};
+
+enum class PropagationPolicy : std::uint8_t {
+  kImmediate,  ///< push each provider update to all replicas at once
+  kBatched,    ///< queue updates; FlushBatch propagates them epidemic-style
+};
+
+struct ObjectMeta {
+  ObjectCategory category = ObjectCategory::kProviderUpdated;
+  NodeId primary = kInvalidNode;  ///< node hosting the original copy
+  /// Maximum replicas; 0 = unlimited. Category-3 objects default to 1
+  /// (migrate-only) unless the application tolerates some inconsistency.
+  int replica_cap = 0;
+};
+
+/// Per-object consistency metadata.
+class ObjectCatalog {
+ public:
+  void Register(ObjectId x, ObjectCategory category, NodeId primary,
+                int replica_cap = -1);  // -1 = category default
+
+  bool Knows(ObjectId x) const;
+  const ObjectMeta& MetaOf(ObjectId x) const;
+
+  /// Replica cap for Cluster::set_replica_cap (0 = unlimited). Unknown
+  /// objects are treated as category 1 (unlimited).
+  int ReplicaCap(ObjectId x) const;
+
+  /// Whether the protocol may geo-replicate this object at all.
+  bool MayReplicate(ObjectId x) const;
+
+  std::size_t size() const { return meta_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, ObjectMeta> meta_;
+};
+
+/// Primary-copy update propagation and commuting-statistics merging.
+class UpdateManager {
+ public:
+  /// `replica_set_fn` returns the hosts currently holding x (typically
+  /// bound to the redirector group's ReplicaHosts). `on_propagate` is
+  /// invoked for every update shipped from one host to another, letting
+  /// the driver charge network traffic.
+  using ReplicaSetFn = std::function<std::vector<NodeId>(ObjectId)>;
+  using PropagateHook =
+      std::function<void(NodeId from, NodeId to, ObjectId x)>;
+
+  UpdateManager(const ObjectCatalog* catalog, ReplicaSetFn replica_set_fn,
+                PropagationPolicy policy);
+
+  void set_propagate_hook(PropagateHook hook) { on_propagate_ = std::move(hook); }
+
+  // ---- Category 1: provider updates via the primary copy ----
+
+  /// A content-provider update lands at x's primary: bumps the primary
+  /// version and, under kImmediate, pushes to all current replicas.
+  /// Returns the new version.
+  std::int64_t ProviderUpdate(ObjectId x, SimTime now);
+
+  /// Epidemic batch round: propagates all queued updates to the current
+  /// replica sets. Returns the number of (replica, update) deliveries.
+  std::int64_t FlushBatch(SimTime now);
+
+  /// Version replica `host` has applied (0 = never updated).
+  std::int64_t VersionAt(ObjectId x, NodeId host) const;
+
+  std::int64_t PrimaryVersion(ObjectId x) const;
+
+  /// True when every current replica has the primary's version.
+  bool IsConsistent(ObjectId x) const;
+
+  /// Seconds the given replica has been stale (0 when current).
+  double StalenessSeconds(ObjectId x, NodeId host, SimTime now) const;
+
+  // ---- Category 2: commuting per-access statistics ----
+
+  /// Records a commuting update (e.g. hit-counter increment) performed at
+  /// the replica that serviced the access.
+  void RecordCommutingUpdate(ObjectId x, NodeId host, std::int64_t delta = 1);
+
+  /// The merged statistic: archived contributions of dropped replicas plus
+  /// the live counters of current ones. Never loses updates across
+  /// migrations (the requirement Sec. 5 imposes).
+  std::int64_t MergedStatistic(ObjectId x) const;
+
+  // ---- Replica lifecycle (wire to Cluster's transfer hook / drops) ----
+
+  /// A new replica appeared on `host`: it starts at the primary version
+  /// (the copy is made from an up-to-date replica).
+  void OnReplicaCreated(ObjectId x, NodeId host, SimTime now);
+
+  /// A replica is about to be dropped: folds its commuting counters into
+  /// the archive and forgets its version.
+  void OnReplicaDropped(ObjectId x, NodeId host);
+
+  std::int64_t pending_batch_size() const;
+
+ private:
+  struct ObjectState {
+    std::int64_t primary_version = 0;
+    SimTime primary_updated_at = 0;
+    std::unordered_map<NodeId, std::int64_t> replica_version;
+    std::unordered_map<NodeId, SimTime> replica_updated_at;
+    std::unordered_map<NodeId, std::int64_t> commuting_counter;
+    std::int64_t archived_statistic = 0;
+    bool batch_pending = false;
+  };
+
+  ObjectState& StateOf(ObjectId x);
+  const ObjectState* FindState(ObjectId x) const;
+  void PushToReplicas(ObjectId x, ObjectState& state, SimTime now,
+                      std::int64_t* deliveries);
+
+  const ObjectCatalog* catalog_;
+  ReplicaSetFn replica_set_fn_;
+  PropagationPolicy policy_;
+  PropagateHook on_propagate_;
+  std::unordered_map<ObjectId, ObjectState> states_;
+};
+
+/// Keeps an UpdateManager's per-replica state in step with the placement
+/// protocol: register with Redirector::set_change_listener and replica
+/// creations/drops flow into the manager automatically.
+class ConsistencyBridge final : public Redirector::ChangeListener {
+ public:
+  using ClockFn = std::function<SimTime()>;
+
+  ConsistencyBridge(UpdateManager* manager, ClockFn clock);
+
+  void OnReplicaAdded(ObjectId x, NodeId host) override;
+  void OnReplicaRemoved(ObjectId x, NodeId host) override;
+
+ private:
+  UpdateManager* manager_;
+  ClockFn clock_;
+};
+
+}  // namespace radar::core

@@ -1,0 +1,56 @@
+// Network-proximity oracle used by the redirector and placement logic.
+//
+// The paper extracts proximity from router databases; in this library the
+// driver adapts net::RoutingTable to this interface, and tests can supply
+// synthetic matrices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace radar::core {
+
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Network distance (hops) between two nodes; 0 iff from == to.
+  virtual std::int32_t Distance(NodeId from, NodeId to) const = 0;
+};
+
+/// A dense symmetric distance matrix; handy in tests.
+class MatrixDistanceOracle final : public DistanceOracle {
+ public:
+  explicit MatrixDistanceOracle(std::int32_t num_nodes)
+      : num_nodes_(num_nodes),
+        matrix_(static_cast<std::size_t>(num_nodes) *
+                    static_cast<std::size_t>(num_nodes),
+                0) {
+    RADAR_CHECK(num_nodes > 0);
+  }
+
+  void Set(NodeId a, NodeId b, std::int32_t distance) {
+    RADAR_CHECK(distance >= 0);
+    matrix_[Index(a, b)] = distance;
+    matrix_[Index(b, a)] = distance;
+  }
+
+  std::int32_t Distance(NodeId from, NodeId to) const override {
+    return matrix_[Index(from, to)];
+  }
+
+ private:
+  std::size_t Index(NodeId a, NodeId b) const {
+    RADAR_CHECK(a >= 0 && a < num_nodes_);
+    RADAR_CHECK(b >= 0 && b < num_nodes_);
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(num_nodes_) +
+           static_cast<std::size_t>(b);
+  }
+  std::int32_t num_nodes_;
+  std::vector<std::int32_t> matrix_;
+};
+
+}  // namespace radar::core

@@ -1,0 +1,387 @@
+#include "core/host_agent.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/bounds.h"
+
+namespace radar::core {
+
+HostAgent::HostAgent(NodeId self, std::int32_t num_nodes,
+                     const ProtocolParams* params)
+    : self_(self), num_nodes_(num_nodes), params_(params) {
+  RADAR_CHECK(self >= 0 && self < num_nodes);
+  RADAR_CHECK(params != nullptr);
+  params->CheckStructure();
+}
+
+void HostAgent::AddInitialReplica(ObjectId x) {
+  RADAR_CHECK_MSG(!HasObject(x), "initial replica already present");
+  ReplicaRecord rec;
+  rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
+  records_.emplace(x, std::move(rec));
+}
+
+bool HostAgent::HasObject(ObjectId x) const {
+  return records_.find(x) != records_.end();
+}
+
+int HostAgent::Affinity(ObjectId x) const {
+  const ReplicaRecord* rec = FindRecord(x);
+  return rec != nullptr ? rec->aff : 0;
+}
+
+std::vector<ObjectId> HostAgent::Objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(records_.size());
+  for (const auto& [x, rec] : records_) out.push_back(x);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+HostAgent::ReplicaRecord& HostAgent::RecordOf(ObjectId x) {
+  const auto it = records_.find(x);
+  RADAR_CHECK_MSG(it != records_.end(), "object not hosted");
+  return it->second;
+}
+
+const HostAgent::ReplicaRecord* HostAgent::FindRecord(ObjectId x) const {
+  const auto it = records_.find(x);
+  return it != records_.end() ? &it->second : nullptr;
+}
+
+void HostAgent::RecordServiced(ObjectId x,
+                               const std::vector<NodeId>& preference_path) {
+  ReplicaRecord& rec = RecordOf(x);
+  RADAR_CHECK(!preference_path.empty());
+  RADAR_CHECK_MSG(preference_path.front() == self_,
+                  "preference path must start at the servicing host");
+  for (const NodeId p : preference_path) {
+    ++rec.path_counts[static_cast<std::size_t>(p)];
+  }
+  ++rec.serviced_interval;
+  ++serviced_interval_total_;
+}
+
+void HostAgent::RecordServicedUntracked() { ++serviced_interval_total_; }
+
+void HostAgent::OnMeasurementTick(SimTime now) {
+  const double seconds = SimToSeconds(now - interval_start_);
+  if (seconds <= 0.0) return;
+  measured_load_ = static_cast<double>(serviced_interval_total_) / seconds;
+  serviced_interval_total_ = 0;
+  for (auto& [x, rec] : records_) {
+    rec.measured_load = static_cast<double>(rec.serviced_interval) / seconds;
+    rec.serviced_interval = 0;
+  }
+  // Sec. 2.1: an estimate stands in for measurements only until an
+  // interval that started after the relocation completes — the new
+  // measurement then reflects it. Shift the adjustment window.
+  upper_adjust_prev_ = upper_adjust_cur_;
+  upper_adjust_cur_ = 0.0;
+  lower_adjust_prev_ = lower_adjust_cur_;
+  lower_adjust_cur_ = 0.0;
+  interval_start_ = now;
+}
+
+double HostAgent::ObjectLoad(ObjectId x) const {
+  const ReplicaRecord* rec = FindRecord(x);
+  return rec != nullptr ? rec->measured_load : 0.0;
+}
+
+double HostAgent::UnitLoad(ObjectId x) const {
+  const ReplicaRecord* rec = FindRecord(x);
+  if (rec == nullptr) return 0.0;
+  return rec->measured_load / static_cast<double>(rec->aff);
+}
+
+CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
+                                             ObjectId x, double unit_load,
+                                             SimTime now) {
+  RADAR_CHECK(unit_load >= 0.0);
+  // Fig. 4: any acceptance requires load below the low watermark; a
+  // migration additionally must not push the upper-bound estimate past the
+  // high watermark (replications may — overloading a recipient temporarily
+  // can be necessary to bootstrap replication, Sec. 4.2.1). Loads are
+  // normalized by the host's relative-power weight (Sec. 2).
+  if (AdmissionLoad() / weight_ > params_->low_watermark) return {};
+  if (method == CreateObjMethod::kMigrate &&
+      (AdmissionLoad() + RecipientIncreaseBoundFromUnitLoad(unit_load)) /
+              weight_ >
+          params_->high_watermark) {
+    return {};
+  }
+  const auto it = records_.find(x);
+  // Storage component of the vector load metric (Sec. 2.1): a full host
+  // cannot take a new physical copy; raising the affinity of a replica it
+  // already stores is fine.
+  if (it == records_.end() && StorageFull()) return {};
+
+  CreateObjResponse resp;
+  resp.accepted = true;
+  if (it == records_.end()) {
+    ReplicaRecord rec;
+    rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
+    rec.acquired_at = now;
+    // Best available per-object load estimate until a full measurement
+    // interval passes: the advertised unit load of the source replica.
+    rec.measured_load = unit_load;
+    records_.emplace(x, std::move(rec));
+    resp.created_new_copy = true;
+  } else {
+    ++it->second.aff;
+  }
+  upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
+  return resp;
+}
+
+double HostAgent::EpochSeconds(const ReplicaRecord& rec, SimTime now) const {
+  return SimToSeconds(now - std::max(epoch_start_, rec.acquired_at));
+}
+
+double HostAgent::UnitAccessRate(ObjectId x, SimTime now) const {
+  const ReplicaRecord* rec = FindRecord(x);
+  if (rec == nullptr) return 0.0;
+  const double seconds = EpochSeconds(*rec, now);
+  if (seconds <= 0.0) return 0.0;
+  const double total = rec->path_counts[static_cast<std::size_t>(self_)];
+  return total / static_cast<double>(rec->aff) / seconds;
+}
+
+std::uint32_t HostAgent::AccessCount(ObjectId x, NodeId p) const {
+  RADAR_CHECK(p >= 0 && p < num_nodes_);
+  const ReplicaRecord* rec = FindRecord(x);
+  return rec != nullptr ? rec->path_counts[static_cast<std::size_t>(p)] : 0;
+}
+
+HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
+                                                   ObjectId x) {
+  ReplicaRecord& rec = RecordOf(x);
+  Redirector& redirector = ctx.RedirectorFor(x);
+  if (rec.aff > 1) {
+    --rec.aff;
+    redirector.OnAffinityReduced(x, self_, rec.aff);
+    return ReduceOutcome::kReduced;
+  }
+  if (redirector.RequestDrop(x, self_)) {
+    records_.erase(x);
+    return ReduceOutcome::kDropped;
+  }
+  return ReduceOutcome::kDenied;
+}
+
+std::vector<NodeId> HostAgent::CandidatesByFarthest(
+    const ReplicaRecord& rec, const PlacementContext& ctx) const {
+  std::vector<NodeId> candidates;
+  for (NodeId p = 0; p < num_nodes_; ++p) {
+    if (p != self_ && rec.path_counts[static_cast<std::size_t>(p)] > 0) {
+      candidates.push_back(p);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) {
+                     const auto da = ctx.Distance(self_, a);
+                     const auto db = ctx.Distance(self_, b);
+                     if (da != db) return da > db;
+                     return a < b;
+                   });
+  return candidates;
+}
+
+PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
+  PlacementStats stats;
+
+  // Mode hysteresis (Fig. 3 preamble). The offloading decision uses the
+  // lower-limit estimate (Sec. 2.1): a host that just shed objects should
+  // not believe it is still overloaded.
+  const double mode_load = OffloadLoad() / weight_;
+  if (mode_load > params_->high_watermark) offloading_ = true;
+  if (mode_load < params_->low_watermark) offloading_ = false;
+  stats.offloading_mode = offloading_;
+
+  const double u = params_->deletion_threshold_u;
+  const double m = params_->replication_threshold_m;
+
+  for (const ObjectId x : Objects()) {
+    const auto it = records_.find(x);
+    if (it == records_.end()) continue;
+    ReplicaRecord& rec = it->second;
+    const double seconds = EpochSeconds(rec, now);
+    if (seconds <= 0.0) continue;
+    const auto total = static_cast<double>(
+        rec.path_counts[static_cast<std::size_t>(self_)]);
+    const double unit_rate = total / static_cast<double>(rec.aff) / seconds;
+
+    bool relocated = false;
+    if (unit_rate < u) {
+      // Deletion branch: shed one affinity unit if the redirector allows.
+      if (ReduceAffinity(ctx, x) != ReduceOutcome::kDenied) {
+        ++stats.affinity_drops;
+        relocated = true;
+      }
+    } else if (total > 0.0) {
+      // Geo-migration: the farthest host on > MIGR_RATIO of the requests'
+      // preference paths (Sec. 4.2.1).
+      for (const NodeId p : CandidatesByFarthest(rec, ctx)) {
+        const auto cnt =
+            static_cast<double>(rec.path_counts[static_cast<std::size_t>(p)]);
+        if (cnt <= params_->migr_ratio * total) continue;
+        const int aff_before = rec.aff;
+        const double object_load = rec.measured_load;
+        const CreateObjResponse resp = ctx.CreateObjRpc(
+            self_, p, CreateObjMethod::kMigrate, x, UnitLoad(x));
+        if (resp.accepted) {
+          ReduceAffinity(ctx, x);
+          lower_adjust_cur_ +=
+              MigrationSourceDecreaseBound(object_load, aff_before);
+          ++stats.geo_migrations;
+          relocated = true;
+          break;
+        }
+      }
+    }
+
+    // Geo-replication: only if still fully present, above the replication
+    // threshold, with a candidate past REPL_RATIO.
+    if (!relocated && HasObject(x) && unit_rate > m && total > 0.0) {
+      ReplicaRecord& cur = RecordOf(x);
+      for (const NodeId p : CandidatesByFarthest(cur, ctx)) {
+        const auto cnt =
+            static_cast<double>(cur.path_counts[static_cast<std::size_t>(p)]);
+        if (cnt <= params_->repl_ratio * total) continue;
+        const CreateObjResponse resp = ctx.CreateObjRpc(
+            self_, p, CreateObjMethod::kReplicate, x, UnitLoad(x));
+        if (resp.accepted) {
+          lower_adjust_cur_ +=
+              ReplicationSourceDecreaseBound(cur.measured_load);
+          ++stats.geo_replications;
+          relocated = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Fig. 3 triggers Offload when the geo pass did not relocate anything.
+  // We generalize slightly: geo relocations debit the lower-bound load
+  // estimate by their Theorem 1/3 decrease bounds, and Offload runs
+  // whenever that estimate still exceeds the low watermark — "the host
+  // continues in this manner until its load drops below a low water mark"
+  // (Sec. 4.2). When the geo pass shed enough, this reduces to the
+  // figure's literal condition; when its relocations were refused by
+  // loaded recipients, the host still gets the load relief the offloading
+  // mode exists to guarantee (see DESIGN.md).
+  if (offloading_ && OffloadLoad() / weight_ > params_->low_watermark) {
+    stats.ran_offload = true;
+    Offload(ctx, stats, now);
+  }
+
+  // Start a new access-count epoch.
+  for (auto& [x, rec] : records_) {
+    std::fill(rec.path_counts.begin(), rec.path_counts.end(), 0);
+  }
+  epoch_start_ = now;
+  return stats;
+}
+
+void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
+                        SimTime now) {
+  const NodeId recipient = ctx.FindOffloadRecipient(self_);
+  if (recipient == kInvalidNode) return;
+  RADAR_CHECK(recipient != self_);
+  double recipient_load = ctx.ReportedLoad(recipient);
+  if (recipient_load >= params_->low_watermark) return;
+
+  // Examine objects in decreasing order of their highest "foreign" access
+  // fraction — objects whose requests mostly pass by other hosts first.
+  struct Ranked {
+    double foreign_fraction;
+    ObjectId x;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(records_.size());
+  for (const ObjectId x : Objects()) {
+    const ReplicaRecord& rec = RecordOf(x);
+    const auto total = static_cast<double>(
+        rec.path_counts[static_cast<std::size_t>(self_)]);
+    double best = 0.0;
+    if (total > 0.0) {
+      for (NodeId p = 0; p < num_nodes_; ++p) {
+        if (p == self_) continue;
+        best = std::max(
+            best, static_cast<double>(
+                      rec.path_counts[static_cast<std::size_t>(p)]) /
+                      total);
+      }
+    }
+    ranked.push_back(Ranked{best, x});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                                    const Ranked& b) {
+    if (a.foreign_fraction != b.foreign_fraction) {
+      return a.foreign_fraction > b.foreign_fraction;
+    }
+    return a.x < b.x;
+  });
+
+  const double m = params_->replication_threshold_m;
+  for (const Ranked& r : ranked) {
+    if (OffloadLoad() / weight_ <= params_->low_watermark) break;
+    if (recipient_load >= params_->low_watermark) break;
+    const ObjectId x = r.x;
+    if (!HasObject(x)) continue;
+    ReplicaRecord& rec = RecordOf(x);
+    const double seconds = EpochSeconds(rec, now);
+    const double unit_rate =
+        seconds > 0.0
+            ? static_cast<double>(
+                  rec.path_counts[static_cast<std::size_t>(self_)]) /
+                  static_cast<double>(rec.aff) / seconds
+            : 0.0;
+    const double object_load = rec.measured_load;
+    const double unit_load = object_load / static_cast<double>(rec.aff);
+    const int aff_before = rec.aff;
+
+    if (unit_rate <= m) {
+      // Load-migration; heavily requested objects are never load-migrated
+      // (that could undo a previous geo-replication, Sec. 4.2.2).
+      const CreateObjResponse resp = ctx.CreateObjRpc(
+          self_, recipient, CreateObjMethod::kMigrate, x, unit_load);
+      if (!resp.accepted) break;
+      lower_adjust_cur_ += MigrationSourceDecreaseBound(object_load, aff_before);
+      recipient_load += RecipientIncreaseBoundFromUnitLoad(unit_load) /
+                        ctx.HostWeight(recipient);
+      const ReduceOutcome outcome = ReduceAffinity(ctx, x);
+      RADAR_CHECK_MSG(outcome != ReduceOutcome::kDenied,
+                      "migration drop denied after recipient accepted");
+      ++stats.offload_migrations;
+      if (!params_->bulk_offload) break;
+    } else {
+      const CreateObjResponse resp = ctx.CreateObjRpc(
+          self_, recipient, CreateObjMethod::kReplicate, x, unit_load);
+      if (!resp.accepted) break;
+      lower_adjust_cur_ += ReplicationSourceDecreaseBound(object_load);
+      recipient_load += RecipientIncreaseBoundFromUnitLoad(unit_load) /
+                        ctx.HostWeight(recipient);
+      ++stats.offload_replications;
+      if (!params_->bulk_offload) break;
+    }
+  }
+}
+
+void HostAgent::set_weight(double weight) {
+  RADAR_CHECK(weight > 0.0);
+  weight_ = weight;
+}
+
+void HostAgent::set_storage_capacity(std::int64_t max_objects) {
+  RADAR_CHECK(max_objects >= 0);
+  storage_capacity_ = max_objects;
+}
+
+bool HostAgent::StorageFull() const {
+  return storage_capacity_ > 0 &&
+         static_cast<std::int64_t>(records_.size()) >= storage_capacity_;
+}
+
+}  // namespace radar::core

@@ -1,0 +1,201 @@
+// Per-host protocol state and the replica placement algorithm (Figs. 3-5).
+//
+// Each hosting server runs one HostAgent. The agent
+//   - tracks, per hosted object, how often every platform node appeared on
+//     the preference paths of serviced requests (the access counts of
+//     Sec. 4.1),
+//   - measures its load as the rate of serviced requests per measurement
+//     interval (Sec. 2.1 / 6.1),
+//   - maintains the upper/lower load estimates that Theorems 1-4 make
+//     sound, so it can accept or shed many objects without waiting for
+//     fresh measurements,
+//   - periodically runs DecidePlacement (Fig. 3) with geo-migration /
+//     geo-replication, and Offload (Fig. 5) when stuck above the high
+//     watermark, and
+//   - answers CreateObj requests from peers (Fig. 4).
+//
+// The agent is autonomous by construction: it never learns which other
+// replicas of its objects exist; everything it decides follows from its own
+// counters plus the CreateObj verdicts of candidate recipients.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/params.h"
+#include "core/protocol.h"
+
+namespace radar::core {
+
+class HostAgent {
+ public:
+  /// `params` must outlive the agent.
+  HostAgent(NodeId self, std::int32_t num_nodes, const ProtocolParams* params);
+
+  NodeId self() const { return self_; }
+
+  // ---- Heterogeneity (Sec. 2: "weights corresponding to relative power
+  // of hosts") and the storage component of the vector load metric
+  // (Sec. 2.1) ----
+
+  /// Relative capacity weight (default 1.0). All watermark comparisons
+  /// use the *normalized* load (load / weight), so a host with weight 2
+  /// accepts twice the absolute load before refusing or offloading.
+  void set_weight(double weight);
+  double weight() const { return weight_; }
+
+  /// Storage capacity in objects (0 = unlimited). A full host refuses
+  /// CreateObj requests that would create a new physical copy (affinity
+  /// increments occupy no extra storage).
+  void set_storage_capacity(std::int64_t max_objects);
+  std::int64_t storage_capacity() const { return storage_capacity_; }
+  bool StorageFull() const;
+
+  // ---- Replica state ----
+
+  /// Installs the initial copy of an object (system bootstrap; does not
+  /// count as an acquisition for load-estimate purposes).
+  void AddInitialReplica(ObjectId x);
+
+  bool HasObject(ObjectId x) const;
+  int Affinity(ObjectId x) const;
+  /// Hosted object ids in ascending order.
+  std::vector<ObjectId> Objects() const;
+  std::size_t NumObjects() const { return records_.size(); }
+
+  // ---- Request servicing ----
+
+  /// Records one serviced request for x whose response travels along
+  /// `preference_path` (routers from this host to the client's gateway,
+  /// inclusive; element 0 must be this host). Increments the access count
+  /// of every node on the path (Sec. 4.1) and the load counters.
+  void RecordServiced(ObjectId x, const std::vector<NodeId>& preference_path);
+
+  /// Load bookkeeping for a serviced request whose object is no longer
+  /// hosted (a request that was in flight when the replica was dropped).
+  void RecordServicedUntracked();
+
+  // ---- Load measurement (Sec. 2.1) ----
+
+  /// Closes the current measurement interval at `now`: recomputes the
+  /// measured load (requests/sec) and per-object loads, and reverts the
+  /// load estimates to measurements once an interval free of acquisitions
+  /// (resp. sheddings) has completed.
+  void OnMeasurementTick(SimTime now);
+
+  /// Load over the last completed measurement interval (requests/sec).
+  double measured_load() const { return measured_load_; }
+
+  /// Upper-limit estimate used when deciding whether to accept objects:
+  /// measured load plus 4 * unit-load (Theorems 2/4) for every object
+  /// accepted that the measurement does not yet reflect. A bound is aged
+  /// out once a full measurement interval has covered the acquisition —
+  /// the paper's Sec. 2.1 rule, kept per-acquisition so that a steady
+  /// stream of relocations cannot inflate the estimate without bound
+  /// (footnote 2).
+  double AdmissionLoad() const {
+    return measured_load_ + upper_adjust_cur_ + upper_adjust_prev_;
+  }
+
+  /// Lower-limit estimate used when deciding whether to keep offloading:
+  /// measured load minus the Theorem 1/3 decrease bounds of everything
+  /// shed that the measurement does not yet reflect (same aging).
+  double OffloadLoad() const {
+    return measured_load_ - lower_adjust_cur_ - lower_adjust_prev_;
+  }
+
+  /// load(x_s): requests/sec serviced for x over the last interval.
+  double ObjectLoad(ObjectId x) const;
+
+  /// load(x_s) / aff(x_s), the value carried in CreateObj messages.
+  double UnitLoad(ObjectId x) const;
+
+  bool offloading() const { return offloading_; }
+
+  // ---- Protocol steps ----
+
+  /// Fig. 4: handles an incoming CreateObj. On acceptance the replica (or
+  /// affinity unit) exists locally when this returns; the caller is
+  /// responsible for notifying the redirector.
+  CreateObjResponse HandleCreateObj(CreateObjMethod method, ObjectId x,
+                                    double unit_load, SimTime now);
+
+  /// Fig. 3 (+ Fig. 5 when offloading): one placement round at time `now`.
+  /// Resets the per-object access counts afterwards.
+  PlacementStats RunPlacement(PlacementContext& ctx, SimTime now);
+
+  // ---- Introspection (tests, metrics) ----
+
+  /// Access count cnt(p, x) accumulated since the last placement run.
+  std::uint32_t AccessCount(ObjectId x, NodeId p) const;
+
+  /// Unit access rate (requests/sec per affinity unit) x would be judged
+  /// by if placement ran at `now`.
+  double UnitAccessRate(ObjectId x, SimTime now) const;
+
+ private:
+  struct ReplicaRecord {
+    int aff = 1;
+    /// cnt(p, x): per-node preference-path appearances this epoch.
+    std::vector<std::uint32_t> path_counts;
+    /// Requests serviced this measurement interval.
+    std::uint32_t serviced_interval = 0;
+    /// load(x_s) from the last completed interval (requests/sec).
+    double measured_load = 0.0;
+    /// When this replica appeared on the host (bounds its epoch length).
+    SimTime acquired_at = 0;
+  };
+
+  enum class ReduceOutcome { kReduced, kDropped, kDenied };
+
+  ReplicaRecord& RecordOf(ObjectId x);
+  const ReplicaRecord* FindRecord(ObjectId x) const;
+
+  /// Fig. 3's ReduceAffinity: decrements affinity (notifying the
+  /// redirector) or, at affinity 1, asks the redirector for permission to
+  /// drop the replica outright.
+  ReduceOutcome ReduceAffinity(PlacementContext& ctx, ObjectId x);
+
+  /// Fig. 5: sheds objects to one underloaded recipient using the
+  /// Theorem 1-4 bounds to pace the bulk transfer.
+  void Offload(PlacementContext& ctx, PlacementStats& stats, SimTime now);
+
+  /// Seconds of epoch this replica has observed at `now`.
+  double EpochSeconds(const ReplicaRecord& rec, SimTime now) const;
+
+  /// Nodes with non-zero access counts for rec, excluding self, in
+  /// decreasing order of distance from self (ties: lower id first).
+  std::vector<NodeId> CandidatesByFarthest(const ReplicaRecord& rec,
+                                           const PlacementContext& ctx) const;
+
+  NodeId self_;
+  std::int32_t num_nodes_;
+  const ProtocolParams* params_;
+
+  std::unordered_map<ObjectId, ReplicaRecord> records_;
+
+  // Load measurement state. Estimate adjustments live in a two-slot
+  // window: `cur` collects bounds for relocations in the running interval,
+  // `prev` holds the previous interval's (already partially measured)
+  // bounds; a tick shifts cur -> prev and drops the old prev, whose
+  // effects the new measurement now fully reflects.
+  SimTime interval_start_ = 0;
+  std::uint32_t serviced_interval_total_ = 0;
+  double measured_load_ = 0.0;
+  double upper_adjust_cur_ = 0.0;
+  double upper_adjust_prev_ = 0.0;
+  double lower_adjust_cur_ = 0.0;
+  double lower_adjust_prev_ = 0.0;
+
+  // Placement state.
+  SimTime epoch_start_ = 0;
+  bool offloading_ = false;
+
+  // Heterogeneity / storage.
+  double weight_ = 1.0;
+  std::int64_t storage_capacity_ = 0;
+};
+
+}  // namespace radar::core

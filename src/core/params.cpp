@@ -1,0 +1,26 @@
+#include "core/params.h"
+
+#include "common/check.h"
+
+namespace radar::core {
+
+bool ProtocolParams::IsStable() const {
+  return low_watermark < high_watermark &&
+         4.0 * deletion_threshold_u < replication_threshold_m &&
+         repl_ratio < migr_ratio && migr_ratio > 0.5 &&
+         distribution_constant > 1.0;
+}
+
+void ProtocolParams::CheckStructure() const {
+  RADAR_CHECK(deletion_threshold_u >= 0.0);
+  RADAR_CHECK(replication_threshold_m > 0.0);
+  RADAR_CHECK(migr_ratio > 0.0 && migr_ratio <= 1.0);
+  RADAR_CHECK(repl_ratio > 0.0 && repl_ratio <= 1.0);
+  RADAR_CHECK(high_watermark > 0.0);
+  RADAR_CHECK(low_watermark > 0.0);
+  RADAR_CHECK(distribution_constant > 0.0);
+  RADAR_CHECK(placement_interval > 0);
+  RADAR_CHECK(measurement_interval > 0);
+}
+
+}  // namespace radar::core

@@ -1,0 +1,67 @@
+// Tunable parameters of the replication/migration protocol (Sec. 4.2 and
+// Table 1). Defaults reproduce the paper's low-load configuration.
+#pragma once
+
+#include "common/types.h"
+
+namespace radar::core {
+
+struct ProtocolParams {
+  /// Deletion threshold u: an affinity unit whose unit access rate falls
+  /// below this is dropped (requests/sec).
+  double deletion_threshold_u = 0.03;
+
+  /// Replication threshold m: an object may be geo-replicated only when its
+  /// unit access rate exceeds this (requests/sec). Theorem 5 requires
+  /// m > 4u for stability; the paper (and our default) uses m = 6u.
+  double replication_threshold_m = 0.18;
+
+  /// A host p qualifies for geo-migration of x when it appears on the
+  /// preference paths of more than this fraction of requests for x. Must
+  /// exceed 0.5 to prevent ping-ponging; the paper uses 0.6.
+  double migr_ratio = 0.6;
+
+  /// A host p qualifies for geo-replication of x when it appears on more
+  /// than this fraction of preference paths. Must be below migr_ratio;
+  /// the paper uses 1/6.
+  double repl_ratio = 1.0 / 6.0;
+
+  /// High load watermark hw (requests/sec): above it a host enters
+  /// offloading mode; CreateObj refuses migrations that would push the
+  /// recipient past it.
+  double high_watermark = 90.0;
+
+  /// Low load watermark lw (requests/sec): a host leaves offloading mode
+  /// below it; CreateObj recipients must be below it to accept anything.
+  double low_watermark = 80.0;
+
+  /// The constant "2" of the request distribution algorithm (Fig. 2): the
+  /// closest replica is used unless its unit request count divided by this
+  /// exceeds the smallest unit request count.
+  double distribution_constant = 2.0;
+
+  /// How often each host runs DecidePlacement (Table 1: 100 s).
+  SimTime placement_interval = SecondsToSim(100.0);
+
+  /// Load measurement interval (Sec. 6.1: 20 s).
+  SimTime measurement_interval = SecondsToSim(20.0);
+
+  /// En-masse offloading (Sec. 4.2.2): the load bounds let a host shed
+  /// many objects per round without waiting for fresh measurements —
+  /// "without this, a system of our intended scale would be hopelessly
+  /// slow in adjusting to demand changes". Disable to shed at most one
+  /// object per round (the ablation of that claim).
+  bool bulk_offload = true;
+
+  /// Returns true when the watermark and threshold relationships the
+  /// protocol's stability arguments rely on all hold (lw < hw, 4u < m,
+  /// repl_ratio < migr_ratio, migr_ratio > 0.5, constant > 1).
+  bool IsStable() const;
+
+  /// Aborts if structurally invalid (non-positive thresholds/intervals).
+  /// Stability violations are allowed — ablations use them — but
+  /// structural nonsense is not.
+  void CheckStructure() const;
+};
+
+}  // namespace radar::core

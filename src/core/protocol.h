@@ -1,0 +1,88 @@
+// Shared protocol types: the CreateObj RPC (Fig. 4) and the context through
+// which a host's placement run reaches the rest of the platform.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+
+/// Method field of the CreateObj request (Fig. 4).
+enum class CreateObjMethod : std::uint8_t {
+  kMigrate,
+  kReplicate,
+};
+
+inline const char* MethodName(CreateObjMethod m) {
+  return m == CreateObjMethod::kMigrate ? "MIGRATE" : "REPLICATE";
+}
+
+/// Outcome of a CreateObj request at the candidate host.
+struct CreateObjResponse {
+  bool accepted = false;
+  /// True when a new physical copy was created (object bytes must be
+  /// transferred); false when the candidate already held a replica and
+  /// merely incremented its affinity.
+  bool created_new_copy = false;
+};
+
+/// The world as seen from one host's placement run. The driver implements
+/// this over the simulated platform; unit tests implement it directly.
+///
+/// CreateObj exchanges are modelled as synchronous RPCs: their round-trip
+/// (tens of milliseconds) is negligible against the 100-second placement
+/// interval, and the object-copy traffic itself is accounted separately by
+/// the driver's transfer hook.
+class PlacementContext {
+ public:
+  virtual ~PlacementContext() = default;
+
+  /// Sends CreateObj(method, x, unit_load) from `from` to candidate `to`
+  /// and returns the candidate's verdict. On acceptance the implementation
+  /// must notify x's redirector of the new copy / affinity increment
+  /// before returning (Fig. 4's "notify x's redirector").
+  virtual CreateObjResponse CreateObjRpc(NodeId from, NodeId to,
+                                         CreateObjMethod method, ObjectId x,
+                                         double unit_load) = 0;
+
+  /// The redirector responsible for object x.
+  virtual Redirector& RedirectorFor(ObjectId x) = 0;
+
+  /// Network distance in hops.
+  virtual std::int32_t Distance(NodeId from, NodeId to) const = 0;
+
+  /// Picks an offloading recipient for `self`: a host whose reported load
+  /// is below the low watermark (Sec. 4.2.2, "hosts periodically exchange
+  /// load reports"). Returns kInvalidNode when no host qualifies.
+  virtual NodeId FindOffloadRecipient(NodeId self) = 0;
+
+  /// The load the recipient reported: its admission-load estimate
+  /// normalized by its relative-power weight (Sec. 2's heterogeneity
+  /// extension; 1.0 for homogeneous platforms).
+  virtual double ReportedLoad(NodeId host) const = 0;
+
+  /// Relative-power weight of a host, carried in load reports so senders
+  /// can convert absolute load bounds into the recipient's normalized
+  /// scale. Homogeneous platforms return 1.0.
+  virtual double HostWeight(NodeId /*host*/) const { return 1.0; }
+};
+
+/// What one DecidePlacement run did (metrics / tests).
+struct PlacementStats {
+  int affinity_drops = 0;     ///< deletion-threshold affinity reductions
+  int geo_migrations = 0;
+  int geo_replications = 0;
+  int offload_migrations = 0;
+  int offload_replications = 0;
+  bool offloading_mode = false;
+  bool ran_offload = false;
+
+  int TotalRelocations() const {
+    return affinity_drops + geo_migrations + geo_replications +
+           offload_migrations + offload_replications;
+  }
+};
+
+}  // namespace radar::core

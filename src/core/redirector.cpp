@@ -1,0 +1,211 @@
+#include "core/redirector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::core {
+
+Redirector::Redirector(const DistanceOracle& distance,
+                       double distribution_constant, NodeId home_node)
+    : distance_(distance),
+      distribution_constant_(distribution_constant),
+      home_node_(home_node) {
+  RADAR_CHECK(distribution_constant > 0.0);
+}
+
+Redirector::Entry& Redirector::EntryOf(ObjectId x) {
+  RADAR_CHECK(x >= 0);
+  if (static_cast<std::size_t>(x) >= table_.size()) {
+    table_.resize(static_cast<std::size_t>(x) + 1);
+  }
+  return table_[static_cast<std::size_t>(x)];
+}
+
+const Redirector::Entry& Redirector::EntryOf(ObjectId x) const {
+  RADAR_CHECK(x >= 0 && static_cast<std::size_t>(x) < table_.size());
+  return table_[static_cast<std::size_t>(x)];
+}
+
+Redirector::Replica* Redirector::FindReplica(Entry& e, NodeId host) {
+  for (auto& r : e.replicas) {
+    if (r.host == host) return &r;
+  }
+  return nullptr;
+}
+
+void Redirector::ResetCounts(Entry& e) {
+  // "The redirector resets all request counts to 1 whenever it is notified
+  // of any changes to the replica set" (Sec. 3).
+  for (auto& r : e.replicas) r.rcnt = 1;
+  ++replica_set_changes_;
+}
+
+void Redirector::RegisterObject(ObjectId x, NodeId initial_host) {
+  Entry& e = EntryOf(x);
+  RADAR_CHECK_MSG(e.replicas.empty(), "object already registered");
+  e.replicas.push_back(Replica{initial_host, 1, 1});
+}
+
+bool Redirector::KnowsObject(ObjectId x) const {
+  return x >= 0 && static_cast<std::size_t>(x) < table_.size() &&
+         !table_[static_cast<std::size_t>(x)].replicas.empty();
+}
+
+NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
+  Entry& e = EntryOf(x);
+  RADAR_CHECK_MSG(!e.replicas.empty(), "ChooseReplica on unknown object");
+  ++requests_distributed_;
+
+  // p: the replica closest to the requesting gateway (ties: replicas are
+  // sorted by host id, so the lowest id wins deterministically).
+  // q: the replica with the smallest unit request count rcnt/aff.
+  Replica* closest = &e.replicas.front();
+  Replica* least = &e.replicas.front();
+  std::int32_t closest_distance = distance_.Distance(gateway, closest->host);
+  double least_unit = static_cast<double>(least->rcnt) / least->aff;
+  for (std::size_t i = 1; i < e.replicas.size(); ++i) {
+    Replica& r = e.replicas[i];
+    const std::int32_t d = distance_.Distance(gateway, r.host);
+    if (d < closest_distance) {
+      closest_distance = d;
+      closest = &r;
+    }
+    const double unit = static_cast<double>(r.rcnt) / r.aff;
+    if (unit < least_unit) {
+      least_unit = unit;
+      least = &r;
+    }
+  }
+
+  const double closest_unit =
+      static_cast<double>(closest->rcnt) / closest->aff;
+  Replica* chosen =
+      (closest_unit / distribution_constant_ > least_unit) ? least : closest;
+  ++chosen->rcnt;
+  return chosen->host;
+}
+
+void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
+  Entry& e = EntryOf(x);
+  RADAR_CHECK_MSG(!e.replicas.empty(), "creation notice for unknown object");
+  if (Replica* r = FindReplica(e, host)) {
+    ++r->aff;
+  } else {
+    const auto pos = std::lower_bound(
+        e.replicas.begin(), e.replicas.end(), host,
+        [](const Replica& lhs, NodeId h) { return lhs.host < h; });
+    e.replicas.insert(pos, Replica{host, 1, 1});
+    if (listener_ != nullptr) listener_->OnReplicaAdded(x, host);
+  }
+  ResetCounts(e);
+}
+
+void Redirector::OnAffinityReduced(ObjectId x, NodeId host, int new_affinity) {
+  RADAR_CHECK(new_affinity >= 1);
+  Entry& e = EntryOf(x);
+  Replica* r = FindReplica(e, host);
+  RADAR_CHECK_MSG(r != nullptr, "affinity notice for unknown replica");
+  RADAR_CHECK(new_affinity < r->aff);
+  r->aff = new_affinity;
+  ResetCounts(e);
+}
+
+bool Redirector::RequestDrop(ObjectId x, NodeId host) {
+  Entry& e = EntryOf(x);
+  Replica* r = FindReplica(e, host);
+  RADAR_CHECK_MSG(r != nullptr, "drop request for unknown replica");
+  RADAR_CHECK_MSG(r->aff == 1, "drop request with affinity > 1");
+  if (e.replicas.size() <= 1) {
+    return false;  // never delete the last replica (Sec. 4.2.1)
+  }
+  // Remove before granting: the recorded set stays a subset of physical
+  // replicas, so requests are never routed to a vanishing copy.
+  e.replicas.erase(e.replicas.begin() + (r - e.replicas.data()));
+  if (listener_ != nullptr) listener_->OnReplicaRemoved(x, host);
+  ResetCounts(e);
+  return true;
+}
+
+std::vector<NodeId> Redirector::ReplicaHosts(ObjectId x) const {
+  const Entry& e = EntryOf(x);
+  std::vector<NodeId> hosts;
+  hosts.reserve(e.replicas.size());
+  for (const auto& r : e.replicas) hosts.push_back(r.host);
+  return hosts;
+}
+
+int Redirector::ReplicaCount(ObjectId x) const {
+  return static_cast<int>(EntryOf(x).replicas.size());
+}
+
+int Redirector::TotalAffinity(ObjectId x) const {
+  int total = 0;
+  for (const auto& r : EntryOf(x).replicas) total += r.aff;
+  return total;
+}
+
+int Redirector::AffinityOf(ObjectId x, NodeId host) const {
+  for (const auto& r : EntryOf(x).replicas) {
+    if (r.host == host) return r.aff;
+  }
+  return 0;
+}
+
+std::int64_t Redirector::RequestCountOf(ObjectId x, NodeId host) const {
+  for (const auto& r : EntryOf(x).replicas) {
+    if (r.host == host) return r.rcnt;
+  }
+  return 0;
+}
+
+std::vector<ObjectId> Redirector::Objects() const {
+  std::vector<ObjectId> out;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (!table_[i].replicas.empty()) out.push_back(static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+RedirectorGroup::RedirectorGroup(const DistanceOracle& distance,
+                                 double distribution_constant,
+                                 std::vector<NodeId> homes) {
+  RADAR_CHECK(!homes.empty());
+  redirectors_.reserve(homes.size());
+  for (const NodeId home : homes) {
+    redirectors_.emplace_back(distance, distribution_constant, home);
+  }
+}
+
+Redirector& RedirectorGroup::For(ObjectId x) {
+  RADAR_CHECK(x >= 0);
+  // Fibonacci-hash the object id for an even partition even when ids are
+  // assigned contiguously.
+  const auto h = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  return redirectors_[static_cast<std::size_t>(
+      h % static_cast<std::uint64_t>(redirectors_.size()))];
+}
+
+const Redirector& RedirectorGroup::For(ObjectId x) const {
+  return const_cast<RedirectorGroup*>(this)->For(x);
+}
+
+Redirector& RedirectorGroup::At(int index) {
+  RADAR_CHECK(index >= 0 && index < size());
+  return redirectors_[static_cast<std::size_t>(index)];
+}
+
+std::pair<std::int64_t, std::int64_t> RedirectorGroup::TotalReplicasAndObjects()
+    const {
+  std::int64_t replicas = 0;
+  std::int64_t objects = 0;
+  for (const auto& r : redirectors_) {
+    for (const ObjectId x : r.Objects()) {
+      replicas += r.ReplicaCount(x);
+      ++objects;
+    }
+  }
+  return {replicas, objects};
+}
+
+}  // namespace radar::core

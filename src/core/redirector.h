@@ -1,0 +1,158 @@
+// The redirector: request distribution and replica-set registry (Fig. 2).
+//
+// One redirector is responsible for each object (the URL namespace is
+// hash-partitioned across redirectors; see RedirectorGroup). For every
+// replica it tracks a request count rcnt and an affinity aff_r, and
+// assigns each incoming request either to the replica closest to the
+// requesting gateway or to the replica with the smallest *unit* request
+// count (rcnt/aff):
+//
+//   choose the least-counted replica q  iff  unitcnt(closest)/C > unitcnt(q)
+//
+// with C = 2 in the paper. (The published Figure 2 has its branches
+// garbled; this is the semantics its prose and worked example define —
+// see DESIGN.md.) All request counts reset to 1 whenever the replica set
+// changes, so a fresh replica is not flooded while it "catches up".
+//
+// The redirector also arbitrates replica deletions: it refuses to let the
+// last replica of an object be dropped, and it removes a replica from its
+// table *before* granting the drop while learning of creations *after*
+// they happen — preserving the invariant that its recorded replica set is
+// always a subset of the replicas that physically exist.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/distance.h"
+
+namespace radar::core {
+
+class Redirector {
+ public:
+  /// Observes replica-set changes (e.g. to keep the Sec. 5 consistency
+  /// layer's per-replica state in step with placement decisions).
+  class ChangeListener {
+   public:
+    virtual ~ChangeListener() = default;
+    /// A new physical replica of x appeared on host (not called for pure
+    /// affinity increments).
+    virtual void OnReplicaAdded(ObjectId x, NodeId host) = 0;
+    /// The replica of x on host was removed (drop granted).
+    virtual void OnReplicaRemoved(ObjectId x, NodeId host) = 0;
+  };
+
+  /// `distance` must outlive the redirector. `distribution_constant` is
+  /// the C above (> 0). `home_node` is where this redirector runs (used by
+  /// the driver for control-message latency; the algorithm itself does not
+  /// depend on it).
+  Redirector(const DistanceOracle& distance, double distribution_constant,
+             NodeId home_node = kInvalidNode);
+
+  NodeId home_node() const { return home_node_; }
+
+  /// Registers the initial (sole) replica of an object.
+  void RegisterObject(ObjectId x, NodeId initial_host);
+
+  bool KnowsObject(ObjectId x) const;
+
+  /// Fig. 2: picks the servicing replica for a request entering at
+  /// `gateway` and increments its request count. Requires the object to
+  /// be registered with at least one replica.
+  NodeId ChooseReplica(ObjectId x, NodeId gateway);
+
+  /// Notification that `host` created a new replica (affinity 1) or, if it
+  /// already held one, incremented its affinity. Resets request counts.
+  void OnReplicaCreated(ObjectId x, NodeId host);
+
+  /// Notification that `host` reduced its replica's affinity to
+  /// `new_affinity` (>= 1). Resets request counts.
+  void OnAffinityReduced(ObjectId x, NodeId host, int new_affinity);
+
+  /// A host asks to drop its (affinity-1) replica. Grants unless it is the
+  /// last replica; on grant the replica is removed from the table
+  /// immediately, keeping the recorded set a subset of physical replicas.
+  bool RequestDrop(ObjectId x, NodeId host);
+
+  // -- Introspection (metrics, tests) --
+
+  /// Hosts currently holding a replica, ascending by node id.
+  std::vector<NodeId> ReplicaHosts(ObjectId x) const;
+
+  /// Number of distinct replica hosts.
+  int ReplicaCount(ObjectId x) const;
+
+  /// Sum of affinities across replicas.
+  int TotalAffinity(ObjectId x) const;
+
+  int AffinityOf(ObjectId x, NodeId host) const;
+  std::int64_t RequestCountOf(ObjectId x, NodeId host) const;
+
+  /// Objects registered with this redirector.
+  std::vector<ObjectId> Objects() const;
+
+  /// Registers a change listener (nullptr to clear); not owned.
+  void set_change_listener(ChangeListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Total ChooseReplica calls served (metrics).
+  std::int64_t requests_distributed() const { return requests_distributed_; }
+
+  /// Number of replica-set changes processed (metrics).
+  std::int64_t replica_set_changes() const { return replica_set_changes_; }
+
+ private:
+  struct Replica {
+    NodeId host = kInvalidNode;
+    std::int64_t rcnt = 1;
+    int aff = 1;
+  };
+  struct Entry {
+    std::vector<Replica> replicas;  // kept sorted by host id
+  };
+
+  Entry& EntryOf(ObjectId x);
+  const Entry& EntryOf(ObjectId x) const;
+  static Replica* FindReplica(Entry& e, NodeId host);
+  void ResetCounts(Entry& e);
+
+  const DistanceOracle& distance_;
+  double distribution_constant_;
+  NodeId home_node_;
+  ChangeListener* listener_ = nullptr;
+  // Dense by object id; entries with no replicas are unregistered objects.
+  std::vector<Entry> table_;
+  std::int64_t requests_distributed_ = 0;
+  std::int64_t replica_set_changes_ = 0;
+};
+
+/// Hash-partitions the object namespace over k redirectors (Sec. 2: "the
+/// load is divided among multiple redirectors by hash-partitioning the URL
+/// namespace"). The paper's simulation uses k = 1 placed at the most
+/// central node.
+class RedirectorGroup {
+ public:
+  /// `homes` gives the node each redirector runs on; size >= 1.
+  RedirectorGroup(const DistanceOracle& distance, double distribution_constant,
+                  std::vector<NodeId> homes);
+
+  int size() const { return static_cast<int>(redirectors_.size()); }
+
+  /// The redirector responsible for object x (stable hash partition).
+  Redirector& For(ObjectId x);
+  const Redirector& For(ObjectId x) const;
+
+  Redirector& At(int index);
+
+  /// Aggregate replica statistics across all redirectors: {replica count
+  /// sum, object count}.
+  std::pair<std::int64_t, std::int64_t> TotalReplicasAndObjects() const;
+
+ private:
+  std::vector<Redirector> redirectors_;
+};
+
+}  // namespace radar::core

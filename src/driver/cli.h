@@ -1,0 +1,36 @@
+// Command-line front end for the simulator (used by tools/radar_sim).
+//
+// Flags map onto SimConfig; parsing is a pure function so it can be unit
+// tested. Unknown flags, malformed values, and structural violations are
+// reported as errors, not aborts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/config.h"
+
+namespace radar::driver {
+
+struct CliOptions {
+  SimConfig config;
+  std::string topology_file;  ///< empty = built-in UUNET backbone
+  std::string trace_file;     ///< empty = workload-generated requests
+  bool print_series = false;
+  bool show_help = false;
+};
+
+struct CliError {
+  std::string message;
+};
+
+/// Parses argv-style arguments (excluding argv[0]). Returns options or an
+/// error describing the first offending flag.
+std::optional<CliOptions> ParseCli(const std::vector<std::string>& args,
+                                   CliError* error);
+
+/// The --help text.
+std::string CliUsage();
+
+}  // namespace radar::driver

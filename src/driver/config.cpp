@@ -1,0 +1,29 @@
+#include "driver/config.h"
+
+#include "common/check.h"
+
+namespace radar::driver {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kZipf: return "zipf";
+    case WorkloadKind::kHotSites: return "hot-sites";
+    case WorkloadKind::kHotPages: return "hot-pages";
+    case WorkloadKind::kRegional: return "regional";
+    case WorkloadKind::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+void SimConfig::Check() const {
+  RADAR_CHECK(num_objects > 0);
+  RADAR_CHECK(object_bytes > 0);
+  RADAR_CHECK(node_request_rate > 0.0);
+  RADAR_CHECK(server_capacity > 0.0);
+  RADAR_CHECK(duration > 0);
+  RADAR_CHECK(num_redirectors >= 1);
+  RADAR_CHECK(metric_bucket > 0);
+  protocol.CheckStructure();
+}
+
+}  // namespace radar::driver

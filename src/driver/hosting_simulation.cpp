@@ -1,0 +1,389 @@
+#include "driver/hosting_simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/transfer.h"
+
+namespace radar::driver {
+namespace {
+
+constexpr int kMaxRedirects = 3;
+
+std::vector<NodeId> PickRedirectorHomes(const net::RoutingTable& routing,
+                                        int count) {
+  // The paper co-locates the redirector "with a node whose average distance
+  // in hops to other nodes is minimum"; additional redirectors take the
+  // next-most-central nodes.
+  const std::vector<NodeId> by_centrality = routing.NodesByCentrality();
+  RADAR_CHECK(count >= 1 &&
+              static_cast<std::size_t>(count) <= by_centrality.size());
+  return {by_centrality.begin(), by_centrality.begin() + count};
+}
+
+}  // namespace
+
+HostingSimulation::HostingSimulation(SimConfig config)
+    : HostingSimulation(std::move(config), net::MakeUunetBackbone()) {}
+
+HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
+    : config_(std::move(config)),
+      topology_(std::move(topology)),
+      routing_(topology_.graph()),
+      distance_(routing_),
+      link_stats_(topology_.num_nodes()),
+      closest_(distance_) {
+  config_.Check();
+  redirector_homes_ = PickRedirectorHomes(routing_, config_.num_redirectors);
+  cluster_ = std::make_unique<core::Cluster>(
+      topology_.num_nodes(), distance_, config_.protocol, redirector_homes_);
+  report_ = std::make_unique<RunReport>(config_.metric_bucket);
+
+  Rng root(config_.seed);
+  node_rngs_.reserve(static_cast<std::size_t>(topology_.num_nodes()));
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    node_rngs_.push_back(root.Fork(static_cast<std::uint64_t>(n)));
+  }
+  servers_.reserve(static_cast<std::size_t>(topology_.num_nodes()));
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    const double weight = config_.host_weight ? config_.host_weight(n) : 1.0;
+    RADAR_CHECK(weight > 0.0);
+    cluster_->host(n).set_weight(weight);
+    if (config_.host_storage) {
+      cluster_->host(n).set_storage_capacity(config_.host_storage(n));
+    }
+    servers_.emplace_back(config_.server_capacity * weight);
+  }
+}
+
+NodeId HostingSimulation::redirector_home(int index) const {
+  RADAR_CHECK(index >= 0 &&
+              static_cast<std::size_t>(index) < redirector_homes_.size());
+  return redirector_homes_[static_cast<std::size_t>(index)];
+}
+
+void HostingSimulation::SetWorkload(
+    std::unique_ptr<workload::Workload> workload) {
+  RADAR_CHECK(!started_);
+  RADAR_CHECK(workload != nullptr);
+  RADAR_CHECK(workload->num_objects() == config_.num_objects);
+  workload_ = std::move(workload);
+}
+
+void HostingSimulation::BuildWorkloadFromConfig() {
+  const ObjectId n = config_.num_objects;
+  switch (config_.workload) {
+    case WorkloadKind::kZipf:
+      workload_ = std::make_unique<workload::ZipfWorkload>(n);
+      break;
+    case WorkloadKind::kHotSites:
+      workload_ = std::make_unique<workload::HotSitesWorkload>(
+          n, topology_.num_nodes(), 0.9, config_.seed ^ 0x5157ULL);
+      break;
+    case WorkloadKind::kHotPages:
+      workload_ = std::make_unique<workload::HotPagesWorkload>(
+          n, 0.1, 0.9, config_.seed ^ 0x9a6eULL);
+      break;
+    case WorkloadKind::kRegional:
+      workload_ = std::make_unique<workload::RegionalWorkload>(n, topology_);
+      break;
+    case WorkloadKind::kUniform:
+      workload_ = std::make_unique<workload::UniformWorkload>(n);
+      break;
+  }
+}
+
+void HostingSimulation::PlaceInitialObjects() {
+  // Default: "object i is assigned to node i mod 53" (Sec. 6.1).
+  const std::int32_t nodes = topology_.num_nodes();
+  const auto home_of = [&](ObjectId x) {
+    if (config_.initial_home) {
+      const NodeId home = config_.initial_home(x);
+      RADAR_CHECK(home >= 0 && home < nodes);
+      return home;
+    }
+    return x % nodes;
+  };
+  for (ObjectId x = 0; x < config_.num_objects; ++x) {
+    cluster_->PlaceInitialObject(x, home_of(x));
+  }
+  if (config_.placement == baselines::PlacementPolicy::kFullReplication) {
+    for (ObjectId x = 0; x < config_.num_objects; ++x) {
+      const NodeId home = home_of(x);
+      for (NodeId n = 0; n < nodes; ++n) {
+        if (n == home) continue;
+        cluster_->host(n).AddInitialReplica(x);
+        cluster_->redirectors().For(x).OnReplicaCreated(x, n);
+      }
+    }
+  }
+}
+
+SimTime HostingSimulation::ControlPathLatency(NodeId a, NodeId b) const {
+  const auto& path = routing_.Path(a, b);
+  SimTime total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    // Per-link propagation delay; control payloads are negligible.
+    const auto& edges = topology_.graph().Neighbors(path[i - 1]);
+    for (const auto& e : edges) {
+      if (e.to == path[i]) {
+        total += e.delay;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+SimTime HostingSimulation::TransferPathLatency(NodeId a, NodeId b,
+                                               std::int64_t bytes) const {
+  const auto& path = routing_.Path(a, b);
+  SimTime total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto& edges = topology_.graph().Neighbors(path[i - 1]);
+    for (const auto& e : edges) {
+      if (e.to == path[i]) {
+        total += e.delay + sim::SerializationTime(bytes, e.bandwidth_bps);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+void HostingSimulation::SetTrace(workload::RequestTrace trace) {
+  RADAR_CHECK(!started_);
+  RADAR_CHECK_MSG(!trace.empty(), "empty trace");
+  RADAR_CHECK_MSG(trace.NumObjectsReferenced() <= config_.num_objects,
+                  "trace references objects beyond num_objects");
+  for (const workload::TraceRecord& r : trace.records()) {
+    RADAR_CHECK(r.gateway < topology_.num_nodes());
+    RADAR_CHECK_MSG(topology_.IsGateway(r.gateway),
+                    "trace request at a non-gateway node");
+  }
+  trace_ = std::move(trace);
+}
+
+void HostingSimulation::ScheduleTraceRecord(std::size_t index) {
+  // One pending event at a time: replaying a multi-million-record trace
+  // must not materialize the whole stream in the event queue.
+  const auto& records = trace_->records();
+  if (index >= records.size()) return;
+  const workload::TraceRecord& r = records[index];
+  sim_.ScheduleAt(r.t, [this, index, r] {
+    DispatchRequest(r.object, r.gateway, r.t);
+    ScheduleTraceRecord(index + 1);
+  });
+}
+
+void HostingSimulation::ScheduleArrivals() {
+  if (trace_.has_value()) {
+    ScheduleTraceRecord(0);
+    return;
+  }
+  const double rate = config_.node_request_rate;
+  for (const NodeId g : topology_.GatewayNodes()) {
+    if (config_.arrivals == ArrivalProcess::kDeterministic) {
+      const auto period = static_cast<SimTime>(
+          static_cast<double>(kMicrosPerSecond) / rate);
+      // Phase-shift gateways so arrivals do not synchronize.
+      const SimTime phase =
+          period * static_cast<SimTime>(g) /
+          static_cast<SimTime>(topology_.num_nodes());
+      sim_.SchedulePeriodic(phase, period,
+                            [this, g](SimTime t) { GenerateRequest(g, t); });
+    } else {
+      // Self-rescheduling Poisson process.
+      auto tick = std::make_shared<std::function<void()>>();
+      *tick = [this, g, rate, tick] {
+        GenerateRequest(g, sim_.Now());
+        const double gap =
+            node_rngs_[static_cast<std::size_t>(g)].NextExponential(1.0 / rate);
+        sim_.Schedule(SecondsToSim(gap), [tick] { (*tick)(); });
+      };
+      const double first =
+          node_rngs_[static_cast<std::size_t>(g)].NextExponential(1.0 / rate);
+      sim_.Schedule(SecondsToSim(first), [tick] { (*tick)(); });
+    }
+  }
+}
+
+void HostingSimulation::ScheduleMeasurement() {
+  const SimTime interval = config_.protocol.measurement_interval;
+  sim_.SchedulePeriodic(interval, interval, [this](SimTime t) {
+    for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+      cluster_->TickMeasurement(n, t);
+      report_->max_load.Add(t, cluster_->host(n).measured_load());
+    }
+    if (config_.tracked_host != kInvalidNode) {
+      const core::HostAgent& agent = cluster_->host(config_.tracked_host);
+      report_->tracked_host_loads.push_back(metrics::TrackedLoadSample{
+          t, agent.measured_load(), agent.AdmissionLoad(),
+          agent.OffloadLoad()});
+    }
+  });
+}
+
+void HostingSimulation::SchedulePlacement() {
+  if (config_.placement != baselines::PlacementPolicy::kRadar) return;
+  const SimTime interval = config_.protocol.placement_interval;
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    const SimTime offset =
+        config_.stagger_placement
+            ? interval * static_cast<SimTime>(n + 1) /
+                  static_cast<SimTime>(topology_.num_nodes() + 1)
+            : 0;
+    sim_.SchedulePeriodic(interval + offset, interval, [this, n](SimTime t) {
+      const core::PlacementStats stats = cluster_->RunPlacement(n, t);
+      report_->geo_migrations += stats.geo_migrations;
+      report_->geo_replications += stats.geo_replications;
+      report_->offload_migrations += stats.offload_migrations;
+      report_->offload_replications += stats.offload_replications;
+      report_->affinity_drops += stats.affinity_drops;
+    });
+  }
+}
+
+void HostingSimulation::ScheduleCensus() {
+  const SimTime interval = config_.protocol.placement_interval;
+  sim_.SchedulePeriodic(interval, interval, [this](SimTime t) {
+    report_->avg_replicas.Add(t, cluster_->AverageReplicasPerObject());
+  });
+}
+
+NodeId HostingSimulation::ChooseHost(ObjectId x, NodeId gateway) {
+  switch (config_.distribution) {
+    case baselines::DistributionPolicy::kRadar:
+      return cluster_->RouteRequest(x, gateway);
+    case baselines::DistributionPolicy::kRoundRobin:
+      return round_robin_.Choose(
+          x, cluster_->redirectors().For(x).ReplicaHosts(x));
+    case baselines::DistributionPolicy::kClosest:
+      return closest_.Choose(gateway,
+                             cluster_->redirectors().For(x).ReplicaHosts(x));
+  }
+  RADAR_CHECK(false);
+  return kInvalidNode;
+}
+
+void HostingSimulation::GenerateRequest(NodeId gateway, SimTime now) {
+  DispatchRequest(workload_->NextObject(
+                      gateway, now,
+                      node_rngs_[static_cast<std::size_t>(gateway)]),
+                  gateway, now);
+}
+
+void HostingSimulation::DispatchRequest(ObjectId x, NodeId gateway,
+                                        SimTime now) {
+  const NodeId host = ChooseHost(x, gateway);
+  // Control legs: gateway -> redirector -> host (propagation only).
+  const NodeId redirector = cluster_->redirectors().For(x).home_node();
+  const SimTime control = ControlPathLatency(gateway, redirector) +
+                          ControlPathLatency(redirector, host);
+  sim_.Schedule(control, [this, x, gateway, host, now] {
+    ArriveAtHost(x, gateway, host, now, 0);
+  });
+}
+
+void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
+                                     SimTime t0, int redirects) {
+  if (!cluster_->host(host).HasObject(x)) {
+    // The replica vanished while the request was in flight (the redirector
+    // removes replicas before they are dropped, so this is only a race
+    // with messages already underway). Re-route through the redirector.
+    if (redirects >= kMaxRedirects) {
+      ++report_->dropped_requests;
+      return;
+    }
+    const NodeId redirector = cluster_->redirectors().For(x).home_node();
+    const NodeId retry = ChooseHost(x, gateway);
+    const SimTime control = ControlPathLatency(host, redirector) +
+                            ControlPathLatency(redirector, retry);
+    sim_.Schedule(control, [this, x, gateway, retry, t0, redirects] {
+      ArriveAtHost(x, gateway, retry, t0, redirects + 1);
+    });
+    return;
+  }
+  const SimTime completion =
+      servers_[static_cast<std::size_t>(host)].Admit(sim_.Now());
+  sim_.Schedule(completion - sim_.Now(), [this, x, gateway, host, t0] {
+    CompleteService(x, gateway, host, t0);
+  });
+}
+
+void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
+                                        NodeId host, SimTime t0) {
+  core::HostAgent& agent = cluster_->host(host);
+  if (agent.HasObject(x)) {
+    agent.RecordServiced(x, routing_.Path(host, gateway));
+  } else {
+    agent.RecordServicedUntracked();  // dropped while queued; still served
+  }
+  const SimTime now = sim_.Now();
+  const std::int64_t byte_hops =
+      config_.object_bytes *
+      static_cast<std::int64_t>(routing_.HopDistance(host, gateway));
+  report_->traffic.AddPayload(now, byte_hops);
+  link_stats_.RecordPath(routing_.Path(host, gateway), config_.object_bytes);
+  const SimTime response =
+      TransferPathLatency(host, gateway, config_.object_bytes);
+  const double total_latency = SimToSeconds(now - t0 + response);
+  report_->latency.Add(now, total_latency);
+  report_->latency_stats.Add(total_latency);
+  ++report_->total_requests;
+}
+
+const sim::FcfsServer& HostingSimulation::server(NodeId n) const {
+  RADAR_CHECK(n >= 0 && static_cast<std::size_t>(n) < servers_.size());
+  return servers_[static_cast<std::size_t>(n)];
+}
+
+void HostingSimulation::StepUntil(SimTime until) {
+  RADAR_CHECK(!finalized_);
+  if (!started_) {
+    started_ = true;
+    if (workload_ == nullptr && !trace_.has_value()) {
+      BuildWorkloadFromConfig();
+    }
+    PlaceInitialObjects();
+    cluster_->set_transfer_hook([this](NodeId from, NodeId to, ObjectId,
+                                       core::CreateObjMethod, bool copied) {
+      if (!copied) return;  // affinity increments move no object bytes
+      const std::int64_t byte_hops =
+          config_.object_bytes *
+          static_cast<std::int64_t>(routing_.HopDistance(from, to));
+      report_->traffic.AddOverhead(sim_.Now(), byte_hops);
+      link_stats_.RecordPath(routing_.Path(from, to), config_.object_bytes);
+      ++report_->object_copies;
+    });
+    ScheduleArrivals();
+    ScheduleMeasurement();
+    SchedulePlacement();
+    ScheduleCensus();
+  }
+  sim_.RunUntil(std::min(until, config_.duration));
+}
+
+RunReport HostingSimulation::Run() {
+  StepUntil(config_.duration);
+  return Finalize();
+}
+
+RunReport HostingSimulation::Finalize() {
+  RADAR_CHECK_MSG(!finalized_, "Finalize() may only be called once");
+  StepUntil(config_.duration);
+  finalized_ = true;
+
+  cluster_->CheckRedirectorSubsetInvariant();
+  report_->workload_name =
+      workload_ != nullptr ? workload_->name() : "trace";
+  report_->distribution_name =
+      baselines::DistributionPolicyName(config_.distribution);
+  report_->placement_name = baselines::PlacementPolicyName(config_.placement);
+  report_->duration = config_.duration;
+  report_->final_avg_replicas = cluster_->AverageReplicasPerObject();
+  return std::move(*report_);
+}
+
+}  // namespace radar::driver

@@ -1,0 +1,140 @@
+// The event-driven hosting-platform simulation (Sec. 6.1's model).
+//
+// Wires together: a backbone topology with shortest-path routing, per-node
+// request generation, redirector-based request distribution, FCFS hosts,
+// periodic load measurement, and the autonomous placement rounds — and
+// collects every metric the paper's evaluation reports.
+//
+// Request lifecycle:
+//   1. A client request materializes at its gateway g (the paper routes
+//      clients to their closest gateway; we generate directly at gateways).
+//   2. It travels g -> redirector -> chosen host as small control messages
+//      (propagation delay only; request bytes are negligible, Sec. 6.1).
+//   3. The host services it FCFS at fixed capacity.
+//   4. The response carries the object back along the canonical path
+//      host -> g, paying per-hop propagation + serialization, and charging
+//      object_bytes per hop to the backbone-bandwidth metric.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/selectors.h"
+#include "core/cluster.h"
+#include "core/distance.h"
+#include "driver/config.h"
+#include "driver/report.h"
+#include "net/link_stats.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "net/uunet.h"
+#include "sim/fcfs_server.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace radar::driver {
+
+/// Adapts the routing table to the protocol's proximity oracle.
+class RoutingDistance final : public core::DistanceOracle {
+ public:
+  explicit RoutingDistance(const net::RoutingTable& routing)
+      : routing_(routing) {}
+  std::int32_t Distance(NodeId from, NodeId to) const override {
+    return routing_.HopDistance(from, to);
+  }
+
+ private:
+  const net::RoutingTable& routing_;
+};
+
+class HostingSimulation {
+ public:
+  /// Builds the paper's UUNET-style backbone.
+  explicit HostingSimulation(SimConfig config);
+
+  /// Runs on a caller-provided topology.
+  HostingSimulation(SimConfig config, net::Topology topology);
+
+  /// Replaces the config-selected workload with a custom one (e.g. a
+  /// DemandShiftWorkload). Must be called before Run().
+  void SetWorkload(std::unique_ptr<workload::Workload> workload);
+
+  /// Trace-driven mode: replays the given request stream instead of
+  /// generating one from a workload. Every referenced gateway must be a
+  /// gateway of the topology and every object id must be below
+  /// num_objects. Must be called before Run().
+  void SetTrace(workload::RequestTrace trace);
+
+  /// Executes the simulation and returns the collected report. Run() may
+  /// be called once per instance. Equivalent to StepUntil(duration)
+  /// followed by Finalize().
+  RunReport Run();
+
+  /// Incremental execution: advances simulated time to `until` (clamped to
+  /// the configured duration), setting up the schedule on the first call.
+  /// Useful for inspecting the platform mid-run.
+  void StepUntil(SimTime until);
+
+  /// Completes the run (advances to the configured duration if needed) and
+  /// returns the report. May be called once.
+  RunReport Finalize();
+
+  // Post-run (or pre-run) inspection.
+  const net::Topology& topology() const { return topology_; }
+  const net::RoutingTable& routing() const { return routing_; }
+  const core::Cluster& cluster() const { return *cluster_; }
+  core::Cluster& cluster() { return *cluster_; }
+  NodeId redirector_home(int index = 0) const;
+
+  /// The FCFS queue model of a host (admitted counts, backlog).
+  const sim::FcfsServer& server(NodeId n) const;
+
+  /// Per-directed-link byte accounting (responses + object copies).
+  const net::LinkStats& link_stats() const { return link_stats_; }
+
+  /// Current simulated time.
+  SimTime Now() const { return sim_.Now(); }
+
+ private:
+  void BuildWorkloadFromConfig();
+  void PlaceInitialObjects();
+  void ScheduleArrivals();
+  void ScheduleMeasurement();
+  void SchedulePlacement();
+  void ScheduleCensus();
+
+  void GenerateRequest(NodeId gateway, SimTime now);
+  void DispatchRequest(ObjectId x, NodeId gateway, SimTime now);
+  void ScheduleTraceRecord(std::size_t index);
+  NodeId ChooseHost(ObjectId x, NodeId gateway);
+  void ArriveAtHost(ObjectId x, NodeId gateway, NodeId host, SimTime t0,
+                    int redirects);
+  void CompleteService(ObjectId x, NodeId gateway, NodeId host, SimTime t0);
+
+  /// Propagation-only latency along the canonical path a -> b.
+  SimTime ControlPathLatency(NodeId a, NodeId b) const;
+  /// Store-and-forward latency of `bytes` along the path a -> b.
+  SimTime TransferPathLatency(NodeId a, NodeId b, std::int64_t bytes) const;
+
+  SimConfig config_;
+  net::Topology topology_;
+  net::RoutingTable routing_;
+  RoutingDistance distance_;
+  std::vector<NodeId> redirector_homes_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<workload::Workload> workload_;
+  std::optional<workload::RequestTrace> trace_;
+  sim::Simulator sim_;
+  std::vector<sim::FcfsServer> servers_;
+  net::LinkStats link_stats_;
+  std::vector<Rng> node_rngs_;
+  baselines::RoundRobinSelector round_robin_;
+  baselines::ClosestSelector closest_;
+  std::unique_ptr<RunReport> report_;
+  bool started_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace radar::driver

@@ -1,0 +1,134 @@
+#include "driver/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace radar::driver {
+
+RunReport::RunReport(SimTime width)
+    : bucket_width(width),
+      traffic(width),
+      latency(width),
+      max_load(width) {}
+
+std::size_t RunReport::CompleteBuckets(std::size_t available) const {
+  // A run of exactly k bucket-widths leaves bucket k holding only events
+  // at t == duration; derived rates exclude that near-empty partial
+  // bucket.
+  if (duration <= 0) return available;
+  const auto full = static_cast<std::size_t>(duration / bucket_width);
+  return std::min(available, std::max<std::size_t>(full, 1));
+}
+
+double RunReport::InitialBandwidthRate(std::size_t buckets) const {
+  if (traffic.payload().num_buckets() == 0 || buckets == 0) return 0.0;
+  return traffic.payload().MeanRateOver(0, buckets - 1);
+}
+
+double RunReport::EquilibriumBandwidthRate() const {
+  const std::size_t n = CompleteBuckets(traffic.payload().num_buckets());
+  if (n == 0) return 0.0;
+  const std::size_t tail = std::max<std::size_t>(1, n / 4);
+  return traffic.payload().MeanRateOver(n - tail, n - 1);
+}
+
+double RunReport::BandwidthReductionPercent() const {
+  const double initial = InitialBandwidthRate();
+  if (initial <= 0.0) return 0.0;
+  return 100.0 * (initial - EquilibriumBandwidthRate()) / initial;
+}
+
+double RunReport::InitialLatency(std::size_t buckets) const {
+  const std::size_t n = latency.num_buckets();
+  if (n == 0 || buckets == 0) return 0.0;
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < std::min(buckets, n); ++i) {
+    total += latency.SumAt(i);
+    count += latency.CountAt(i);
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+double RunReport::EquilibriumLatency() const {
+  const std::size_t n = CompleteBuckets(latency.num_buckets());
+  if (n == 0) return 0.0;
+  const std::size_t tail = std::max<std::size_t>(1, n / 4);
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (std::size_t i = n - tail; i < n; ++i) {
+    total += latency.SumAt(i);
+    count += latency.CountAt(i);
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+double RunReport::LatencyReductionPercent() const {
+  const double initial = InitialLatency();
+  if (initial <= 0.0) return 0.0;
+  return 100.0 * (initial - EquilibriumLatency()) / initial;
+}
+
+double RunReport::AdjustmentTimeSeconds() const {
+  return metrics::AdjustmentTimeSeconds(
+      traffic.payload(), 1.10, 0.25, 3,
+      CompleteBuckets(traffic.payload().num_buckets()));
+}
+
+void RunReport::PrintSummary(std::ostream& os) const {
+  os << "run: workload=" << workload_name
+     << " distribution=" << distribution_name
+     << " placement=" << placement_name
+     << " duration=" << SimToSeconds(duration) << "s\n";
+  os << "  requests serviced: " << total_requests
+     << " (dropped: " << dropped_requests << ")\n";
+  os << std::fixed << std::setprecision(1);
+  os << "  bandwidth (byte-hops/s): initial=" << InitialBandwidthRate()
+     << " equilibrium=" << EquilibriumBandwidthRate() << " reduction="
+     << BandwidthReductionPercent() << "%\n";
+  os << std::setprecision(4);
+  os << "  latency (s): initial=" << InitialLatency()
+     << " equilibrium=" << EquilibriumLatency();
+  os << std::setprecision(1);
+  os << " reduction=" << LatencyReductionPercent() << "%\n";
+  os << "  overhead: " << std::setprecision(2) << traffic.OverheadPercent()
+     << "% of total traffic (" << object_copies << " object copies)\n";
+  os << std::setprecision(2);
+  os << "  relocations: geo-migr=" << geo_migrations
+     << " geo-repl=" << geo_replications
+     << " load-migr=" << offload_migrations
+     << " load-repl=" << offload_replications
+     << " drops=" << affinity_drops << "\n";
+  os << "  avg replicas/object: " << final_avg_replicas
+     << ", max host load: " << max_load.OverallMax() << " req/s\n";
+  const double adj = AdjustmentTimeSeconds();
+  if (adj >= 0.0) {
+    os << "  adjustment time: " << FormatMinutes(adj) << " (min:sec)\n";
+  } else {
+    os << "  adjustment time: did not settle\n";
+  }
+}
+
+void RunReport::PrintSeries(std::ostream& os) const {
+  const std::vector<double> overhead_pct = traffic.OverheadPercentSeries();
+  const std::size_t n = std::max({traffic.payload().num_buckets(),
+                                  latency.num_buckets(),
+                                  max_load.num_buckets()});
+  os << "  t(s)   bw(byte-hops/s)  overhead%  latency(s)  maxload(req/s)\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = SimToSeconds(static_cast<SimTime>(i) * bucket_width);
+    const double bw = i < traffic.payload().num_buckets()
+                          ? traffic.payload().RateAt(i)
+                          : 0.0;
+    const double ovh = i < overhead_pct.size() ? overhead_pct[i] : 0.0;
+    const double lat = i < latency.num_buckets() ? latency.MeanAt(i) : 0.0;
+    const double ml = i < max_load.num_buckets() ? max_load.MaxAt(i) : 0.0;
+    os << std::fixed << std::setprecision(0) << std::setw(6) << t
+       << std::setw(17) << bw << std::setprecision(2) << std::setw(11) << ovh
+       << std::setprecision(4) << std::setw(12) << lat << std::setprecision(1)
+       << std::setw(15) << ml << "\n";
+  }
+}
+
+}  // namespace radar::driver

@@ -1,0 +1,79 @@
+// The result of one simulation run: every series and summary the paper's
+// figures and tables report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "metrics/collector.h"
+
+namespace radar::driver {
+
+struct RunReport {
+  explicit RunReport(SimTime bucket_width);
+
+  std::string workload_name;
+  std::string distribution_name;
+  std::string placement_name;
+  SimTime duration = 0;
+  SimTime bucket_width;
+
+  // ---- Series (Figs. 6-9) ----
+  metrics::TrafficLedger traffic;             ///< payload + overhead byte-hops
+  BucketedSeries latency;                     ///< response latency samples (s)
+  metrics::MaxSeries max_load;                ///< max host load per bucket
+  metrics::SampledSeries avg_replicas;        ///< replica census over time
+  std::vector<metrics::TrackedLoadSample> tracked_host_loads;  ///< Fig. 8b
+
+  // ---- Totals ----
+  OnlineStats latency_stats;
+  std::int64_t total_requests = 0;
+  std::int64_t dropped_requests = 0;  ///< exceeded redirect retries (races)
+  std::int64_t geo_migrations = 0;
+  std::int64_t geo_replications = 0;
+  std::int64_t offload_migrations = 0;
+  std::int64_t offload_replications = 0;
+  std::int64_t affinity_drops = 0;
+  std::int64_t object_copies = 0;  ///< physical transfers (overhead source)
+  double final_avg_replicas = 0.0;
+
+  // ---- Derived figures ----
+
+  /// Mean payload-bandwidth rate (bytes*hops/sec) over the leading
+  /// `buckets` buckets — the "before adaptation" level.
+  double InitialBandwidthRate(std::size_t buckets = 2) const;
+
+  /// Mean payload-bandwidth rate over the trailing quarter of the run.
+  double EquilibriumBandwidthRate() const;
+
+  /// Percent reduction from initial to equilibrium bandwidth.
+  double BandwidthReductionPercent() const;
+
+  double InitialLatency(std::size_t buckets = 2) const;
+  double EquilibriumLatency() const;
+  double LatencyReductionPercent() const;
+
+  /// Table 2's adjustment time (seconds; negative = never settled).
+  double AdjustmentTimeSeconds() const;
+
+  std::int64_t TotalRelocations() const {
+    return geo_migrations + geo_replications + offload_migrations +
+           offload_replications;
+  }
+
+  /// Number of buckets fully inside the run (excludes the near-empty
+  /// partial bucket at exactly t == duration).
+  std::size_t CompleteBuckets(std::size_t available) const;
+
+  /// Human-readable run summary.
+  void PrintSummary(std::ostream& os) const;
+
+  /// Per-bucket series table: time, bandwidth rate, overhead %, mean
+  /// latency, max load — the columns Figs. 6-8 plot.
+  void PrintSeries(std::ostream& os) const;
+};
+
+}  // namespace radar::driver

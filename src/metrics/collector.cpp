@@ -1,0 +1,130 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::metrics {
+
+TrafficLedger::TrafficLedger(SimTime bucket_width)
+    : payload_(bucket_width), overhead_(bucket_width) {}
+
+void TrafficLedger::AddPayload(SimTime t, std::int64_t byte_hops) {
+  RADAR_CHECK(byte_hops >= 0);
+  if (byte_hops == 0) return;
+  payload_.Add(t, static_cast<double>(byte_hops));
+  total_payload_ += byte_hops;
+}
+
+void TrafficLedger::AddOverhead(SimTime t, std::int64_t byte_hops) {
+  RADAR_CHECK(byte_hops >= 0);
+  if (byte_hops == 0) return;
+  overhead_.Add(t, static_cast<double>(byte_hops));
+  total_overhead_ += byte_hops;
+}
+
+double TrafficLedger::OverheadPercent() const {
+  const auto total = total_payload_ + total_overhead_;
+  return total > 0 ? 100.0 * static_cast<double>(total_overhead_) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+std::vector<double> TrafficLedger::OverheadPercentSeries() const {
+  const std::size_t n =
+      std::max(payload_.num_buckets(), overhead_.num_buckets());
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pay = i < payload_.num_buckets() ? payload_.SumAt(i) : 0.0;
+    const double ovh = i < overhead_.num_buckets() ? overhead_.SumAt(i) : 0.0;
+    const double total = pay + ovh;
+    out[i] = total > 0.0 ? 100.0 * ovh / total : 0.0;
+  }
+  return out;
+}
+
+MaxSeries::MaxSeries(SimTime bucket_width) : bucket_width_(bucket_width) {
+  RADAR_CHECK(bucket_width > 0);
+}
+
+void MaxSeries::Add(SimTime t, double value) {
+  RADAR_CHECK(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / bucket_width_);
+  if (idx >= maxima_.size()) {
+    maxima_.resize(idx + 1, 0.0);
+    present_.resize(idx + 1, false);
+  }
+  if (!present_[idx] || value > maxima_[idx]) {
+    maxima_[idx] = value;
+    present_[idx] = true;
+  }
+}
+
+SimTime MaxSeries::BucketStart(std::size_t i) const {
+  return static_cast<SimTime>(i) * bucket_width_;
+}
+
+double MaxSeries::MaxAt(std::size_t i) const {
+  RADAR_CHECK(i < maxima_.size());
+  return maxima_[i];
+}
+
+double MaxSeries::MaxOver(std::size_t first, std::size_t last) const {
+  if (maxima_.empty()) return 0.0;
+  last = std::min(last, maxima_.size() - 1);
+  double best = 0.0;
+  for (std::size_t i = first; i <= last; ++i) best = std::max(best, maxima_[i]);
+  return best;
+}
+
+double MaxSeries::OverallMax() const {
+  return maxima_.empty() ? 0.0 : MaxOver(0, maxima_.size() - 1);
+}
+
+double SampledSeries::MeanSince(SimTime from) const {
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (const Sample& s : samples_) {
+    if (s.t >= from) {
+      total += s.value;
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+double SampledSeries::LastValue() const {
+  RADAR_CHECK(!samples_.empty());
+  return samples_.back().value;
+}
+
+double AdjustmentTimeSeconds(const BucketedSeries& traffic, double tolerance,
+                             double equilibrium_fraction, int stable_buckets,
+                             std::size_t max_buckets) {
+  RADAR_CHECK(tolerance >= 1.0);
+  RADAR_CHECK(equilibrium_fraction > 0.0 && equilibrium_fraction <= 1.0);
+  RADAR_CHECK(stable_buckets >= 1);
+  const std::size_t n = std::min(traffic.num_buckets(), max_buckets);
+  if (n == 0) return -1.0;
+  const auto tail = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) * equilibrium_fraction));
+  const double equilibrium = traffic.MeanRateOver(n - tail, n - 1);
+  const double threshold = tolerance * equilibrium;
+  // First bucket from which the rate stays at or below the threshold for
+  // `stable_buckets` in a row.
+  int run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (traffic.RateAt(i) <= threshold) {
+      ++run;
+      if (run >= stable_buckets) {
+        const std::size_t settle = i + 1 - static_cast<std::size_t>(run);
+        return SimToSeconds(traffic.BucketStart(settle));
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace radar::metrics

@@ -1,0 +1,102 @@
+// Measurement collectors for the paper's evaluation metrics (Sec. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace radar::metrics {
+
+/// Backbone traffic, split into request-servicing payload ("the bandwidth
+/// is determined by summing the number of bytes transmitted on each hop")
+/// and relocation overhead (object copies between hosts, Fig. 7).
+class TrafficLedger {
+ public:
+  explicit TrafficLedger(SimTime bucket_width);
+
+  void AddPayload(SimTime t, std::int64_t byte_hops);
+  void AddOverhead(SimTime t, std::int64_t byte_hops);
+
+  const BucketedSeries& payload() const { return payload_; }
+  const BucketedSeries& overhead() const { return overhead_; }
+  std::int64_t total_payload() const { return total_payload_; }
+  std::int64_t total_overhead() const { return total_overhead_; }
+
+  /// Overhead as a percentage of all traffic (payload + overhead).
+  double OverheadPercent() const;
+
+  /// Per-bucket overhead percentage (Fig. 7's series).
+  std::vector<double> OverheadPercentSeries() const;
+
+ private:
+  BucketedSeries payload_;
+  BucketedSeries overhead_;
+  std::int64_t total_payload_ = 0;
+  std::int64_t total_overhead_ = 0;
+};
+
+/// Per-bucket maximum (Fig. 8a: maximum host load over time).
+class MaxSeries {
+ public:
+  explicit MaxSeries(SimTime bucket_width);
+
+  void Add(SimTime t, double value);
+
+  std::size_t num_buckets() const { return maxima_.size(); }
+  SimTime BucketStart(std::size_t i) const;
+  double MaxAt(std::size_t i) const;
+
+  /// Maximum over buckets [first, last] (clamped).
+  double MaxOver(std::size_t first, std::size_t last) const;
+  double OverallMax() const;
+
+ private:
+  SimTime bucket_width_;
+  std::vector<double> maxima_;
+  std::vector<bool> present_;
+};
+
+/// Timestamped samples of a scalar (replica census, tracked-host loads).
+struct Sample {
+  SimTime t;
+  double value;
+};
+
+class SampledSeries {
+ public:
+  void Add(SimTime t, double value) { samples_.push_back({t, value}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Mean of samples with t >= from.
+  double MeanSince(SimTime from) const;
+  double LastValue() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Fig. 8b: one host's actual load bracketed by its running estimates.
+struct TrackedLoadSample {
+  SimTime t;
+  double measured;
+  double upper_estimate;  ///< admission load (upper bound)
+  double lower_estimate;  ///< offload load (lower bound)
+};
+
+/// Adjustment time (Table 2): the first time the per-bucket traffic rate
+/// settles to within `tolerance` (e.g. 1.10) of the equilibrium rate and
+/// stays there for `stable_buckets` consecutive buckets. The equilibrium
+/// rate is the mean over the trailing `equilibrium_fraction` of the run.
+/// Only the first `max_buckets` buckets are considered (pass the number of
+/// *complete* buckets to exclude a near-empty trailing partial bucket).
+/// Returns a negative value when the series never settles.
+double AdjustmentTimeSeconds(const BucketedSeries& traffic,
+                             double tolerance = 1.10,
+                             double equilibrium_fraction = 0.25,
+                             int stable_buckets = 3,
+                             std::size_t max_buckets = static_cast<std::size_t>(-1));
+
+}  // namespace radar::metrics

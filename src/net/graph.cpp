@@ -1,0 +1,69 @@
+#include "net/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::net {
+
+Graph::Graph(std::int32_t num_nodes) : num_nodes_(num_nodes) {
+  RADAR_CHECK(num_nodes >= 0);
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+std::int32_t Graph::AddLink(NodeId a, NodeId b, SimTime delay,
+                            double bandwidth_bps) {
+  RADAR_CHECK(a >= 0 && a < num_nodes_);
+  RADAR_CHECK(b >= 0 && b < num_nodes_);
+  RADAR_CHECK(a != b);
+  RADAR_CHECK(delay >= 0);
+  RADAR_CHECK(bandwidth_bps > 0.0);
+  RADAR_CHECK_MSG(!HasLink(a, b), "duplicate link");
+  const auto index = static_cast<std::int32_t>(links_.size());
+  links_.push_back(Link{a, b, delay, bandwidth_bps});
+  auto insert_sorted = [](std::vector<Edge>& edges, Edge e) {
+    const auto pos = std::lower_bound(
+        edges.begin(), edges.end(), e,
+        [](const Edge& lhs, const Edge& rhs) { return lhs.to < rhs.to; });
+    edges.insert(pos, e);
+  };
+  insert_sorted(adjacency_[static_cast<std::size_t>(a)],
+                Edge{b, delay, bandwidth_bps, index});
+  insert_sorted(adjacency_[static_cast<std::size_t>(b)],
+                Edge{a, delay, bandwidth_bps, index});
+  return index;
+}
+
+const std::vector<Edge>& Graph::Neighbors(NodeId n) const {
+  RADAR_CHECK(n >= 0 && n < num_nodes_);
+  return adjacency_[static_cast<std::size_t>(n)];
+}
+
+bool Graph::HasLink(NodeId a, NodeId b) const {
+  if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) return false;
+  const auto& edges = adjacency_[static_cast<std::size_t>(a)];
+  return std::any_of(edges.begin(), edges.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes_ == 0) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes_), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::int32_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const Edge& e : Neighbors(n)) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+}  // namespace radar::net

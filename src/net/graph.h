@@ -1,0 +1,57 @@
+// Undirected weighted graph of backbone routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace radar::net {
+
+/// One bidirectional backbone link.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  SimTime delay = 0;            ///< one-way propagation delay per traversal
+  double bandwidth_bps = 0.0;   ///< bytes per second in each direction
+};
+
+/// Adjacency entry as seen from one endpoint.
+struct Edge {
+  NodeId to = kInvalidNode;
+  SimTime delay = 0;
+  double bandwidth_bps = 0.0;
+  std::int32_t link_index = -1;  ///< index into Graph::links()
+};
+
+/// An undirected graph with per-link delay and bandwidth. Node ids are the
+/// dense range [0, num_nodes).
+class Graph {
+ public:
+  explicit Graph(std::int32_t num_nodes = 0);
+
+  /// Adds a bidirectional link; returns its index. Endpoints must be
+  /// distinct, valid nodes, and the link must not duplicate an existing one.
+  std::int32_t AddLink(NodeId a, NodeId b, SimTime delay, double bandwidth_bps);
+
+  std::int32_t num_nodes() const { return num_nodes_; }
+  std::size_t num_links() const { return links_.size(); }
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(std::int32_t index) const { return links_[static_cast<std::size_t>(index)]; }
+
+  /// Neighbors of a node, sorted by neighbor id (stable order matters for
+  /// deterministic routing tie-breaks).
+  const std::vector<Edge>& Neighbors(NodeId n) const;
+
+  bool HasLink(NodeId a, NodeId b) const;
+
+  /// True when every node can reach every other node.
+  bool IsConnected() const;
+
+ private:
+  std::int32_t num_nodes_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace radar::net

@@ -1,0 +1,59 @@
+#include "net/link_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::net {
+
+LinkStats::LinkStats(std::int32_t num_nodes) : num_nodes_(num_nodes) {
+  RADAR_CHECK(num_nodes > 0);
+  per_hop_bytes_.assign(
+      static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes),
+      0);
+}
+
+std::size_t LinkStats::Index(NodeId from, NodeId to) const {
+  RADAR_CHECK(from >= 0 && from < num_nodes_);
+  RADAR_CHECK(to >= 0 && to < num_nodes_);
+  return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_nodes_) +
+         static_cast<std::size_t>(to);
+}
+
+void LinkStats::RecordPath(const std::vector<NodeId>& path, std::int64_t bytes) {
+  RADAR_CHECK(bytes >= 0);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    RecordHop(path[i - 1], path[i], bytes);
+  }
+}
+
+void LinkStats::RecordHop(NodeId from, NodeId to, std::int64_t bytes) {
+  per_hop_bytes_[Index(from, to)] += bytes;
+  total_byte_hops_ += bytes;
+}
+
+std::int64_t LinkStats::BytesOnHop(NodeId from, NodeId to) const {
+  return per_hop_bytes_[Index(from, to)];
+}
+
+std::pair<NodeId, NodeId> LinkStats::BusiestHop() const {
+  std::pair<NodeId, NodeId> best{kInvalidNode, kInvalidNode};
+  std::int64_t best_bytes = 0;
+  for (NodeId from = 0; from < num_nodes_; ++from) {
+    for (NodeId to = 0; to < num_nodes_; ++to) {
+      const std::int64_t bytes = per_hop_bytes_[Index(from, to)];
+      if (bytes > best_bytes) {
+        best_bytes = bytes;
+        best = {from, to};
+      }
+    }
+  }
+  return best;
+}
+
+void LinkStats::Reset() {
+  total_byte_hops_ = 0;
+  std::fill(per_hop_bytes_.begin(), per_hop_bytes_.end(), 0);
+}
+
+}  // namespace radar::net

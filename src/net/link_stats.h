@@ -1,0 +1,48 @@
+// Per-link byte accounting for the backbone-bandwidth metric.
+//
+// The paper's bandwidth-consumption metric sums, over every hop a message
+// traverses, the bytes transmitted on that hop (Sec. 6.2). LinkStats keeps
+// the aggregate byte-hops figure and per-directed-link totals for hot-link
+// inspection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace radar::net {
+
+class RoutingTable;
+
+class LinkStats {
+ public:
+  explicit LinkStats(std::int32_t num_nodes);
+
+  /// Records `bytes` transmitted on every hop of the given router path
+  /// (path includes both endpoints; a path of size <= 1 transmits nothing).
+  void RecordPath(const std::vector<NodeId>& path, std::int64_t bytes);
+
+  /// Records `bytes` on the single directed hop from -> to.
+  void RecordHop(NodeId from, NodeId to, std::int64_t bytes);
+
+  /// Total bytes x hops accumulated so far.
+  std::int64_t total_byte_hops() const { return total_byte_hops_; }
+
+  /// Bytes sent on the directed hop from -> to.
+  std::int64_t BytesOnHop(NodeId from, NodeId to) const;
+
+  /// The directed hop carrying the most bytes; returns {-1,-1} when idle.
+  std::pair<NodeId, NodeId> BusiestHop() const;
+
+  void Reset();
+
+ private:
+  std::size_t Index(NodeId from, NodeId to) const;
+
+  std::int32_t num_nodes_;
+  std::int64_t total_byte_hops_ = 0;
+  std::vector<std::int64_t> per_hop_bytes_;  // dense num_nodes^2
+};
+
+}  // namespace radar::net

@@ -1,0 +1,162 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace radar::net {
+namespace {
+
+struct QueueEntry {
+  std::int64_t cost;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    // Lower cost first; ties toward the lower node id so settlement order,
+    // and therefore parent choice, is deterministic.
+    if (cost != other.cost) return cost > other.cost;
+    return node > other.node;
+  }
+};
+
+/// Deterministic rank for equal-cost parent selection (SplitMix64-style
+/// mix of source, destination-side node, and candidate parent).
+std::uint64_t TieBreakRank(NodeId src, NodeId via, NodeId parent) {
+  std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(via)) << 21) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(const Graph& graph, RoutingMetric metric)
+    : num_nodes_(graph.num_nodes()) {
+  RADAR_CHECK(num_nodes_ > 0);
+  RADAR_CHECK_MSG(graph.IsConnected(), "routing requires a connected graph");
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  hop_distance_.assign(n * n, 0);
+  cost_.assign(n * n, 0);
+  paths_.resize(n * n);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(n);
+  std::vector<NodeId> parent(n);
+
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), kInvalidNode);
+    dist[static_cast<std::size_t>(src)] = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    queue.push({0, src});
+    while (!queue.empty()) {
+      const auto [cost, node] = queue.top();
+      queue.pop();
+      if (cost > dist[static_cast<std::size_t>(node)]) continue;
+      for (const Edge& e : graph.Neighbors(node)) {
+        const std::int64_t weight =
+            metric == RoutingMetric::kHops ? 1 : static_cast<std::int64_t>(e.delay);
+        const std::int64_t candidate = cost + weight;
+        auto& d = dist[static_cast<std::size_t>(e.to)];
+        auto& p = parent[static_cast<std::size_t>(e.to)];
+        // Equal-cost ties break on a deterministic hash of (source,
+        // settled node, parent) rather than the lowest parent id: the
+        // paper only requires that "one path is chosen for all requests
+        // from i to j", and hashing spreads different destinations over
+        // the equal-cost alternatives the way real backbones load-share,
+        // instead of collapsing all multipath onto one canonical hub.
+        if (candidate < d ||
+            (candidate == d &&
+             TieBreakRank(src, e.to, node) <
+                 TieBreakRank(src, e.to, p))) {
+          d = candidate;
+          p = node;
+          queue.push({candidate, e.to});
+        }
+      }
+    }
+
+    for (NodeId dst = 0; dst < num_nodes_; ++dst) {
+      const auto idx = PairIndex(src, dst);
+      cost_[idx] = dist[static_cast<std::size_t>(dst)];
+      auto& path = paths_[idx];
+      // Reconstruct by walking parents from dst back to src.
+      path.clear();
+      for (NodeId at = dst; at != kInvalidNode; at = (at == src) ? kInvalidNode
+                                                  : parent[static_cast<std::size_t>(at)]) {
+        path.push_back(at);
+      }
+      std::reverse(path.begin(), path.end());
+      RADAR_CHECK(path.front() == src && path.back() == dst);
+      hop_distance_[idx] = static_cast<std::int32_t>(path.size()) - 1;
+    }
+  }
+}
+
+std::size_t RoutingTable::PairIndex(NodeId from, NodeId to) const {
+  RADAR_CHECK(from >= 0 && from < num_nodes_);
+  RADAR_CHECK(to >= 0 && to < num_nodes_);
+  return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_nodes_) +
+         static_cast<std::size_t>(to);
+}
+
+std::int32_t RoutingTable::HopDistance(NodeId from, NodeId to) const {
+  return hop_distance_[PairIndex(from, to)];
+}
+
+std::int64_t RoutingTable::Cost(NodeId from, NodeId to) const {
+  return cost_[PairIndex(from, to)];
+}
+
+const std::vector<NodeId>& RoutingTable::Path(NodeId from, NodeId to) const {
+  return paths_[PairIndex(from, to)];
+}
+
+NodeId RoutingTable::NextHop(NodeId from, NodeId to) const {
+  const auto& path = Path(from, to);
+  return path.size() > 1 ? path[1] : from;
+}
+
+double RoutingTable::MeanHopDistance(NodeId from) const {
+  if (num_nodes_ <= 1) return 0.0;
+  std::int64_t total = 0;
+  for (NodeId to = 0; to < num_nodes_; ++to) total += HopDistance(from, to);
+  return static_cast<double>(total) / static_cast<double>(num_nodes_ - 1);
+}
+
+NodeId RoutingTable::MostCentralNode() const {
+  NodeId best = 0;
+  double best_mean = MeanHopDistance(0);
+  for (NodeId n = 1; n < num_nodes_; ++n) {
+    const double mean = MeanHopDistance(n);
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = n;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> RoutingTable::NodesByCentrality() const {
+  std::vector<NodeId> nodes(static_cast<std::size_t>(num_nodes_));
+  for (NodeId n = 0; n < num_nodes_; ++n) nodes[static_cast<std::size_t>(n)] = n;
+  std::vector<double> mean(static_cast<std::size_t>(num_nodes_));
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    mean[static_cast<std::size_t>(n)] = MeanHopDistance(n);
+  }
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    const double ma = mean[static_cast<std::size_t>(a)];
+    const double mb = mean[static_cast<std::size_t>(b)];
+    if (ma != mb) return ma < mb;
+    return a < b;
+  });
+  return nodes;
+}
+
+}  // namespace radar::net

@@ -1,0 +1,69 @@
+// All-pairs shortest-path routing with deterministic tie-breaking.
+//
+// The paper's simulation routes every request along the shortest path in
+// hops, and "when there are equidistant paths between nodes i and j, one
+// path is chosen for all requests from i to j" (Sec. 6.1). We reproduce
+// that by breaking distance ties toward the lowest-numbered parent, which
+// pins one canonical path per (source, destination) pair.
+//
+// The router path from host s to client gateway g doubles as the
+// *preference path* of Sec. 2: the sequence of hosts co-located with the
+// routers a response passes by.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace radar::net {
+
+/// Metric used to choose shortest paths.
+enum class RoutingMetric {
+  kHops,   ///< unit link weight (the paper's model)
+  kDelay,  ///< per-link propagation delay
+};
+
+class RoutingTable {
+ public:
+  /// Builds routes for every ordered pair. Requires a connected graph.
+  explicit RoutingTable(const Graph& graph,
+                        RoutingMetric metric = RoutingMetric::kHops);
+
+  std::int32_t num_nodes() const { return num_nodes_; }
+
+  /// Number of links on the canonical path from `from` to `to` (0 when
+  /// from == to).
+  std::int32_t HopDistance(NodeId from, NodeId to) const;
+
+  /// Total metric cost of the canonical path (hops or summed delay).
+  std::int64_t Cost(NodeId from, NodeId to) const;
+
+  /// The canonical path, inclusive of both endpoints; size = hops + 1.
+  const std::vector<NodeId>& Path(NodeId from, NodeId to) const;
+
+  /// First router after `from` on the path to `to` (== to if adjacent,
+  /// == from if from == to).
+  NodeId NextHop(NodeId from, NodeId to) const;
+
+  /// Mean hop distance from `from` to all other nodes.
+  double MeanHopDistance(NodeId from) const;
+
+  /// The node with the smallest mean hop distance to all others — the
+  /// paper places the redirector there. Ties break toward the lower id.
+  NodeId MostCentralNode() const;
+
+  /// Nodes ranked by centrality (ascending mean hop distance); used to
+  /// place hash-partitioned redirector groups.
+  std::vector<NodeId> NodesByCentrality() const;
+
+ private:
+  std::size_t PairIndex(NodeId from, NodeId to) const;
+
+  std::int32_t num_nodes_ = 0;
+  std::vector<std::int32_t> hop_distance_;   // dense num_nodes^2
+  std::vector<std::int64_t> cost_;           // dense num_nodes^2
+  std::vector<std::vector<NodeId>> paths_;   // dense num_nodes^2
+};
+
+}  // namespace radar::net

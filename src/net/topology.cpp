@@ -1,0 +1,108 @@
+#include "net/topology.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::net {
+
+const char* RegionName(Region region) {
+  switch (region) {
+    case Region::kWesternNorthAmerica: return "Western North America";
+    case Region::kEasternNorthAmerica: return "Eastern North America";
+    case Region::kEurope: return "Europe";
+    case Region::kPacificAustralia: return "Pacific and Australia";
+  }
+  return "?";
+}
+
+Topology::Topology(Graph graph, std::vector<NodeInfo> nodes)
+    : graph_(std::move(graph)), nodes_(std::move(nodes)) {
+  RADAR_CHECK(static_cast<std::size_t>(graph_.num_nodes()) == nodes_.size());
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  RADAR_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Topology::NodesInRegion(Region region) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (RegionOf(id) == region) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::GatewayNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (IsGateway(id)) out.push_back(id);
+  }
+  return out;
+}
+
+NodeId Topology::FindByName(const std::string& name) const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (node(id).name == name) return id;
+  }
+  return kInvalidNode;
+}
+
+NodeId TopologyBuilder::AddNode(std::string name, Region region,
+                                bool is_gateway) {
+  RADAR_CHECK_MSG(IdOf(name) == kInvalidNode, "duplicate node name");
+  nodes_.push_back(NodeInfo{std::move(name), region, is_gateway});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+TopologyBuilder& TopologyBuilder::Link(NodeId a, NodeId b, SimTime delay,
+                                       double bandwidth_bps) {
+  RADAR_CHECK(a >= 0 && a < num_nodes());
+  RADAR_CHECK(b >= 0 && b < num_nodes());
+  links_.push_back(PendingLink{a, b, delay, bandwidth_bps});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::Link(const std::string& a,
+                                       const std::string& b, SimTime delay,
+                                       double bandwidth_bps) {
+  const NodeId na = IdOf(a);
+  const NodeId nb = IdOf(b);
+  RADAR_CHECK_MSG(na != kInvalidNode, a.c_str());
+  RADAR_CHECK_MSG(nb != kInvalidNode, b.c_str());
+  return Link(na, nb, delay, bandwidth_bps);
+}
+
+NodeId TopologyBuilder::IdOf(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+bool TopologyBuilder::HasLink(NodeId a, NodeId b) const {
+  for (const PendingLink& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return true;
+  }
+  return false;
+}
+
+bool TopologyBuilder::IsConnected() const {
+  Graph graph(num_nodes());
+  for (const PendingLink& l : links_) {
+    graph.AddLink(l.a, l.b, l.delay, l.bandwidth_bps);
+  }
+  return graph.IsConnected();
+}
+
+Topology TopologyBuilder::Build() && {
+  Graph graph(num_nodes());
+  for (const PendingLink& l : links_) {
+    graph.AddLink(l.a, l.b, l.delay, l.bandwidth_bps);
+  }
+  RADAR_CHECK_MSG(graph.IsConnected(), "topology must be connected");
+  return Topology(std::move(graph), std::move(nodes_));
+}
+
+}  // namespace radar::net

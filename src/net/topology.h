@@ -1,0 +1,93 @@
+// Platform topology: routers/hosts with region metadata and gateway flags.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace radar::net {
+
+/// Geographic region of a node; the regional workload and the UUNET-style
+/// builder use these four, matching the paper's partition.
+enum class Region : std::uint8_t {
+  kWesternNorthAmerica = 0,
+  kEasternNorthAmerica = 1,
+  kEurope = 2,
+  kPacificAustralia = 3,
+};
+
+inline constexpr int kNumRegions = 4;
+
+const char* RegionName(Region region);
+
+/// Per-node metadata.
+struct NodeInfo {
+  std::string name;
+  Region region = Region::kWesternNorthAmerica;
+  bool is_gateway = true;  ///< the paper assumes all backbone nodes gateway
+};
+
+/// A topology couples the link graph with node metadata. Instances are
+/// immutable after construction via TopologyBuilder.
+class Topology {
+ public:
+  Topology(Graph graph, std::vector<NodeInfo> nodes);
+
+  const Graph& graph() const { return graph_; }
+  std::int32_t num_nodes() const { return graph_.num_nodes(); }
+  const NodeInfo& node(NodeId id) const;
+
+  Region RegionOf(NodeId id) const { return node(id).region; }
+  bool IsGateway(NodeId id) const { return node(id).is_gateway; }
+
+  /// Node ids belonging to the given region, ascending.
+  std::vector<NodeId> NodesInRegion(Region region) const;
+
+  /// All gateway node ids, ascending.
+  std::vector<NodeId> GatewayNodes() const;
+
+  /// Finds a node by name; returns kInvalidNode if absent.
+  NodeId FindByName(const std::string& name) const;
+
+ private:
+  Graph graph_;
+  std::vector<NodeInfo> nodes_;
+};
+
+/// Incremental construction of a Topology.
+class TopologyBuilder {
+ public:
+  /// Adds a node and returns its id.
+  NodeId AddNode(std::string name, Region region, bool is_gateway = true);
+
+  /// Adds a bidirectional link between named or numbered nodes.
+  TopologyBuilder& Link(NodeId a, NodeId b, SimTime delay, double bandwidth_bps);
+  TopologyBuilder& Link(const std::string& a, const std::string& b,
+                        SimTime delay, double bandwidth_bps);
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes_.size()); }
+  NodeId IdOf(const std::string& name) const;
+
+  /// Whether the pending nodes and links form a connected graph; callers
+  /// that cannot tolerate Build()'s abort on disconnection check first.
+  bool IsConnected() const;
+
+  /// Whether a link between the two nodes is already pending.
+  bool HasLink(NodeId a, NodeId b) const;
+
+  /// Finalizes the topology; checks connectivity.
+  Topology Build() &&;
+
+ private:
+  struct PendingLink {
+    NodeId a;
+    NodeId b;
+    SimTime delay;
+    double bandwidth_bps;
+  };
+  std::vector<NodeInfo> nodes_;
+  std::vector<PendingLink> links_;
+};
+
+}  // namespace radar::net

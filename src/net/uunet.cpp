@@ -1,0 +1,260 @@
+#include "net/uunet.h"
+
+#include "common/check.h"
+
+namespace radar::net {
+
+Topology MakeUunetBackbone(const BackboneParams& params) {
+  TopologyBuilder b;
+  const SimTime d = params.link_delay;
+  const double bw = params.bandwidth_bps;
+
+  // ---- Western North America (13 nodes) ----
+  b.AddNode("Seattle", Region::kWesternNorthAmerica);
+  b.AddNode("Portland", Region::kWesternNorthAmerica);
+  b.AddNode("Sacramento", Region::kWesternNorthAmerica);
+  b.AddNode("SanFrancisco", Region::kWesternNorthAmerica);
+  b.AddNode("SanJose", Region::kWesternNorthAmerica);
+  b.AddNode("LosAngeles", Region::kWesternNorthAmerica);
+  b.AddNode("SanDiego", Region::kWesternNorthAmerica);
+  b.AddNode("LasVegas", Region::kWesternNorthAmerica);
+  b.AddNode("Phoenix", Region::kWesternNorthAmerica);
+  b.AddNode("SaltLakeCity", Region::kWesternNorthAmerica);
+  b.AddNode("Denver", Region::kWesternNorthAmerica);
+  b.AddNode("Albuquerque", Region::kWesternNorthAmerica);
+  b.AddNode("Vancouver", Region::kWesternNorthAmerica);
+
+  // ---- Eastern North America (20 nodes) ----
+  b.AddNode("Chicago", Region::kEasternNorthAmerica);
+  b.AddNode("Minneapolis", Region::kEasternNorthAmerica);
+  b.AddNode("Detroit", Region::kEasternNorthAmerica);
+  b.AddNode("Cleveland", Region::kEasternNorthAmerica);
+  b.AddNode("Columbus", Region::kEasternNorthAmerica);
+  b.AddNode("Pittsburgh", Region::kEasternNorthAmerica);
+  b.AddNode("Toronto", Region::kEasternNorthAmerica);
+  b.AddNode("Boston", Region::kEasternNorthAmerica);
+  b.AddNode("NewYork", Region::kEasternNorthAmerica);
+  b.AddNode("Newark", Region::kEasternNorthAmerica);
+  b.AddNode("Philadelphia", Region::kEasternNorthAmerica);
+  b.AddNode("Washington", Region::kEasternNorthAmerica);
+  b.AddNode("Charlotte", Region::kEasternNorthAmerica);
+  b.AddNode("Atlanta", Region::kEasternNorthAmerica);
+  b.AddNode("Orlando", Region::kEasternNorthAmerica);
+  b.AddNode("Miami", Region::kEasternNorthAmerica);
+  b.AddNode("StLouis", Region::kEasternNorthAmerica);
+  b.AddNode("KansasCity", Region::kEasternNorthAmerica);
+  b.AddNode("Dallas", Region::kEasternNorthAmerica);
+  b.AddNode("Houston", Region::kEasternNorthAmerica);
+
+  // ---- Europe (12 nodes) ----
+  b.AddNode("London", Region::kEurope);
+  b.AddNode("Dublin", Region::kEurope);
+  b.AddNode("Amsterdam", Region::kEurope);
+  b.AddNode("Brussels", Region::kEurope);
+  b.AddNode("Paris", Region::kEurope);
+  b.AddNode("Frankfurt", Region::kEurope);
+  b.AddNode("Zurich", Region::kEurope);
+  b.AddNode("Milan", Region::kEurope);
+  b.AddNode("Madrid", Region::kEurope);
+  b.AddNode("Vienna", Region::kEurope);
+  b.AddNode("Copenhagen", Region::kEurope);
+  b.AddNode("Stockholm", Region::kEurope);
+
+  // ---- Pacific Rim and Australia (8 nodes) ----
+  b.AddNode("Tokyo", Region::kPacificAustralia);
+  b.AddNode("Osaka", Region::kPacificAustralia);
+  b.AddNode("Seoul", Region::kPacificAustralia);
+  b.AddNode("Taipei", Region::kPacificAustralia);
+  b.AddNode("HongKong", Region::kPacificAustralia);
+  b.AddNode("Singapore", Region::kPacificAustralia);
+  b.AddNode("Sydney", Region::kPacificAustralia);
+  b.AddNode("Melbourne", Region::kPacificAustralia);
+
+  RADAR_CHECK(b.num_nodes() == kUunetNodeCount);
+
+  // The 1998 UUNET backbone was a densely redundant partial mesh: every
+  // POP had several geographically diverse uplinks. Density matters for
+  // protocol fidelity, not just realism: MIGR_RATIO = 0.6 was chosen for
+  // that backbone, where no single transit neighbor carries most of a
+  // node's shortest paths. A sparse spur-and-chain graph would funnel
+  // >60% of every peripheral node's traffic through one neighbor and
+  // make every object migrate perpetually. The link set below keeps the
+  // maximum per-neighbor transit fraction under uniform demand below the
+  // migration threshold for the large majority of nodes (verified by
+  // UunetTest.FunnelFractionsMostlyBelowMigrationRatio).
+
+  // West coast mesh.
+  b.Link("Vancouver", "Seattle", d, bw);
+  b.Link("Vancouver", "Portland", d, bw);
+  b.Link("Seattle", "Portland", d, bw);
+  b.Link("Portland", "Sacramento", d, bw);
+  b.Link("Portland", "SaltLakeCity", d, bw);
+  b.Link("Sacramento", "SanFrancisco", d, bw);
+  b.Link("Sacramento", "SaltLakeCity", d, bw);
+  b.Link("SanFrancisco", "SanJose", d, bw);
+  b.Link("SanJose", "LosAngeles", d, bw);
+  b.Link("SanJose", "Phoenix", d, bw);
+  b.Link("LosAngeles", "SanDiego", d, bw);
+  b.Link("SanDiego", "Phoenix", d, bw);
+  b.Link("SanDiego", "Houston", d, bw);
+  b.Link("LosAngeles", "LasVegas", d, bw);
+  b.Link("LosAngeles", "Phoenix", d, bw);
+  b.Link("LasVegas", "SaltLakeCity", d, bw);
+  b.Link("LasVegas", "Albuquerque", d, bw);
+  b.Link("LasVegas", "Denver", d, bw);
+  b.Link("SaltLakeCity", "Seattle", d, bw);
+  b.Link("SaltLakeCity", "Denver", d, bw);
+  b.Link("SaltLakeCity", "KansasCity", d, bw);
+  b.Link("Phoenix", "Albuquerque", d, bw);
+  b.Link("Phoenix", "Dallas", d, bw);
+  b.Link("Albuquerque", "Denver", d, bw);
+  b.Link("Albuquerque", "Dallas", d, bw);
+  b.Link("SanFrancisco", "LosAngeles", d, bw);
+  b.Link("Vancouver", "Toronto", d, bw);
+  b.Link("Sacramento", "Denver", d, bw);
+  b.Link("SanJose", "Chicago", d, bw);
+  b.Link("SanDiego", "Dallas", d, bw);
+  b.Link("Portland", "Denver", d, bw);
+
+  // Transcontinental trunks (northern, central, southern).
+  b.Link("Seattle", "Chicago", d, bw);
+  b.Link("Seattle", "Minneapolis", d, bw);
+  b.Link("Denver", "KansasCity", d, bw);
+  b.Link("Denver", "Chicago", d, bw);
+  b.Link("Denver", "Dallas", d, bw);
+  b.Link("LosAngeles", "Dallas", d, bw);
+  b.Link("SanFrancisco", "Chicago", d, bw);
+  b.Link("SanFrancisco", "NewYork", d, bw);
+
+  // Midwest / east mesh.
+  b.Link("Chicago", "Minneapolis", d, bw);
+  b.Link("Chicago", "Detroit", d, bw);
+  b.Link("Chicago", "StLouis", d, bw);
+  b.Link("Chicago", "Cleveland", d, bw);
+  b.Link("Chicago", "KansasCity", d, bw);
+  b.Link("Minneapolis", "KansasCity", d, bw);
+  b.Link("Minneapolis", "Detroit", d, bw);
+  b.Link("Minneapolis", "Toronto", d, bw);
+  b.Link("KansasCity", "StLouis", d, bw);
+  b.Link("KansasCity", "Dallas", d, bw);
+  b.Link("StLouis", "Dallas", d, bw);
+  b.Link("StLouis", "Columbus", d, bw);
+  b.Link("Dallas", "Houston", d, bw);
+  b.Link("Dallas", "Atlanta", d, bw);
+  b.Link("Dallas", "Washington", d, bw);
+  b.Link("Houston", "Atlanta", d, bw);
+  b.Link("Houston", "Orlando", d, bw);
+  b.Link("Detroit", "Cleveland", d, bw);
+  b.Link("Detroit", "Toronto", d, bw);
+  b.Link("Detroit", "NewYork", d, bw);
+  b.Link("Cleveland", "Columbus", d, bw);
+  b.Link("Cleveland", "Pittsburgh", d, bw);
+  b.Link("Cleveland", "NewYork", d, bw);
+  b.Link("Columbus", "Pittsburgh", d, bw);
+  b.Link("Columbus", "Atlanta", d, bw);
+  b.Link("Pittsburgh", "Philadelphia", d, bw);
+  b.Link("Toronto", "Boston", d, bw);
+  b.Link("Toronto", "NewYork", d, bw);
+  b.Link("Boston", "NewYork", d, bw);
+  b.Link("Boston", "Philadelphia", d, bw);
+  b.Link("NewYork", "Newark", d, bw);
+  b.Link("Newark", "Philadelphia", d, bw);
+  b.Link("Newark", "Washington", d, bw);
+  b.Link("Philadelphia", "Washington", d, bw);
+  b.Link("NewYork", "Chicago", d, bw);
+  b.Link("Washington", "Charlotte", d, bw);
+  b.Link("Washington", "Atlanta", d, bw);
+  b.Link("Washington", "Miami", d, bw);
+  b.Link("Charlotte", "Atlanta", d, bw);
+  b.Link("Charlotte", "Orlando", d, bw);
+  b.Link("Atlanta", "Orlando", d, bw);
+  b.Link("Orlando", "Miami", d, bw);
+  b.Link("Atlanta", "StLouis", d, bw);
+  b.Link("Washington", "Chicago", d, bw);
+  b.Link("Miami", "Houston", d, bw);
+  b.Link("StLouis", "Denver", d, bw);
+  b.Link("Boston", "Cleveland", d, bw);
+  b.Link("Philadelphia", "Atlanta", d, bw);
+  b.Link("Charlotte", "Dallas", d, bw);
+  b.Link("Newark", "Chicago", d, bw);
+  b.Link("Pittsburgh", "Washington", d, bw);
+
+  // Europe mesh around London / Amsterdam / Frankfurt / Paris hubs.
+  b.Link("London", "Dublin", d, bw);
+  b.Link("Dublin", "Paris", d, bw);
+  b.Link("London", "Amsterdam", d, bw);
+  b.Link("London", "Paris", d, bw);
+  b.Link("London", "Madrid", d, bw);
+  b.Link("London", "Stockholm", d, bw);
+  b.Link("London", "Brussels", d, bw);
+  b.Link("Amsterdam", "Brussels", d, bw);
+  b.Link("Brussels", "Paris", d, bw);
+  b.Link("Amsterdam", "Frankfurt", d, bw);
+  b.Link("Amsterdam", "Zurich", d, bw);
+  b.Link("Paris", "Madrid", d, bw);
+  b.Link("Paris", "Zurich", d, bw);
+  b.Link("Paris", "Frankfurt", d, bw);
+  b.Link("Frankfurt", "Zurich", d, bw);
+  b.Link("Frankfurt", "Milan", d, bw);
+  b.Link("Zurich", "Milan", d, bw);
+  b.Link("Frankfurt", "Vienna", d, bw);
+  b.Link("Vienna", "Milan", d, bw);
+  b.Link("Vienna", "Amsterdam", d, bw);
+  b.Link("Frankfurt", "Copenhagen", d, bw);
+  b.Link("Copenhagen", "Stockholm", d, bw);
+  b.Link("Copenhagen", "Amsterdam", d, bw);
+  b.Link("Amsterdam", "Stockholm", d, bw);
+  b.Link("Madrid", "Milan", d, bw);
+  b.Link("Milan", "Paris", d, bw);
+  b.Link("Stockholm", "Frankfurt", d, bw);
+  b.Link("Copenhagen", "London", d, bw);
+  b.Link("Vienna", "Zurich", d, bw);
+
+  // Pacific Rim mesh.
+  b.Link("Tokyo", "Osaka", d, bw);
+  b.Link("Tokyo", "Seoul", d, bw);
+  b.Link("Tokyo", "Taipei", d, bw);
+  b.Link("Osaka", "Taipei", d, bw);
+  b.Link("Osaka", "Seoul", d, bw);
+  b.Link("Seoul", "Taipei", d, bw);
+  b.Link("Seoul", "HongKong", d, bw);
+  b.Link("Taipei", "HongKong", d, bw);
+  b.Link("HongKong", "Singapore", d, bw);
+  b.Link("Singapore", "Sydney", d, bw);
+  b.Link("Singapore", "Taipei", d, bw);
+  b.Link("Singapore", "Tokyo", d, bw);
+  b.Link("Sydney", "Melbourne", d, bw);
+  b.Link("Melbourne", "Singapore", d, bw);
+  b.Link("Tokyo", "HongKong", d, bw);
+  b.Link("Tokyo", "Sydney", d, bw);
+  b.Link("Sydney", "HongKong", d, bw);
+
+  // Trans-oceanic links.
+  b.Link("NewYork", "London", d, bw);
+  b.Link("Washington", "Amsterdam", d, bw);
+  b.Link("Newark", "Paris", d, bw);
+  b.Link("NewYork", "Frankfurt", d, bw);
+  b.Link("Seattle", "Tokyo", d, bw);
+  b.Link("SanFrancisco", "Tokyo", d, bw);
+  b.Link("LosAngeles", "Tokyo", d, bw);
+  b.Link("Seattle", "Osaka", d, bw);
+  b.Link("LosAngeles", "Sydney", d, bw);
+  b.Link("LosAngeles", "Melbourne", d, bw);
+  b.Link("SanJose", "HongKong", d, bw);
+  b.Link("Boston", "London", d, bw);
+  b.Link("Dublin", "NewYork", d, bw);
+  b.Link("Miami", "Madrid", d, bw);
+  b.Link("Amsterdam", "NewYork", d, bw);
+  b.Link("London", "Washington", d, bw);
+  b.Link("Seoul", "Seattle", d, bw);
+  b.Link("Taipei", "LosAngeles", d, bw);
+  b.Link("Singapore", "LosAngeles", d, bw);
+  b.Link("Osaka", "SanFrancisco", d, bw);
+  b.Link("Frankfurt", "Chicago", d, bw);
+  b.Link("Paris", "Washington", d, bw);
+  b.Link("HongKong", "Seattle", d, bw);
+
+  return std::move(b).Build();
+}
+
+}  // namespace radar::net

@@ -1,0 +1,32 @@
+// A 53-node, 4-region backbone modelled on the 1998 UUNET global backbone.
+//
+// The paper evaluates on UUNET's backbone ("53 nodes in North America,
+// Europe, Pacific Rim, and Australia", Sec. 6.1) whose exact map, cited as
+// reference [34], is no longer available. This builder synthesizes a
+// topology with the same node count and regional structure: dense
+// intra-region meshes around hub cities, redundant transcontinental trunks,
+// and a small number of trans-oceanic links. Placement and distribution
+// behaviour in the protocol depends on hop distances and regional
+// clustering, both of which this construction preserves (see DESIGN.md,
+// substitution table).
+#pragma once
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace radar::net {
+
+/// Parameters for the synthetic backbone links (paper's Table 1 defaults).
+struct BackboneParams {
+  SimTime link_delay = MillisToSim(10.0);   ///< 10 ms per hop
+  double bandwidth_bps = 350.0 * 1024.0;    ///< 350 KBps
+};
+
+/// Builds the 53-node UUNET-style backbone. All nodes are gateways, as in
+/// the paper's simulation.
+Topology MakeUunetBackbone(const BackboneParams& params = {});
+
+/// Number of nodes in the backbone above.
+inline constexpr std::int32_t kUunetNodeCount = 53;
+
+}  // namespace radar::net

@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::sim {
+
+void EventQueue::Push(SimTime when, EventFn fn) {
+  RADAR_CHECK(when >= 0);
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::NextTime() const {
+  RADAR_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventFn> EventQueue::Pop() {
+  RADAR_CHECK(!heap_.empty());
+  // priority_queue::top() returns const&; the const_cast move is safe
+  // because we pop immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<SimTime, EventFn> out{top.when, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,48 @@
+// A stable-order discrete-event queue.
+//
+// Events with equal timestamps fire in insertion order (FIFO), which keeps
+// runs bit-for-bit reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace radar::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueues an event at absolute time `when` (must be >= 0).
+  void Push(SimTime when, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  std::pair<SimTime, EventFn> Pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace radar::sim

@@ -1,0 +1,35 @@
+#include "sim/fcfs_server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::sim {
+
+FcfsServer::FcfsServer(double capacity_rps) {
+  RADAR_CHECK(capacity_rps > 0.0);
+  service_time_ = static_cast<SimTime>(
+      static_cast<double>(kMicrosPerSecond) / capacity_rps);
+  RADAR_CHECK(service_time_ > 0);
+}
+
+SimTime FcfsServer::Admit(SimTime arrival) {
+  RADAR_CHECK(arrival >= last_arrival_);
+  last_arrival_ = arrival;
+  const SimTime start = std::max(arrival, busy_until_);
+  busy_until_ = start + service_time_;
+  ++admitted_;
+  return busy_until_;
+}
+
+SimTime FcfsServer::BacklogAt(SimTime now) const {
+  return std::max<SimTime>(0, busy_until_ - now);
+}
+
+void FcfsServer::Reset() {
+  busy_until_ = 0;
+  last_arrival_ = 0;
+  admitted_ = 0;
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,46 @@
+// First-come-first-serve server model.
+//
+// The paper's hosts service requests one at a time in FCFS order with a
+// fixed capacity (200 requests/sec => 5 ms per request). We model the
+// queue analytically with a busy-until watermark: a request arriving at
+// time t starts service at max(t, busy_until) and completes one service
+// time later. This yields exact FCFS queueing with O(1) work per request.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace radar::sim {
+
+class FcfsServer {
+ public:
+  /// capacity_rps: requests the server can complete per second (> 0).
+  explicit FcfsServer(double capacity_rps);
+
+  /// Admits a request arriving at `arrival`; returns its completion time.
+  /// Arrivals must be fed in non-decreasing time order.
+  SimTime Admit(SimTime arrival);
+
+  /// Time at which the server becomes idle given work admitted so far.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Queue backlog (time units of unfinished work) at time `now`.
+  SimTime BacklogAt(SimTime now) const;
+
+  /// Total requests admitted.
+  std::int64_t admitted() const { return admitted_; }
+
+  SimTime service_time() const { return service_time_; }
+
+  /// Forgets the backlog (used when re-seeding scenarios mid-run).
+  void Reset();
+
+ private:
+  SimTime service_time_;
+  SimTime busy_until_ = 0;
+  SimTime last_arrival_ = 0;
+  std::int64_t admitted_ = 0;
+};
+
+}  // namespace radar::sim

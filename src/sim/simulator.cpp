@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::sim {
+
+void Simulator::Schedule(SimTime delay, EventFn fn) {
+  RADAR_CHECK(delay >= 0);
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  RADAR_CHECK(when >= now_);
+  queue_.Push(when, std::move(fn));
+}
+
+void Simulator::SchedulePeriodic(SimTime first_at, SimTime period,
+                                 std::function<void(SimTime)> fn) {
+  RADAR_CHECK(period > 0);
+  RADAR_CHECK(first_at >= now_);
+  // Self-rescheduling wrapper; stops automatically when the next firing
+  // would land past the run horizon.
+  // Self-rescheduling wrapper. The next firing is always enqueued, so a
+  // periodic task survives successive RunUntil() horizons; it simply waits
+  // in the queue past the last horizon.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  *tick = [this, period, fn = std::move(fn), self = tick](SimTime at) {
+    fn(at);
+    const SimTime next = at + period;
+    queue_.Push(next, [self, next] { (*self)(next); });
+  };
+  queue_.Push(first_at, [tick, first_at] { (*tick)(first_at); });
+}
+
+void Simulator::RunUntil(SimTime until) {
+  RADAR_CHECK(until >= now_);
+  while (!queue_.empty() && queue_.NextTime() <= until) {
+    auto [when, fn] = queue_.Pop();
+    RADAR_CHECK(when >= now_);
+    now_ = when;
+    fn();
+    ++events_executed_;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (!queue_.empty()) {
+    auto [when, fn] = queue_.Pop();
+    RADAR_CHECK(when >= now_);
+    now_ = when;
+    fn();
+    ++events_executed_;
+  }
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,44 @@
+// The simulation executive: a clock plus an event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace radar::sim {
+
+class Simulator {
+ public:
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  void Schedule(SimTime delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `when` (must not be in the past).
+  void ScheduleAt(SimTime when, EventFn fn);
+
+  /// Schedules `fn` to run every `period` starting at `first_at`; `fn`
+  /// receives the firing time. Fires indefinitely (RunAll never returns
+  /// while a periodic task is registered; use RunUntil).
+  void SchedulePeriodic(SimTime first_at, SimTime period,
+                        std::function<void(SimTime)> fn);
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void RunUntil(SimTime until);
+
+  /// Runs until the event queue is empty.
+  void RunAll();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace radar::sim

@@ -1,0 +1,46 @@
+// Store-and-forward transfer-time model.
+//
+// The paper charges 10 ms propagation per hop and serializes object bytes
+// at the link bandwidth on each hop (Table 1). For a message of `bytes`
+// over `hops` links that is:
+//
+//   latency = hops * (per_hop_delay + bytes / bandwidth)
+//
+// Control messages (requests, CreateObj RPCs, redirector notifications)
+// are "negligible compared to the page size" and incur only propagation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace radar::sim {
+
+/// Serialization time for `bytes` at `bandwidth_bps` bytes/second.
+inline SimTime SerializationTime(std::int64_t bytes, double bandwidth_bps) {
+  RADAR_CHECK(bytes >= 0);
+  RADAR_CHECK(bandwidth_bps > 0.0);
+  return static_cast<SimTime>(static_cast<double>(bytes) /
+                              bandwidth_bps *
+                              static_cast<double>(kMicrosPerSecond));
+}
+
+/// Store-and-forward latency across `hops` identical links.
+inline SimTime TransferTime(std::int32_t hops, std::int64_t bytes,
+                            SimTime per_hop_delay, double bandwidth_bps) {
+  RADAR_CHECK(hops >= 0);
+  RADAR_CHECK(per_hop_delay >= 0);
+  if (hops == 0) return 0;
+  return static_cast<SimTime>(hops) *
+         (per_hop_delay + SerializationTime(bytes, bandwidth_bps));
+}
+
+/// Latency of a control message (propagation only).
+inline SimTime ControlLatency(std::int32_t hops, SimTime per_hop_delay) {
+  RADAR_CHECK(hops >= 0);
+  RADAR_CHECK(per_hop_delay >= 0);
+  return static_cast<SimTime>(hops) * per_hop_delay;
+}
+
+}  // namespace radar::sim

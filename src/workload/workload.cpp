@@ -1,0 +1,182 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::workload {
+
+UniformWorkload::UniformWorkload(ObjectId num_objects)
+    : num_objects_(num_objects) {
+  RADAR_CHECK(num_objects > 0);
+}
+
+ObjectId UniformWorkload::NextObject(NodeId, SimTime, Rng& rng) {
+  return static_cast<ObjectId>(rng.NextBounded(
+      static_cast<std::uint64_t>(num_objects_)));
+}
+
+ZipfWorkload::ZipfWorkload(ObjectId num_objects)
+    : num_objects_(num_objects), zipf_(num_objects) {
+  RADAR_CHECK(num_objects > 0);
+}
+
+ObjectId ZipfWorkload::NextObject(NodeId, SimTime, Rng& rng) {
+  return static_cast<ObjectId>(zipf_.Sample(rng) - 1);
+}
+
+HotSitesWorkload::HotSitesWorkload(ObjectId num_objects,
+                                   std::int32_t num_nodes, double p,
+                                   std::uint64_t site_seed)
+    : num_objects_(num_objects), p_(p) {
+  RADAR_CHECK(num_objects > 0);
+  RADAR_CHECK(num_nodes > 0);
+  RADAR_CHECK(p > 0.0 && p < 1.0);
+  // Divide sites randomly: fraction p cold, remainder hot (Sec. 6.1).
+  Rng site_rng(site_seed);
+  std::vector<bool> is_hot(static_cast<std::size_t>(num_nodes), false);
+  for (std::int32_t n = 0; n < num_nodes; ++n) {
+    if (site_rng.NextBool(1.0 - p)) {
+      is_hot[static_cast<std::size_t>(n)] = true;
+    }
+  }
+  // Guarantee at least one hot and one cold site.
+  if (std::none_of(is_hot.begin(), is_hot.end(), [](bool h) { return h; })) {
+    is_hot[static_cast<std::size_t>(
+        site_rng.NextBounded(static_cast<std::uint64_t>(num_nodes)))] = true;
+  }
+  if (std::all_of(is_hot.begin(), is_hot.end(), [](bool h) { return h; })) {
+    is_hot[0] = false;
+  }
+  for (std::int32_t n = 0; n < num_nodes; ++n) {
+    if (is_hot[static_cast<std::size_t>(n)]) hot_sites_.push_back(n);
+  }
+  // Objects are initially placed round-robin: object i lives at i % nodes.
+  for (ObjectId i = 0; i < num_objects; ++i) {
+    if (is_hot[static_cast<std::size_t>(i % num_nodes)]) {
+      hot_pool_.push_back(i);
+    } else {
+      cold_pool_.push_back(i);
+    }
+  }
+  RADAR_CHECK(!hot_pool_.empty() && !cold_pool_.empty());
+}
+
+ObjectId HotSitesWorkload::NextObject(NodeId, SimTime, Rng& rng) {
+  const auto& pool = rng.NextBool(p_) ? hot_pool_ : cold_pool_;
+  return pool[rng.NextBounded(pool.size())];
+}
+
+HotPagesWorkload::HotPagesWorkload(ObjectId num_objects, double hot_fraction,
+                                   double hot_probability,
+                                   std::uint64_t page_seed)
+    : num_objects_(num_objects), hot_probability_(hot_probability) {
+  RADAR_CHECK(num_objects > 1);
+  RADAR_CHECK(hot_fraction > 0.0 && hot_fraction < 1.0);
+  RADAR_CHECK(hot_probability > 0.0 && hot_probability < 1.0);
+  // Sample the hot set without replacement via a Fisher-Yates prefix.
+  std::vector<ObjectId> all(static_cast<std::size_t>(num_objects));
+  for (ObjectId i = 0; i < num_objects; ++i) all[static_cast<std::size_t>(i)] = i;
+  Rng page_rng(page_seed);
+  auto num_hot = static_cast<std::size_t>(
+      static_cast<double>(num_objects) * hot_fraction);
+  num_hot = std::clamp<std::size_t>(num_hot, 1, all.size() - 1);
+  for (std::size_t i = 0; i < num_hot; ++i) {
+    const std::size_t j = i + page_rng.NextBounded(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  hot_pool_.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(num_hot));
+  cold_pool_.assign(all.begin() + static_cast<std::ptrdiff_t>(num_hot), all.end());
+}
+
+ObjectId HotPagesWorkload::NextObject(NodeId, SimTime, Rng& rng) {
+  const auto& pool = rng.NextBool(hot_probability_) ? hot_pool_ : cold_pool_;
+  return pool[rng.NextBounded(pool.size())];
+}
+
+RegionalWorkload::RegionalWorkload(ObjectId num_objects,
+                                   const net::Topology& topology,
+                                   double preferred_probability,
+                                   double preferred_slice)
+    : num_objects_(num_objects),
+      preferred_probability_(preferred_probability) {
+  RADAR_CHECK(num_objects >= 4);
+  RADAR_CHECK(preferred_probability > 0.0 && preferred_probability < 1.0);
+  RADAR_CHECK(preferred_slice > 0.0 && preferred_slice <= 0.25);
+  slice_size_ = std::max<ObjectId>(
+      1, static_cast<ObjectId>(static_cast<double>(num_objects) * preferred_slice));
+  node_region_.resize(static_cast<std::size_t>(topology.num_nodes()));
+  for (NodeId n = 0; n < topology.num_nodes(); ++n) {
+    node_region_[static_cast<std::size_t>(n)] = topology.RegionOf(n);
+  }
+}
+
+std::pair<ObjectId, ObjectId> RegionalWorkload::PreferredRange(
+    net::Region region) const {
+  const auto r = static_cast<ObjectId>(region);
+  const ObjectId first = r * slice_size_;
+  return {first, first + slice_size_ - 1};
+}
+
+ObjectId RegionalWorkload::NextObject(NodeId gateway, SimTime, Rng& rng) {
+  RADAR_CHECK(gateway >= 0 &&
+              static_cast<std::size_t>(gateway) < node_region_.size());
+  if (rng.NextBool(preferred_probability_)) {
+    const auto [first, last] =
+        PreferredRange(node_region_[static_cast<std::size_t>(gateway)]);
+    return first + static_cast<ObjectId>(
+                       rng.NextBounded(static_cast<std::uint64_t>(last - first + 1)));
+  }
+  return static_cast<ObjectId>(
+      rng.NextBounded(static_cast<std::uint64_t>(num_objects_)));
+}
+
+MixtureWorkload::MixtureWorkload(std::vector<Component> components)
+    : components_(std::move(components)) {
+  RADAR_CHECK(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    RADAR_CHECK(c.workload != nullptr);
+    RADAR_CHECK(c.weight > 0.0);
+    RADAR_CHECK(c.workload->num_objects() == components_[0].workload->num_objects());
+    total += c.weight;
+    cumulative_.push_back(total);
+  }
+  for (auto& v : cumulative_) v /= total;
+}
+
+ObjectId MixtureWorkload::NextObject(NodeId gateway, SimTime now, Rng& rng) {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_.begin()), components_.size() - 1);
+  return components_[idx].workload->NextObject(gateway, now, rng);
+}
+
+ObjectId MixtureWorkload::num_objects() const {
+  return components_[0].workload->num_objects();
+}
+
+DemandShiftWorkload::DemandShiftWorkload(std::unique_ptr<Workload> before,
+                                         std::unique_ptr<Workload> after,
+                                         SimTime shift_at)
+    : before_(std::move(before)), after_(std::move(after)), shift_at_(shift_at) {
+  RADAR_CHECK(before_ != nullptr && after_ != nullptr);
+  RADAR_CHECK(before_->num_objects() == after_->num_objects());
+  RADAR_CHECK(shift_at >= 0);
+}
+
+ObjectId DemandShiftWorkload::NextObject(NodeId gateway, SimTime now, Rng& rng) {
+  return (now < shift_at_ ? before_ : after_)->NextObject(gateway, now, rng);
+}
+
+std::string DemandShiftWorkload::name() const {
+  return before_->name() + "->" + after_->name();
+}
+
+ObjectId DemandShiftWorkload::num_objects() const {
+  return before_->num_objects();
+}
+
+}  // namespace radar::workload

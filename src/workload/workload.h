@@ -1,0 +1,165 @@
+// Synthetic workloads from the paper's evaluation (Sec. 6.1).
+//
+// Each workload answers one question: which object does a client entering
+// at gateway g request at time t? All four of the paper's workloads are
+// provided, plus uniform, weighted mixtures, and a demand-shift wrapper
+// used for responsiveness experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "net/topology.h"
+
+namespace radar::workload {
+
+/// Picks the requested object for a client request.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Returns the requested object id in [0, num_objects).
+  virtual ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+  virtual ObjectId num_objects() const = 0;
+};
+
+/// Every object equally likely, independent of the gateway.
+class UniformWorkload final : public Workload {
+ public:
+  explicit UniformWorkload(ObjectId num_objects);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "uniform"; }
+  ObjectId num_objects() const override { return num_objects_; }
+
+ private:
+  ObjectId num_objects_;
+};
+
+/// Zipf popularity: object id == popularity rank - 1, sampled with the
+/// Reeds closed-form approximation the paper uses (footnote 3).
+class ZipfWorkload final : public Workload {
+ public:
+  explicit ZipfWorkload(ObjectId num_objects);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "zipf"; }
+  ObjectId num_objects() const override { return num_objects_; }
+
+ private:
+  ObjectId num_objects_;
+  ReedsZipf zipf_;
+};
+
+/// Hot-sites: a random 1-p fraction of *sites* (initial object homes) is
+/// hot; a request picks a random page from a hot site with probability p
+/// and from a cold site otherwise. The paper uses p = 0.9, so 10% of the
+/// sites receive 90% of the requests.
+class HotSitesWorkload final : public Workload {
+ public:
+  /// `initial_home(i)` = node initially hosting object i (the paper's
+  /// round-robin assignment i mod num_nodes); `p` as in the paper.
+  HotSitesWorkload(ObjectId num_objects, std::int32_t num_nodes, double p,
+                   std::uint64_t site_seed);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "hot-sites"; }
+  ObjectId num_objects() const override { return num_objects_; }
+
+  const std::vector<NodeId>& hot_sites() const { return hot_sites_; }
+
+ private:
+  ObjectId num_objects_;
+  double p_;
+  std::vector<NodeId> hot_sites_;
+  std::vector<ObjectId> hot_pool_;
+  std::vector<ObjectId> cold_pool_;
+};
+
+/// Hot-pages: a random 10% of pages is hot and receives 90% of requests.
+class HotPagesWorkload final : public Workload {
+ public:
+  HotPagesWorkload(ObjectId num_objects, double hot_fraction,
+                   double hot_probability, std::uint64_t page_seed);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "hot-pages"; }
+  ObjectId num_objects() const override { return num_objects_; }
+
+  const std::vector<ObjectId>& hot_pages() const { return hot_pool_; }
+
+ private:
+  ObjectId num_objects_;
+  double hot_probability_;
+  std::vector<ObjectId> hot_pool_;
+  std::vector<ObjectId> cold_pool_;
+};
+
+/// Regional: each of the four regions owns a contiguous 1% slice of the
+/// object space; a node requests from its region's slice with probability
+/// 0.9 and uniformly otherwise.
+class RegionalWorkload final : public Workload {
+ public:
+  RegionalWorkload(ObjectId num_objects, const net::Topology& topology,
+                   double preferred_probability = 0.9,
+                   double preferred_slice = 0.01);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "regional"; }
+  ObjectId num_objects() const override { return num_objects_; }
+
+  /// [first, last] preferred object range of a region.
+  std::pair<ObjectId, ObjectId> PreferredRange(net::Region region) const;
+
+ private:
+  ObjectId num_objects_;
+  double preferred_probability_;
+  ObjectId slice_size_;
+  std::vector<net::Region> node_region_;
+};
+
+/// Weighted mixture of sub-workloads (the paper notes real demand is "some
+/// mix of workloads similar to the ones considered").
+class MixtureWorkload final : public Workload {
+ public:
+  struct Component {
+    std::unique_ptr<Workload> workload;
+    double weight;
+  };
+
+  explicit MixtureWorkload(std::vector<Component> components);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override { return "mixture"; }
+  ObjectId num_objects() const override;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;
+};
+
+/// Switches from one workload to another at a fixed simulated time; used
+/// to measure responsiveness to demand-pattern changes (flash crowds).
+class DemandShiftWorkload final : public Workload {
+ public:
+  DemandShiftWorkload(std::unique_ptr<Workload> before,
+                      std::unique_ptr<Workload> after, SimTime shift_at);
+
+  ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  std::string name() const override;
+  ObjectId num_objects() const override;
+  SimTime shift_at() const { return shift_at_; }
+
+ private:
+  std::unique_ptr<Workload> before_;
+  std::unique_ptr<Workload> after_;
+  SimTime shift_at_;
+};
+
+}  // namespace radar::workload

@@ -1,0 +1,184 @@
+// Unit tests for the baseline selectors and the metrics collectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/selectors.h"
+#include "metrics/collector.h"
+
+namespace radar {
+namespace {
+
+using baselines::ClosestSelector;
+using baselines::RoundRobinSelector;
+
+TEST(RoundRobinSelectorTest, CyclesThroughReplicas) {
+  RoundRobinSelector rr;
+  const std::vector<NodeId> replicas{2, 5, 9};
+  EXPECT_EQ(rr.Choose(1, replicas), 2);
+  EXPECT_EQ(rr.Choose(1, replicas), 5);
+  EXPECT_EQ(rr.Choose(1, replicas), 9);
+  EXPECT_EQ(rr.Choose(1, replicas), 2);
+}
+
+TEST(RoundRobinSelectorTest, PerObjectCounters) {
+  RoundRobinSelector rr;
+  const std::vector<NodeId> replicas{2, 5};
+  EXPECT_EQ(rr.Choose(1, replicas), 2);
+  EXPECT_EQ(rr.Choose(7, replicas), 2);  // object 7 has its own rotation
+  EXPECT_EQ(rr.Choose(1, replicas), 5);
+}
+
+TEST(RoundRobinSelectorTest, AdaptsToReplicaSetGrowth) {
+  RoundRobinSelector rr;
+  std::vector<NodeId> replicas{2};
+  EXPECT_EQ(rr.Choose(1, replicas), 2);
+  replicas.push_back(5);
+  EXPECT_EQ(rr.Choose(1, replicas), 5);
+  EXPECT_EQ(rr.Choose(1, replicas), 2);
+}
+
+TEST(ClosestSelectorTest, PicksNearestByOracle) {
+  core::MatrixDistanceOracle oracle(6);
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = a + 1; b < 6; ++b) oracle.Set(a, b, b - a);
+  }
+  ClosestSelector closest(oracle);
+  EXPECT_EQ(closest.Choose(0, {1, 4, 5}), 1);
+  EXPECT_EQ(closest.Choose(5, {1, 4}), 4);
+}
+
+TEST(ClosestSelectorTest, TieBreaksTowardFirstListed) {
+  core::MatrixDistanceOracle oracle(5);
+  oracle.Set(2, 1, 1);
+  oracle.Set(2, 3, 1);
+  ClosestSelector closest(oracle);
+  // Both replicas at distance 1 from gateway 2; the first (sorted order
+  // in practice) wins deterministically.
+  EXPECT_EQ(closest.Choose(2, {1, 3}), 1);
+}
+
+TEST(PolicyNamesTest, AllNamed) {
+  EXPECT_STREQ(
+      baselines::DistributionPolicyName(baselines::DistributionPolicy::kRadar),
+      "radar");
+  EXPECT_STREQ(baselines::DistributionPolicyName(
+                   baselines::DistributionPolicy::kRoundRobin),
+               "round-robin");
+  EXPECT_STREQ(baselines::DistributionPolicyName(
+                   baselines::DistributionPolicy::kClosest),
+               "closest");
+  EXPECT_STREQ(
+      baselines::PlacementPolicyName(baselines::PlacementPolicy::kStatic),
+      "static");
+  EXPECT_STREQ(baselines::PlacementPolicyName(
+                   baselines::PlacementPolicy::kFullReplication),
+               "full-replication");
+}
+
+TEST(TrafficLedgerTest, SeparatesPayloadAndOverhead) {
+  metrics::TrafficLedger ledger(SecondsToSim(10.0));
+  ledger.AddPayload(SecondsToSim(1.0), 900);
+  ledger.AddOverhead(SecondsToSim(2.0), 100);
+  EXPECT_EQ(ledger.total_payload(), 900);
+  EXPECT_EQ(ledger.total_overhead(), 100);
+  EXPECT_DOUBLE_EQ(ledger.OverheadPercent(), 10.0);
+}
+
+TEST(TrafficLedgerTest, OverheadPercentSeriesPerBucket) {
+  metrics::TrafficLedger ledger(SecondsToSim(10.0));
+  ledger.AddPayload(SecondsToSim(1.0), 100);
+  ledger.AddPayload(SecondsToSim(11.0), 300);
+  ledger.AddOverhead(SecondsToSim(12.0), 100);
+  const auto series = ledger.OverheadPercentSeries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 25.0);
+}
+
+TEST(TrafficLedgerTest, ZeroBytesIgnored) {
+  metrics::TrafficLedger ledger(SecondsToSim(10.0));
+  ledger.AddPayload(SecondsToSim(1.0), 0);
+  EXPECT_EQ(ledger.payload().num_buckets(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.OverheadPercent(), 0.0);
+}
+
+TEST(MaxSeriesTest, TracksPerBucketMaximum) {
+  metrics::MaxSeries series(SecondsToSim(10.0));
+  series.Add(SecondsToSim(1.0), 5.0);
+  series.Add(SecondsToSim(2.0), 9.0);
+  series.Add(SecondsToSim(3.0), 7.0);
+  series.Add(SecondsToSim(15.0), 2.0);
+  ASSERT_EQ(series.num_buckets(), 2u);
+  EXPECT_DOUBLE_EQ(series.MaxAt(0), 9.0);
+  EXPECT_DOUBLE_EQ(series.MaxAt(1), 2.0);
+  EXPECT_DOUBLE_EQ(series.OverallMax(), 9.0);
+  EXPECT_DOUBLE_EQ(series.MaxOver(1, 5), 2.0);
+}
+
+TEST(MaxSeriesTest, NegativeValuesHandled) {
+  metrics::MaxSeries series(SecondsToSim(10.0));
+  series.Add(SecondsToSim(1.0), -5.0);
+  series.Add(SecondsToSim(2.0), -9.0);
+  EXPECT_DOUBLE_EQ(series.MaxAt(0), -5.0);
+}
+
+TEST(SampledSeriesTest, MeanSinceFiltersByTime) {
+  metrics::SampledSeries series;
+  series.Add(SecondsToSim(10.0), 1.0);
+  series.Add(SecondsToSim(20.0), 3.0);
+  series.Add(SecondsToSim(30.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.MeanSince(0), 3.0);
+  EXPECT_DOUBLE_EQ(series.MeanSince(SecondsToSim(20.0)), 4.0);
+  EXPECT_DOUBLE_EQ(series.MeanSince(SecondsToSim(31.0)), 0.0);
+  EXPECT_DOUBLE_EQ(series.LastValue(), 5.0);
+}
+
+TEST(AdjustmentTimeTest, FindsSettlePoint) {
+  // Rate: 100, 100, 50, 20, 10, 10, 10, 10 per 1 s bucket. Equilibrium
+  // (last quarter: buckets 6-7) = 10; threshold = 11; first settled
+  // bucket = 4 (rate 10), needing 3 stable buckets -> settle at t=4.
+  BucketedSeries traffic(SecondsToSim(1.0));
+  const double rates[] = {100, 100, 50, 20, 10, 10, 10, 10};
+  for (std::size_t i = 0; i < 8; ++i) {
+    traffic.Add(SecondsToSim(static_cast<double>(i) + 0.5), rates[i]);
+  }
+  EXPECT_DOUBLE_EQ(metrics::AdjustmentTimeSeconds(traffic), 4.0);
+}
+
+TEST(AdjustmentTimeTest, ImmediateSettleIsZero) {
+  BucketedSeries traffic(SecondsToSim(1.0));
+  for (std::size_t i = 0; i < 8; ++i) {
+    traffic.Add(SecondsToSim(static_cast<double>(i) + 0.5), 10.0);
+  }
+  EXPECT_DOUBLE_EQ(metrics::AdjustmentTimeSeconds(traffic), 0.0);
+}
+
+TEST(AdjustmentTimeTest, NeverSettlesIsNegative) {
+  // Oscillation never produces the required run of consecutive buckets at
+  // or under the threshold.
+  BucketedSeries traffic(SecondsToSim(1.0));
+  for (std::size_t i = 0; i < 8; ++i) {
+    traffic.Add(SecondsToSim(static_cast<double>(i) + 0.5),
+                i % 2 == 0 ? 10.0 : 1000.0);
+  }
+  EXPECT_LT(metrics::AdjustmentTimeSeconds(traffic, 1.01, 0.25, 3), 0.0);
+}
+
+TEST(AdjustmentTimeTest, TransientSpikeResetsRun) {
+  BucketedSeries traffic(SecondsToSim(1.0));
+  const double rates[] = {10, 10, 100, 10, 10, 10, 10, 10};
+  for (std::size_t i = 0; i < 8; ++i) {
+    traffic.Add(SecondsToSim(static_cast<double>(i) + 0.5), rates[i]);
+  }
+  // The spike at bucket 2 breaks the initial run; settle restarts at 3.
+  EXPECT_DOUBLE_EQ(metrics::AdjustmentTimeSeconds(traffic), 3.0);
+}
+
+TEST(AdjustmentTimeTest, EmptySeriesIsNegative) {
+  BucketedSeries traffic(SecondsToSim(1.0));
+  EXPECT_LT(metrics::AdjustmentTimeSeconds(traffic), 0.0);
+}
+
+}  // namespace
+}  // namespace radar

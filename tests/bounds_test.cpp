@@ -1,0 +1,255 @@
+// Tests for the Theorem 1-5 load bounds (Sec. 3).
+//
+// The closed-form bound helpers are checked directly, and then each
+// theorem is exercised *in closed loop*: a steady deterministic request
+// stream is pushed through the real request distribution algorithm before
+// and after a replication/migration event, and the observed load changes
+// are checked against the claimed bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/distance.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+namespace {
+
+TEST(BoundFormulaTest, ReplicationSourceDecrease) {
+  EXPECT_DOUBLE_EQ(ReplicationSourceDecreaseBound(100.0), 75.0);
+  EXPECT_DOUBLE_EQ(ReplicationSourceDecreaseBound(0.0), 0.0);
+}
+
+TEST(BoundFormulaTest, RecipientIncrease) {
+  EXPECT_DOUBLE_EQ(RecipientIncreaseBound(100.0, 1), 400.0);
+  EXPECT_DOUBLE_EQ(RecipientIncreaseBound(100.0, 4), 100.0);
+  EXPECT_DOUBLE_EQ(RecipientIncreaseBoundFromUnitLoad(25.0), 100.0);
+}
+
+TEST(BoundFormulaTest, MigrationSourceDecrease) {
+  // aff = 1: the whole object leaves -> bound is exactly l.
+  EXPECT_DOUBLE_EQ(MigrationSourceDecreaseBound(100.0, 1), 100.0);
+  // aff = 2: l/2 + (3/4) * l * 1/2 = 0.875 l.
+  EXPECT_DOUBLE_EQ(MigrationSourceDecreaseBound(100.0, 2), 87.5);
+}
+
+TEST(BoundFormulaTest, MigrationBoundDecreasesTowardReplicationBound) {
+  // As affinity grows, migrating one unit looks ever more like a pure
+  // replication: the bound approaches (3/4) l from above.
+  double prev = MigrationSourceDecreaseBound(100.0, 1);
+  for (int aff = 2; aff <= 64; aff *= 2) {
+    const double cur = MigrationSourceDecreaseBound(100.0, aff);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, ReplicationSourceDecreaseBound(100.0));
+    prev = cur;
+  }
+}
+
+TEST(BoundFormulaTest, Theorem5LowerBound) {
+  EXPECT_DOUBLE_EQ(PostReplicationAccessLowerBound(0.18), 0.045);
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop checks against the real distribution algorithm.
+// ---------------------------------------------------------------------
+
+// A steady demand pattern: gateways are visited cyclically according to a
+// fixed weight vector, which the paper's "evenly inter-spaced requests"
+// assumption idealizes.
+class SteadyStream {
+ public:
+  explicit SteadyStream(std::vector<std::pair<NodeId, int>> weights)
+      : weights_(std::move(weights)) {}
+
+  NodeId NextGateway() {
+    while (true) {
+      auto& [gateway, weight] = weights_[index_];
+      if (emitted_ < weight) {
+        ++emitted_;
+        return gateway;
+      }
+      emitted_ = 0;
+      index_ = (index_ + 1) % weights_.size();
+    }
+  }
+
+ private:
+  std::vector<std::pair<NodeId, int>> weights_;
+  std::size_t index_ = 0;
+  int emitted_ = 0;
+};
+
+MatrixDistanceOracle LineOracle(std::int32_t n) {
+  MatrixDistanceOracle oracle(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) oracle.Set(a, b, b - a);
+  }
+  return oracle;
+}
+
+/// Pushes `n` requests from the stream through the redirector and returns
+/// per-host service counts.
+std::map<NodeId, int> Drive(Redirector& redirector, SteadyStream& stream,
+                            ObjectId x, int n) {
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < n; ++i) {
+    ++counts[redirector.ChooseReplica(x, stream.NextGateway())];
+  }
+  return counts;
+}
+
+struct BoundScenario {
+  const char* name;
+  std::vector<std::pair<NodeId, int>> demand;  // gateway -> weight
+  NodeId source;
+  int source_affinity;
+  NodeId recipient;
+};
+
+class TheoremBoundTest : public ::testing::TestWithParam<BoundScenario> {};
+
+constexpr int kWindow = 60000;
+
+TEST_P(TheoremBoundTest, ReplicationRespectsTheorems1And2) {
+  const BoundScenario& s = GetParam();
+  MatrixDistanceOracle oracle = LineOracle(8);
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, s.source);
+  for (int i = 1; i < s.source_affinity; ++i) {
+    redirector.OnReplicaCreated(1, s.source);
+  }
+
+  SteadyStream warm(s.demand);
+  Drive(redirector, warm, 1, kWindow / 4);  // settle the counters
+  SteadyStream before_stream(s.demand);
+  const auto before = Drive(redirector, before_stream, 1, kWindow);
+  const double load_before =
+      before.count(s.source) ? before.at(s.source) : 0.0;
+
+  // Replicate source -> recipient (Theorem 1/2 event).
+  redirector.OnReplicaCreated(1, s.recipient);
+
+  SteadyStream after_stream(s.demand);
+  const auto after = Drive(redirector, after_stream, 1, kWindow);
+  const double source_after =
+      after.count(s.source) ? after.at(s.source) : 0.0;
+  const double recipient_gain =
+      after.count(s.recipient) ? after.at(s.recipient) : 0.0;
+
+  const double tolerance = 0.02 * kWindow;
+  // Theorem 1: the source loses at most (3/4) of the object's load.
+  EXPECT_GE(source_after,
+            load_before - ReplicationSourceDecreaseBound(load_before) -
+                tolerance)
+      << s.name;
+  // Theorem 2: the recipient gains at most 4 l / aff.
+  EXPECT_LE(recipient_gain,
+            RecipientIncreaseBound(load_before, s.source_affinity) +
+                tolerance)
+      << s.name;
+}
+
+TEST_P(TheoremBoundTest, MigrationRespectsTheorems3And4) {
+  const BoundScenario& s = GetParam();
+  MatrixDistanceOracle oracle = LineOracle(8);
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, s.source);
+  for (int i = 1; i < s.source_affinity; ++i) {
+    redirector.OnReplicaCreated(1, s.source);
+  }
+
+  SteadyStream warm(s.demand);
+  Drive(redirector, warm, 1, kWindow / 4);
+  SteadyStream before_stream(s.demand);
+  const auto before = Drive(redirector, before_stream, 1, kWindow);
+  const double load_before =
+      before.count(s.source) ? before.at(s.source) : 0.0;
+
+  // Migrate one affinity unit source -> recipient (Theorem 3/4 event).
+  redirector.OnReplicaCreated(1, s.recipient);
+  if (s.source_affinity > 1) {
+    redirector.OnAffinityReduced(1, s.source, s.source_affinity - 1);
+  } else {
+    ASSERT_TRUE(redirector.RequestDrop(1, s.source));
+  }
+
+  SteadyStream after_stream(s.demand);
+  const auto after = Drive(redirector, after_stream, 1, kWindow);
+  const double source_after =
+      after.count(s.source) ? after.at(s.source) : 0.0;
+  const double recipient_gain =
+      after.count(s.recipient) ? after.at(s.recipient) : 0.0;
+
+  const double tolerance = 0.02 * kWindow;
+  // Theorem 3: the source loses at most l/aff + (3/4) l (aff-1)/aff.
+  EXPECT_GE(
+      source_after,
+      load_before -
+          MigrationSourceDecreaseBound(load_before, s.source_affinity) -
+          tolerance)
+      << s.name;
+  // Theorem 4: the recipient gains at most 4 l / aff.
+  EXPECT_LE(recipient_gain,
+            RecipientIncreaseBound(load_before, s.source_affinity) +
+                tolerance)
+      << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SteadyDemand, TheoremBoundTest,
+    ::testing::Values(
+        BoundScenario{"all_local", {{0, 1}}, 0, 1, 7},
+        BoundScenario{"all_remote", {{7, 1}}, 0, 1, 7},
+        BoundScenario{"even_split", {{0, 1}, {7, 1}}, 0, 1, 7},
+        BoundScenario{"ninety_ten", {{0, 9}, {7, 1}}, 0, 1, 7},
+        BoundScenario{"aff2_local", {{0, 1}}, 0, 2, 7},
+        BoundScenario{"aff4_split", {{0, 1}, {7, 1}}, 0, 4, 7},
+        BoundScenario{"aff4_recipient_close", {{6, 1}, {0, 1}}, 0, 4, 7},
+        BoundScenario{"three_gateways", {{0, 2}, {4, 1}, {7, 1}}, 2, 1, 6},
+        BoundScenario{"aff3_three_gateways",
+                      {{0, 1}, {4, 2}, {7, 1}},
+                      4,
+                      3,
+                      0}),
+    [](const ::testing::TestParamInfo<BoundScenario>& info) {
+      return info.param.name;
+    });
+
+TEST(Theorem5Test, UnitRequestShareAfterReplicationAtLeastQuarter) {
+  // If the source's unit request rate exceeded m before replicating, every
+  // replica's unit rate afterwards stays above m/4 — the keystone of the
+  // 4u < m stability rule. Verified in closed loop for several demands.
+  const std::vector<std::vector<std::pair<NodeId, int>>> demands = {
+      {{0, 1}},
+      {{0, 1}, {7, 1}},
+      {{0, 9}, {7, 1}},
+      {{0, 1}, {3, 1}, {7, 2}},
+  };
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    MatrixDistanceOracle oracle = LineOracle(8);
+    Redirector redirector(oracle, 2.0);
+    redirector.RegisterObject(1, 0);
+    redirector.OnReplicaCreated(1, 7);
+
+    SteadyStream stream(demands[d]);
+    constexpr int kWindow5 = 40000;
+    const auto counts = Drive(redirector, stream, 1, kWindow5);
+    // Total demand rate "m" is the whole stream; each replica must hold
+    // at least a quarter of a fair unit share.
+    const double total = kWindow5;
+    for (const NodeId host : {0, 7}) {
+      const double share = counts.count(host) ? counts.at(host) : 0.0;
+      const int aff = redirector.AffinityOf(1, host);
+      // Theorem 5 bound: the source's unit rate before replication was the
+      // full stream (affinity 1), so every replica must keep at least a
+      // quarter of it (with a little slack for boundary effects).
+      EXPECT_GE(share / aff, total / 4.0 * 0.9)
+          << "demand " << d << " host " << host;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,0 +1,306 @@
+// Unit tests for radar::common — PRNG, Zipf sampling, statistics, time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace radar {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double total = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) total += rng.NextExponential(2.5);
+  EXPECT_NEAR(total / kSamples, 2.5, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng root(99);
+  Rng a = root.Fork(0);
+  Rng b = root.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng r1(5);
+  Rng r2(5);
+  Rng a = r1.Fork(7);
+  Rng b = r2.Fork(7);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(ReedsZipfTest, RanksWithinDomain) {
+  ReedsZipf zipf(1000);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto rank = zipf.Sample(rng);
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 1000);
+  }
+}
+
+TEST(ReedsZipfTest, SingleObjectAlwaysRankOne) {
+  ReedsZipf zipf(1);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1);
+}
+
+TEST(ReedsZipfTest, PopularityDecreasesFromRankTwo) {
+  // Analytically, the Reeds closed form gives rank r probability
+  // ln((r+0.5)/(r-0.5)) / ln(n) for r >= 2 — strictly decreasing in r.
+  // (Rank 1 is the known distortion of the approximation: its mass,
+  // ln(1.5)/ln(n), is *below* rank 2's.)
+  ReedsZipf zipf(10000);
+  Rng rng(5);
+  std::vector<int> counts(17, 0);
+  constexpr int kSamples = 400000;
+  int total_tracked = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto rank = zipf.Sample(rng);
+    if (rank <= 16) {
+      ++counts[static_cast<std::size_t>(rank)];
+      ++total_tracked;
+    }
+  }
+  EXPECT_GT(counts[2], counts[4]);
+  EXPECT_GT(counts[4], counts[8]);
+  EXPECT_GT(counts[8], counts[16]);
+  // The head of the distribution carries substantial mass.
+  EXPECT_GT(total_tracked, kSamples / 10);
+}
+
+TEST(ReedsZipfTest, ApproximatesExactZipfBeyondRankOne) {
+  // The paper reports the Reeds closed form stays within ~15% of Zipf's
+  // law. That holds from rank 2 onward (the ratio to exact Zipf is about
+  // H_n / ln n ~ 1.08 for n = 1000); rank 1 is distorted by construction.
+  constexpr std::int64_t kN = 1000;
+  ReedsZipf reeds(kN);
+  ExactZipf exact(kN);
+  Rng rng(6);
+  constexpr int kSamples = 2000000;
+  std::vector<double> reeds_freq(7, 0.0);
+  for (int i = 0; i < kSamples; ++i) {
+    const auto rank = reeds.Sample(rng);
+    if (rank <= 6) reeds_freq[static_cast<std::size_t>(rank)] += 1.0;
+  }
+  for (std::int64_t r = 2; r <= 6; ++r) {
+    const double observed =
+        reeds_freq[static_cast<std::size_t>(r)] / kSamples;
+    const double expected = exact.Pmf(r);
+    EXPECT_NEAR(observed, expected, expected * 0.20) << "rank " << r;
+  }
+}
+
+TEST(ReedsZipfTest, RankOneMassMatchesClosedForm) {
+  constexpr std::int64_t kN = 1000;
+  ReedsZipf reeds(kN);
+  Rng rng(8);
+  constexpr int kSamples = 1000000;
+  int rank_one = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (reeds.Sample(rng) == 1) ++rank_one;
+  }
+  const double expected = std::log(1.5) / std::log(static_cast<double>(kN));
+  EXPECT_NEAR(static_cast<double>(rank_one) / kSamples, expected,
+              expected * 0.05);
+}
+
+TEST(ExactZipfTest, PmfSumsToOne) {
+  ExactZipf zipf(500);
+  double total = 0.0;
+  for (std::int64_t r = 1; r <= 500; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExactZipfTest, PmfFollowsInverseRank) {
+  ExactZipf zipf(100);
+  EXPECT_NEAR(zipf.Pmf(1) / zipf.Pmf(2), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Pmf(1) / zipf.Pmf(10), 10.0, 1e-9);
+}
+
+TEST(ExactZipfTest, GeneralizedExponent) {
+  ExactZipf zipf(100, 2.0);
+  EXPECT_NEAR(zipf.Pmf(1) / zipf.Pmf(2), 4.0, 1e-9);
+}
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.variance(), 2.5, 1e-12);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombined) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(BucketedSeriesTest, AccumulatesIntoRightBuckets) {
+  BucketedSeries s(SecondsToSim(10.0));
+  s.Add(SecondsToSim(1.0), 5.0);
+  s.Add(SecondsToSim(9.0), 5.0);
+  s.Add(SecondsToSim(15.0), 7.0);
+  ASSERT_EQ(s.num_buckets(), 2u);
+  EXPECT_DOUBLE_EQ(s.SumAt(0), 10.0);
+  EXPECT_EQ(s.CountAt(0), 2);
+  EXPECT_DOUBLE_EQ(s.SumAt(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.MeanAt(1), 7.0);
+}
+
+TEST(BucketedSeriesTest, RateDividesByWidth) {
+  BucketedSeries s(SecondsToSim(10.0));
+  s.Add(SecondsToSim(3.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.RateAt(0), 10.0);
+}
+
+TEST(BucketedSeriesTest, MeanRateOverRange) {
+  BucketedSeries s(SecondsToSim(1.0));
+  s.Add(SecondsToSim(0.5), 2.0);
+  s.Add(SecondsToSim(1.5), 4.0);
+  s.Add(SecondsToSim(2.5), 6.0);
+  EXPECT_DOUBLE_EQ(s.MeanRateOver(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(s.MeanRateOver(1, 99), 5.0);  // clamps
+  EXPECT_DOUBLE_EQ(s.MeanRateOver(5, 6), 0.0);   // empty range
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(SecondsToSim(1.0), 1'000'000);
+  EXPECT_EQ(MillisToSim(10.0), 10'000);
+  EXPECT_DOUBLE_EQ(SimToSeconds(1'500'000), 1.5);
+}
+
+TEST(FormatMinutesTest, Formats) {
+  EXPECT_EQ(FormatMinutes(0.0), "0:00");
+  EXPECT_EQ(FormatMinutes(65.0), "1:05");
+  EXPECT_EQ(FormatMinutes(1201.0), "20:01");
+}
+
+}  // namespace
+}  // namespace radar

@@ -1,0 +1,233 @@
+// Unit tests for the Sec. 5 consistency layer: object categories, primary-
+// copy propagation (immediate and batched), commuting-statistics merging,
+// and replica caps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/consistency.h"
+
+namespace radar::core {
+namespace {
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  ConsistencyTest() {
+    catalog_.Register(1, ObjectCategory::kProviderUpdated, /*primary=*/0);
+    catalog_.Register(2, ObjectCategory::kCommutingUpdates, 1);
+    catalog_.Register(3, ObjectCategory::kNonCommutingUpdates, 2);
+  }
+
+  UpdateManager MakeManager(PropagationPolicy policy) {
+    return UpdateManager(
+        &catalog_,
+        [this](ObjectId x) {
+          const auto it = replica_sets_.find(x);
+          return it != replica_sets_.end() ? it->second
+                                           : std::vector<NodeId>{};
+        },
+        policy);
+  }
+
+  ObjectCatalog catalog_;
+  std::map<ObjectId, std::vector<NodeId>> replica_sets_;
+};
+
+TEST_F(ConsistencyTest, CatalogDefaults) {
+  EXPECT_TRUE(catalog_.Knows(1));
+  EXPECT_FALSE(catalog_.Knows(99));
+  EXPECT_EQ(catalog_.MetaOf(1).primary, 0);
+  EXPECT_EQ(catalog_.ReplicaCap(1), 0);  // category 1: unlimited
+  EXPECT_EQ(catalog_.ReplicaCap(2), 0);  // category 2: unlimited
+  EXPECT_EQ(catalog_.ReplicaCap(3), 1);  // category 3: migrate-only
+  EXPECT_TRUE(catalog_.MayReplicate(1));
+  EXPECT_FALSE(catalog_.MayReplicate(3));
+  EXPECT_EQ(catalog_.ReplicaCap(99), 0);  // unknown objects unrestricted
+}
+
+TEST_F(ConsistencyTest, ExplicitCapOverridesCategoryDefault) {
+  catalog_.Register(4, ObjectCategory::kNonCommutingUpdates, 0,
+                    /*replica_cap=*/3);
+  EXPECT_EQ(catalog_.ReplicaCap(4), 3);
+  EXPECT_TRUE(catalog_.MayReplicate(4));
+}
+
+TEST_F(ConsistencyTest, ImmediatePropagationReachesAllReplicas) {
+  replica_sets_[1] = {0, 3, 5};
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  EXPECT_EQ(manager.ProviderUpdate(1, SecondsToSim(1.0)), 1);
+  EXPECT_EQ(manager.PrimaryVersion(1), 1);
+  for (const NodeId host : {0, 3, 5}) {
+    EXPECT_EQ(manager.VersionAt(1, host), 1) << host;
+  }
+  EXPECT_TRUE(manager.IsConsistent(1));
+}
+
+TEST_F(ConsistencyTest, ImmediatePropagationCountsOnlyRemoteShips) {
+  replica_sets_[1] = {0, 3};
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  std::vector<std::pair<NodeId, NodeId>> shipped;
+  manager.set_propagate_hook([&](NodeId from, NodeId to, ObjectId) {
+    shipped.push_back({from, to});
+  });
+  manager.ProviderUpdate(1, SecondsToSim(1.0));
+  // The primary (0) does not ship to itself.
+  ASSERT_EQ(shipped.size(), 1u);
+  EXPECT_EQ(shipped[0], (std::pair<NodeId, NodeId>{0, 3}));
+}
+
+TEST_F(ConsistencyTest, BatchedPropagationWaitsForFlush) {
+  replica_sets_[1] = {0, 3};
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  manager.ProviderUpdate(1, SecondsToSim(1.0));
+  manager.ProviderUpdate(1, SecondsToSim(2.0));
+  EXPECT_EQ(manager.PrimaryVersion(1), 2);
+  EXPECT_EQ(manager.VersionAt(1, 3), 0);
+  EXPECT_FALSE(manager.IsConsistent(1));
+  EXPECT_EQ(manager.pending_batch_size(), 1);
+  const auto deliveries = manager.FlushBatch(SecondsToSim(3.0));
+  EXPECT_EQ(deliveries, 1);  // replica 3 jumps straight to version 2
+  EXPECT_EQ(manager.VersionAt(1, 3), 2);
+  EXPECT_TRUE(manager.IsConsistent(1));
+  EXPECT_EQ(manager.pending_batch_size(), 0);
+}
+
+TEST_F(ConsistencyTest, StalenessMeasuredFromPrimaryUpdate) {
+  replica_sets_[1] = {0, 3};
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  manager.ProviderUpdate(1, SecondsToSim(10.0));
+  EXPECT_DOUBLE_EQ(manager.StalenessSeconds(1, 3, SecondsToSim(25.0)), 15.0);
+  EXPECT_DOUBLE_EQ(manager.StalenessSeconds(1, 0, SecondsToSim(25.0)), 0.0);
+  manager.FlushBatch(SecondsToSim(30.0));
+  EXPECT_DOUBLE_EQ(manager.StalenessSeconds(1, 3, SecondsToSim(40.0)), 0.0);
+}
+
+TEST_F(ConsistencyTest, NeverUpdatedObjectIsConsistent) {
+  replica_sets_[1] = {0, 3};
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  EXPECT_TRUE(manager.IsConsistent(1));
+  EXPECT_DOUBLE_EQ(manager.StalenessSeconds(1, 3, SecondsToSim(5.0)), 0.0);
+}
+
+TEST_F(ConsistencyTest, NewReplicaStartsCurrent) {
+  replica_sets_[1] = {0};
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  manager.ProviderUpdate(1, SecondsToSim(1.0));
+  manager.ProviderUpdate(1, SecondsToSim(2.0));
+  // A replica created later copies from a live (current) replica.
+  replica_sets_[1] = {0, 4};
+  manager.OnReplicaCreated(1, 4, SecondsToSim(3.0));
+  EXPECT_EQ(manager.VersionAt(1, 4), 2);
+  EXPECT_TRUE(manager.IsConsistent(1));
+}
+
+TEST_F(ConsistencyTest, ReplicaSetShrinkageIgnoresDepartedReplica) {
+  replica_sets_[1] = {0, 3};
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  manager.ProviderUpdate(1, SecondsToSim(1.0));
+  // Replica 3 leaves before the flush; consistency is judged over the
+  // *current* replica set.
+  replica_sets_[1] = {0};
+  manager.OnReplicaDropped(1, 3);
+  EXPECT_TRUE(manager.IsConsistent(1));
+}
+
+TEST_F(ConsistencyTest, CommutingStatisticsMergeAcrossReplicas) {
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  manager.RecordCommutingUpdate(2, 1, 10);
+  manager.RecordCommutingUpdate(2, 4, 5);
+  manager.RecordCommutingUpdate(2, 1, 2);
+  EXPECT_EQ(manager.MergedStatistic(2), 17);
+}
+
+TEST_F(ConsistencyTest, DroppedReplicaStatisticsAreArchivedNotLost) {
+  // Sec. 5's requirement: merging access statistics recorded by different
+  // replicas must survive replica deletions.
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  manager.RecordCommutingUpdate(2, 1, 10);
+  manager.RecordCommutingUpdate(2, 4, 5);
+  manager.OnReplicaDropped(2, 4);
+  EXPECT_EQ(manager.MergedStatistic(2), 15);
+  manager.RecordCommutingUpdate(2, 1, 1);
+  EXPECT_EQ(manager.MergedStatistic(2), 16);
+  // Dropping the same replica twice is harmless (idempotent archive).
+  manager.OnReplicaDropped(2, 4);
+  EXPECT_EQ(manager.MergedStatistic(2), 16);
+}
+
+TEST_F(ConsistencyTest, UnknownObjectStatisticIsZero) {
+  UpdateManager manager = MakeManager(PropagationPolicy::kImmediate);
+  EXPECT_EQ(manager.MergedStatistic(42), 0);
+  EXPECT_EQ(manager.PrimaryVersion(42), 0);
+  EXPECT_EQ(manager.VersionAt(42, 0), 0);
+}
+
+TEST_F(ConsistencyTest, FlushWithNothingPendingDeliversNothing) {
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  EXPECT_EQ(manager.FlushBatch(SecondsToSim(1.0)), 0);
+}
+
+TEST_F(ConsistencyTest, MultipleObjectsBatchIndependently) {
+  catalog_.Register(10, ObjectCategory::kProviderUpdated, 0);
+  replica_sets_[1] = {0, 3};
+  replica_sets_[10] = {0, 4, 5};
+  UpdateManager manager = MakeManager(PropagationPolicy::kBatched);
+  manager.ProviderUpdate(1, SecondsToSim(1.0));
+  manager.ProviderUpdate(10, SecondsToSim(1.0));
+  EXPECT_EQ(manager.pending_batch_size(), 2);
+  EXPECT_EQ(manager.FlushBatch(SecondsToSim(2.0)), 3);  // 1 + 2 remotes
+  EXPECT_TRUE(manager.IsConsistent(1));
+  EXPECT_TRUE(manager.IsConsistent(10));
+}
+
+TEST_F(ConsistencyTest, BridgeTracksRedirectorChanges) {
+  // Wire an UpdateManager onto a live redirector via the bridge: replica
+  // creations start current, drops archive their statistics — with no
+  // manual bookkeeping.
+  MatrixDistanceOracle oracle(6);
+  Redirector redirector(oracle, 2.0);
+  replica_sets_[1] = {};  // replica set comes from the redirector now
+  UpdateManager manager(
+      &catalog_,
+      [&redirector](ObjectId x) {
+        return redirector.KnowsObject(x) ? redirector.ReplicaHosts(x)
+                                         : std::vector<NodeId>{};
+      },
+      PropagationPolicy::kImmediate);
+  SimTime now = SecondsToSim(1.0);
+  ConsistencyBridge bridge(&manager, [&now] { return now; });
+  redirector.set_change_listener(&bridge);
+
+  redirector.RegisterObject(1, 0);
+  manager.ProviderUpdate(1, now);
+  EXPECT_TRUE(manager.IsConsistent(1));
+
+  now = SecondsToSim(2.0);
+  redirector.OnReplicaCreated(1, 4);  // placement creates a replica
+  EXPECT_EQ(manager.VersionAt(1, 4), 1);  // bridge synced it
+  EXPECT_TRUE(manager.IsConsistent(1));
+
+  manager.RecordCommutingUpdate(1, 4, 5);
+  ASSERT_TRUE(redirector.RequestDrop(1, 4));  // placement drops it again
+  EXPECT_EQ(manager.MergedStatistic(1), 5);   // archived, not lost
+  EXPECT_TRUE(manager.IsConsistent(1));
+}
+
+TEST(ConsistencyDeathTest, UpdateForUncataloguedObjectAborts) {
+  ObjectCatalog catalog;
+  UpdateManager manager(
+      &catalog, [](ObjectId) { return std::vector<NodeId>{}; },
+      PropagationPolicy::kImmediate);
+  EXPECT_DEATH(manager.ProviderUpdate(1, 0), "uncatalogued");
+}
+
+TEST(ConsistencyDeathTest, DoubleCatalogRegistrationAborts) {
+  ObjectCatalog catalog;
+  catalog.Register(1, ObjectCategory::kProviderUpdated, 0);
+  EXPECT_DEATH(catalog.Register(1, ObjectCategory::kProviderUpdated, 0),
+               "catalogued");
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,0 +1,64 @@
+// A scriptable PlacementContext for unit-testing HostAgent in isolation.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/protocol.h"
+#include "core/redirector.h"
+
+namespace radar::core::testing {
+
+class FakeContext : public PlacementContext {
+ public:
+  struct Call {
+    NodeId from;
+    NodeId to;
+    CreateObjMethod method;
+    ObjectId x;
+    double unit_load;
+  };
+
+  explicit FakeContext(std::int32_t num_nodes,
+                       double distribution_constant = 2.0)
+      : oracle(num_nodes), redirector(oracle, distribution_constant) {}
+
+  CreateObjResponse CreateObjRpc(NodeId from, NodeId to,
+                                 CreateObjMethod method, ObjectId x,
+                                 double unit_load) override {
+    calls.push_back(Call{from, to, method, x, unit_load});
+    if (!accept_all && accepting.count(to) == 0) return {};
+    const bool copied = holdings[static_cast<std::size_t>(to)].insert(x).second;
+    // Mirror Cluster's behavior: the redirector learns of the new copy
+    // before the RPC returns.
+    redirector.OnReplicaCreated(x, to);
+    return CreateObjResponse{true, copied};
+  }
+
+  Redirector& RedirectorFor(ObjectId) override { return redirector; }
+
+  std::int32_t Distance(NodeId from, NodeId to) const override {
+    return oracle.Distance(from, to);
+  }
+
+  NodeId FindOffloadRecipient(NodeId) override { return offload_recipient; }
+
+  double ReportedLoad(NodeId) const override { return reported_load; }
+
+  /// Registers holdings for nodes that "already have" objects.
+  void Preload(NodeId node, ObjectId x) {
+    holdings[static_cast<std::size_t>(node)].insert(x);
+  }
+
+  MatrixDistanceOracle oracle;
+  Redirector redirector;
+  std::vector<Call> calls;
+  bool accept_all = true;
+  std::set<NodeId> accepting;  // consulted when accept_all == false
+  NodeId offload_recipient = kInvalidNode;
+  double reported_load = 0.0;
+  std::vector<std::set<ObjectId>> holdings{64};
+};
+
+}  // namespace radar::core::testing

@@ -1,0 +1,247 @@
+// Unit tests for HostAgent: access counting along preference paths, load
+// measurement, the Sec. 2.1 load estimates, and CreateObj admission
+// (Fig. 4).
+#include <gtest/gtest.h>
+
+#include "core/host_agent.h"
+#include "fake_context.h"
+
+namespace radar::core {
+namespace {
+
+using testing::FakeContext;
+
+ProtocolParams TestParams() {
+  ProtocolParams p;  // paper defaults
+  return p;
+}
+
+class HostAgentTest : public ::testing::Test {
+ protected:
+  HostAgentTest() : params_(TestParams()), agent_(0, 8, &params_) {}
+
+  ProtocolParams params_;
+  HostAgent agent_;
+};
+
+TEST_F(HostAgentTest, InitialReplicaState) {
+  agent_.AddInitialReplica(7);
+  EXPECT_TRUE(agent_.HasObject(7));
+  EXPECT_FALSE(agent_.HasObject(8));
+  EXPECT_EQ(agent_.Affinity(7), 1);
+  EXPECT_EQ(agent_.Affinity(8), 0);
+  EXPECT_EQ(agent_.NumObjects(), 1u);
+}
+
+TEST_F(HostAgentTest, ObjectsSortedAscending) {
+  agent_.AddInitialReplica(5);
+  agent_.AddInitialReplica(1);
+  agent_.AddInitialReplica(3);
+  EXPECT_EQ(agent_.Objects(), (std::vector<ObjectId>{1, 3, 5}));
+}
+
+TEST_F(HostAgentTest, RecordServicedCountsEveryPathNode) {
+  agent_.AddInitialReplica(1);
+  agent_.RecordServiced(1, {0, 2, 5});
+  agent_.RecordServiced(1, {0, 2, 6});
+  EXPECT_EQ(agent_.AccessCount(1, 0), 2u);  // self: total access count
+  EXPECT_EQ(agent_.AccessCount(1, 2), 2u);
+  EXPECT_EQ(agent_.AccessCount(1, 5), 1u);
+  EXPECT_EQ(agent_.AccessCount(1, 6), 1u);
+  EXPECT_EQ(agent_.AccessCount(1, 7), 0u);
+}
+
+TEST_F(HostAgentTest, SelfOnlyPathForLocalGateway) {
+  agent_.AddInitialReplica(1);
+  agent_.RecordServiced(1, {0});
+  EXPECT_EQ(agent_.AccessCount(1, 0), 1u);
+}
+
+TEST_F(HostAgentTest, MeasuredLoadIsServicedRate) {
+  agent_.AddInitialReplica(1);
+  agent_.AddInitialReplica(2);
+  for (int i = 0; i < 60; ++i) agent_.RecordServiced(1, {0});
+  for (int i = 0; i < 40; ++i) agent_.RecordServiced(2, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 5.0);  // 100 req / 20 s
+  EXPECT_DOUBLE_EQ(agent_.ObjectLoad(1), 3.0);
+  EXPECT_DOUBLE_EQ(agent_.ObjectLoad(2), 2.0);
+  EXPECT_DOUBLE_EQ(agent_.UnitLoad(1), 3.0);
+}
+
+TEST_F(HostAgentTest, MeasurementIntervalsAreDisjoint) {
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 20; ++i) agent_.RecordServiced(1, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 1.0);
+  // No requests in the second interval.
+  agent_.OnMeasurementTick(SecondsToSim(40.0));
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 0.0);
+}
+
+TEST_F(HostAgentTest, UntrackedServiceCountsTowardHostLoadOnly) {
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 10; ++i) agent_.RecordServicedUntracked();
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 0.5);
+  EXPECT_DOUBLE_EQ(agent_.ObjectLoad(1), 0.0);
+}
+
+TEST_F(HostAgentTest, UnitLoadDividesByAffinity) {
+  agent_.AddInitialReplica(1);
+  // Raise affinity to 2 via an accepted CreateObj.
+  EXPECT_TRUE(agent_
+                  .HandleCreateObj(CreateObjMethod::kReplicate, 1, 0.0,
+                                   SecondsToSim(1.0))
+                  .accepted);
+  EXPECT_EQ(agent_.Affinity(1), 2);
+  for (int i = 0; i < 40; ++i) agent_.RecordServiced(1, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.ObjectLoad(1), 2.0);
+  EXPECT_DOUBLE_EQ(agent_.UnitLoad(1), 1.0);
+}
+
+TEST_F(HostAgentTest, CreateObjRefusedAboveLowWatermark) {
+  // Drive measured load above lw (80 req/s): 1700 requests in 20 s = 85.
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 1700; ++i) agent_.RecordServiced(1, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  ASSERT_GT(agent_.measured_load(), params_.low_watermark);
+  EXPECT_FALSE(agent_
+                   .HandleCreateObj(CreateObjMethod::kReplicate, 9, 1.0,
+                                    SecondsToSim(21.0))
+                   .accepted);
+  EXPECT_FALSE(agent_.HasObject(9));
+}
+
+TEST_F(HostAgentTest, MigrationRefusedWhenBoundWouldCrossHighWatermark) {
+  // Load 60 (below lw). A migration with unit load 10 has an upper-bound
+  // increase of 40, crossing hw = 90 -> refuse; a replication with the
+  // same load must be accepted (bootstrap rule).
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 1200; ++i) agent_.RecordServiced(1, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  ASSERT_DOUBLE_EQ(agent_.measured_load(), 60.0);
+  EXPECT_FALSE(agent_
+                   .HandleCreateObj(CreateObjMethod::kMigrate, 9, 10.0,
+                                    SecondsToSim(21.0))
+                   .accepted);
+  EXPECT_TRUE(agent_
+                  .HandleCreateObj(CreateObjMethod::kReplicate, 9, 10.0,
+                                   SecondsToSim(21.0))
+                  .accepted);
+}
+
+TEST_F(HostAgentTest, AcceptanceRaisesAdmissionEstimateByFourUnitLoads) {
+  EXPECT_TRUE(agent_
+                  .HandleCreateObj(CreateObjMethod::kMigrate, 9, 2.5,
+                                   SecondsToSim(1.0))
+                  .accepted);
+  EXPECT_DOUBLE_EQ(agent_.AdmissionLoad(), 10.0);
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 0.0);
+}
+
+TEST_F(HostAgentTest, BulkAcceptancesAccumulateEstimate) {
+  for (ObjectId x = 10; x < 15; ++x) {
+    EXPECT_TRUE(agent_
+                    .HandleCreateObj(CreateObjMethod::kMigrate, x, 3.0,
+                                     SecondsToSim(1.0))
+                    .accepted);
+  }
+  EXPECT_DOUBLE_EQ(agent_.AdmissionLoad(), 60.0);
+  // The sixth acceptance would bound past hw for migrations: 60 + 4*10=100.
+  EXPECT_FALSE(agent_
+                   .HandleCreateObj(CreateObjMethod::kMigrate, 20, 10.0,
+                                    SecondsToSim(1.0))
+                   .accepted);
+}
+
+TEST_F(HostAgentTest, EstimateRevertsAfterQuietInterval) {
+  EXPECT_TRUE(agent_
+                  .HandleCreateObj(CreateObjMethod::kMigrate, 9, 2.0,
+                                   SecondsToSim(5.0))
+                  .accepted);
+  EXPECT_DOUBLE_EQ(agent_.AdmissionLoad(), 8.0);
+  // Interval [0, 20) contains the acquisition: the estimate must persist.
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.AdmissionLoad(), agent_.measured_load() + 8.0);
+  // Interval [20, 40) starts after the acquisition: revert to measurement.
+  agent_.OnMeasurementTick(SecondsToSim(40.0));
+  EXPECT_DOUBLE_EQ(agent_.AdmissionLoad(), agent_.measured_load());
+}
+
+TEST_F(HostAgentTest, DuplicateCreateIncrementsAffinityWithoutCopy) {
+  agent_.AddInitialReplica(1);
+  const CreateObjResponse resp = agent_.HandleCreateObj(
+      CreateObjMethod::kReplicate, 1, 0.5, SecondsToSim(1.0));
+  EXPECT_TRUE(resp.accepted);
+  EXPECT_FALSE(resp.created_new_copy);
+  EXPECT_EQ(agent_.Affinity(1), 2);
+}
+
+TEST_F(HostAgentTest, FreshCopyReportsCreatedNewCopy) {
+  const CreateObjResponse resp = agent_.HandleCreateObj(
+      CreateObjMethod::kReplicate, 1, 0.5, SecondsToSim(1.0));
+  EXPECT_TRUE(resp.accepted);
+  EXPECT_TRUE(resp.created_new_copy);
+}
+
+TEST_F(HostAgentTest, NewReplicaInheritsUnitLoadEstimate) {
+  agent_.HandleCreateObj(CreateObjMethod::kMigrate, 9, 1.5, SecondsToSim(1.0));
+  EXPECT_DOUBLE_EQ(agent_.ObjectLoad(9), 1.5);
+}
+
+TEST_F(HostAgentTest, UnitAccessRateUsesEpochAndAffinity) {
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 100; ++i) agent_.RecordServiced(1, {0});
+  // 100 requests over a 100 s epoch at affinity 1 -> 1 req/s.
+  EXPECT_DOUBLE_EQ(agent_.UnitAccessRate(1, SecondsToSim(100.0)), 1.0);
+}
+
+TEST_F(HostAgentTest, UnitAccessRateOfFreshReplicaUsesAcquisitionTime) {
+  // Acquired at t=90 with 10 requests by t=100: rate is 1/s, not 0.1/s.
+  agent_.HandleCreateObj(CreateObjMethod::kMigrate, 9, 0.0,
+                         SecondsToSim(90.0));
+  for (int i = 0; i < 10; ++i) agent_.RecordServiced(9, {0});
+  EXPECT_DOUBLE_EQ(agent_.UnitAccessRate(9, SecondsToSim(100.0)), 1.0);
+}
+
+TEST_F(HostAgentTest, OffloadLoadLowerBoundedByShedding) {
+  FakeContext ctx(8);
+  ctx.redirector.RegisterObject(1, 0);
+  agent_.AddInitialReplica(1);
+  for (int i = 0; i < 2000; ++i) agent_.RecordServiced(1, {0});
+  agent_.OnMeasurementTick(SecondsToSim(20.0));
+  EXPECT_DOUBLE_EQ(agent_.measured_load(), 100.0);
+  EXPECT_DOUBLE_EQ(agent_.OffloadLoad(), 100.0);
+  // Run a placement round: load 100 > hw, offload sheds toward node 5.
+  ctx.offload_recipient = 5;
+  ctx.reported_load = 0.0;
+  const PlacementStats stats = agent_.RunPlacement(ctx, SecondsToSim(100.0));
+  EXPECT_TRUE(stats.offloading_mode);
+  EXPECT_GT(stats.offload_replications + stats.offload_migrations, 0);
+  EXPECT_LT(agent_.OffloadLoad(), 100.0);
+}
+
+TEST(HostAgentDeathTest, PathMustStartAtSelf) {
+  ProtocolParams params;
+  HostAgent agent(0, 4, &params);
+  agent.AddInitialReplica(1);
+  EXPECT_DEATH(agent.RecordServiced(1, {2, 0}), "preference path");
+}
+
+TEST(HostAgentDeathTest, ServiceForUnknownObjectAborts) {
+  ProtocolParams params;
+  HostAgent agent(0, 4, &params);
+  EXPECT_DEATH(agent.RecordServiced(9, {0}), "not hosted");
+}
+
+TEST(HostAgentDeathTest, DoubleInitialReplicaAborts) {
+  ProtocolParams params;
+  HostAgent agent(0, 4, &params);
+  agent.AddInitialReplica(1);
+  EXPECT_DEATH(agent.AddInitialReplica(1), "already present");
+}
+
+}  // namespace
+}  // namespace radar::core

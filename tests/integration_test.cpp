@@ -1,0 +1,239 @@
+// End-to-end integration tests: the qualitative claims of Sec. 6.2 on a
+// dynamically equivalent 1/10-scale version of the paper's experiments
+// (see test_config.h — all rates scale together, so per-object load
+// relative to the watermarks matches the paper's setup).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "driver/hosting_simulation.h"
+#include "test_config.h"
+
+namespace radar::driver {
+namespace {
+
+using testing::ScaledPaperConfig;
+
+SimConfig BaseConfig() {
+  SimConfig config = ScaledPaperConfig();
+  config.duration = SecondsToSim(2400.0);
+  config.seed = 3;
+  return config;
+}
+
+TEST(IntegrationTest, ZipfBandwidthDropsSubstantially) {
+  SimConfig config = BaseConfig();
+  config.workload = WorkloadKind::kZipf;
+  const RunReport report = HostingSimulation(config).Run();
+  // Paper: ~60% bandwidth reduction, ~20% latency reduction at equilibrium.
+  EXPECT_GT(report.BandwidthReductionPercent(), 40.0);
+  EXPECT_GT(report.LatencyReductionPercent(), 10.0);
+}
+
+TEST(IntegrationTest, RegionalBandwidthDropsMost) {
+  SimConfig regional = BaseConfig();
+  regional.workload = WorkloadKind::kRegional;
+  SimConfig zipf = BaseConfig();
+  zipf.workload = WorkloadKind::kZipf;
+  const RunReport regional_report = HostingSimulation(regional).Run();
+  const RunReport zipf_report = HostingSimulation(zipf).Run();
+  // "as much as 90.1% for the regional workload": regional locality beats
+  // the globally-popular workloads by a wide margin.
+  EXPECT_GT(regional_report.BandwidthReductionPercent(), 70.0);
+  EXPECT_GT(regional_report.BandwidthReductionPercent(),
+            zipf_report.BandwidthReductionPercent());
+}
+
+TEST(IntegrationTest, HotSitesHotSpotsEliminated) {
+  SimConfig config = BaseConfig();
+  config.duration = SecondsToSim(4500.0);  // overload drains, then settles
+  config.workload = WorkloadKind::kHotSites;
+  const RunReport report = HostingSimulation(config).Run();
+  // Initially a few sites melt down (queues, huge latency); at equilibrium
+  // the max load sits below the high watermark and latency has collapsed
+  // (Fig. 8a / Sec. 6.2).
+  const std::size_t n = report.max_load.num_buckets();
+  ASSERT_GT(n, 10u);
+  const double late_max = report.max_load.MaxOver(n - 4, n - 2);
+  EXPECT_LT(late_max, config.protocol.high_watermark * 1.05);
+  EXPECT_GT(report.InitialLatency(4), 1.0);         // melted down at start
+  EXPECT_LT(report.EquilibriumLatency(), 1.0);      // healthy at the end
+}
+
+TEST(IntegrationTest, HotSitesAndHotPagesConvergeToSimilarBandwidth) {
+  // "The equilibrium bandwidth consumption for both the cases is the same"
+  // — placement is driven by access patterns, not initial configuration.
+  SimConfig sites = BaseConfig();
+  sites.duration = SecondsToSim(4500.0);
+  sites.workload = WorkloadKind::kHotSites;
+  SimConfig pages = BaseConfig();
+  pages.duration = SecondsToSim(4500.0);
+  pages.workload = WorkloadKind::kHotPages;
+  const RunReport sites_report = HostingSimulation(sites).Run();
+  const RunReport pages_report = HostingSimulation(pages).Run();
+  const double a = sites_report.EquilibriumBandwidthRate();
+  const double b = pages_report.EquilibriumBandwidthRate();
+  EXPECT_LT(std::abs(a - b) / std::max(a, b), 0.30);
+}
+
+TEST(IntegrationTest, OverheadStaysSmall) {
+  for (const WorkloadKind kind :
+       {WorkloadKind::kZipf, WorkloadKind::kHotPages,
+        WorkloadKind::kRegional}) {
+    SimConfig config = BaseConfig();
+    config.duration = SecondsToSim(1500.0);
+    config.workload = kind;
+    const RunReport report = HostingSimulation(config).Run();
+    // Fig. 7: "always below 2.5% of total traffic". Allow headroom for the
+    // short scaled-down runs where startup copying weighs more.
+    EXPECT_LT(report.traffic.OverheadPercent(), 4.0)
+        << WorkloadKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, FewExtraReplicas) {
+  // Table 2: 1.49-2.62 average replicas across workloads on 53 nodes.
+  for (const WorkloadKind kind :
+       {WorkloadKind::kZipf, WorkloadKind::kRegional}) {
+    SimConfig config = BaseConfig();
+    config.duration = SecondsToSim(1500.0);
+    config.workload = kind;
+    const RunReport report = HostingSimulation(config).Run();
+    EXPECT_GT(report.final_avg_replicas, 1.0) << WorkloadKindName(kind);
+    EXPECT_LT(report.final_avg_replicas, 5.0) << WorkloadKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, LoadEstimatesBracketActualLoad) {
+  // Fig. 8b: the actual load lies between the high and low estimates.
+  SimConfig config = BaseConfig();
+  config.duration = SecondsToSim(1500.0);
+  config.workload = WorkloadKind::kHotPages;
+  config.tracked_host = 10;
+  const RunReport report = HostingSimulation(config).Run();
+  ASSERT_FALSE(report.tracked_host_loads.empty());
+  for (const auto& sample : report.tracked_host_loads) {
+    EXPECT_LE(sample.measured, sample.upper_estimate + 1e-9);
+    EXPECT_GE(sample.measured, sample.lower_estimate - 1e-9);
+  }
+}
+
+TEST(IntegrationTest, DynamicBeatsStaticOnBandwidth) {
+  SimConfig dynamic_config = BaseConfig();
+  dynamic_config.workload = WorkloadKind::kRegional;
+  SimConfig static_config = dynamic_config;
+  static_config.placement = baselines::PlacementPolicy::kStatic;
+  const RunReport dynamic_report = HostingSimulation(dynamic_config).Run();
+  const RunReport static_report = HostingSimulation(static_config).Run();
+  EXPECT_LT(dynamic_report.EquilibriumBandwidthRate(),
+            0.5 * static_report.EquilibriumBandwidthRate());
+  EXPECT_LT(dynamic_report.EquilibriumLatency(),
+            static_report.EquilibriumLatency());
+}
+
+TEST(IntegrationTest, ClosestOnlyCannotRelieveLocalOverload) {
+  // Sec. 3's America/Europe example: one site is swamped by requests
+  // originating from its own vicinity. Always-closest distribution keeps
+  // every local request on the swamped host no matter how many replicas
+  // placement creates, so its queue grows without bound; the paper's
+  // distributor spills the excess to the other replica and recovers.
+  auto make_topology = [] {
+    net::TopologyBuilder b;
+    b.AddNode("America", net::Region::kEasternNorthAmerica,
+              /*is_gateway=*/true);
+    // Europe hosts but takes no client requests directly: all demand
+    // enters through the American gateway.
+    b.AddNode("Europe", net::Region::kEurope, /*is_gateway=*/false);
+    b.Link("America", "Europe", MillisToSim(10.0), 350.0 * 1024.0);
+    return std::move(b).Build();
+  };
+  SimConfig config;
+  config.num_objects = 10;
+  config.initial_home = [](ObjectId) { return NodeId{0}; };  // all American
+  config.node_request_rate = 24.0;  // 1.2x one host's capacity
+  config.server_capacity = 20.0;
+  config.protocol.high_watermark = 15.0;
+  config.protocol.low_watermark = 12.0;
+  config.workload = WorkloadKind::kUniform;
+  config.duration = SecondsToSim(3600.0);
+  config.seed = 5;
+
+  SimConfig closest_config = config;
+  closest_config.distribution = baselines::DistributionPolicy::kClosest;
+  const RunReport closest_report =
+      HostingSimulation(closest_config, make_topology()).Run();
+
+  SimConfig radar_config = config;
+  radar_config.distribution = baselines::DistributionPolicy::kRadar;
+  const RunReport radar_report =
+      HostingSimulation(radar_config, make_topology()).Run();
+
+  // Closest-only: 30 req/s forever against a 20 req/s host -> the backlog
+  // at the end is enormous. Radar: the spill rule plus offloading split
+  // the demand across both hosts and the system stays healthy.
+  EXPECT_GT(closest_report.EquilibriumLatency(), 60.0);
+  EXPECT_LT(radar_report.EquilibriumLatency(), 5.0);
+}
+
+TEST(IntegrationTest, HighLoadShrinksGains) {
+  // Fig. 9: with the watermarks halved relative to the mean load, the
+  // protocol still works but its bandwidth gains diminish.
+  SimConfig low = BaseConfig();
+  low.workload = WorkloadKind::kRegional;
+  SimConfig high = low;
+  high.protocol.high_watermark = 50.0 / 10.0;
+  high.protocol.low_watermark = 40.0 / 10.0;
+  const RunReport low_report = HostingSimulation(low).Run();
+  const RunReport high_report = HostingSimulation(high).Run();
+  EXPECT_GE(high_report.EquilibriumBandwidthRate(),
+            low_report.EquilibriumBandwidthRate() * 0.98);
+  // The protocol remains safe: every request is still serviced.
+  EXPECT_EQ(high_report.dropped_requests, 0);
+}
+
+TEST(IntegrationTest, DemandShiftReAdapts) {
+  // Responsiveness (Sec. 1.2): after the demand pattern changes, traffic
+  // first rises (replicas are placed for the old pattern) and then settles
+  // back down as the protocol re-adapts.
+  SimConfig config = BaseConfig();
+  config.duration = SecondsToSim(4800.0);
+  HostingSimulation sim(config);
+  auto before = std::make_unique<workload::RegionalWorkload>(
+      config.num_objects, sim.topology());
+  auto after = std::make_unique<workload::ZipfWorkload>(config.num_objects);
+  sim.SetWorkload(std::make_unique<workload::DemandShiftWorkload>(
+      std::move(before), std::move(after), SecondsToSim(2400.0)));
+  const RunReport report = sim.Run();
+
+  const auto& payload = report.traffic.payload();
+  const std::size_t shift_bucket = 2400 / 60;
+  ASSERT_GT(payload.num_buckets(), shift_bucket + 10);
+  // Re-adapted: final traffic rate is below the immediate post-shift rate.
+  const double post_shift = payload.RateAt(shift_bucket + 1);
+  const double settled =
+      payload.MeanRateOver(payload.num_buckets() - 6,
+                           payload.num_buckets() - 2);
+  EXPECT_LT(settled, post_shift);
+}
+
+TEST(IntegrationTest, EveryObjectRetainsAtLeastOneReplica) {
+  SimConfig config = BaseConfig();
+  config.duration = SecondsToSim(1500.0);
+  config.workload = WorkloadKind::kHotPages;  // many cold deletion targets
+  HostingSimulation sim(config);
+  const RunReport report = sim.Run();
+  (void)report;
+  const auto& redirectors = sim.cluster().redirectors();
+  std::int64_t objects_seen = 0;
+  for (int i = 0; i < redirectors.size(); ++i) {
+    const auto& r = const_cast<core::RedirectorGroup&>(redirectors).At(i);
+    for (const ObjectId x : r.Objects()) {
+      EXPECT_GE(r.ReplicaCount(x), 1);
+      ++objects_seen;
+    }
+  }
+  EXPECT_EQ(objects_seen, config.num_objects);
+}
+
+}  // namespace
+}  // namespace radar::driver

@@ -1,0 +1,107 @@
+// Unit tests for radar::net::Graph.
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "net/graph.h"
+
+namespace radar::net {
+namespace {
+
+constexpr SimTime kDelay = MillisToSim(10.0);
+constexpr double kBw = 350.0 * 1024.0;
+
+TEST(GraphTest, EmptyGraphIsConnected) {
+  Graph g(0);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(GraphTest, AddLinkCreatesBothDirections) {
+  Graph g(3);
+  const auto idx = g.AddLink(0, 2, kDelay, kBw);
+  EXPECT_EQ(idx, 0);
+  ASSERT_EQ(g.Neighbors(0).size(), 1u);
+  ASSERT_EQ(g.Neighbors(2).size(), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].to, 2);
+  EXPECT_EQ(g.Neighbors(2)[0].to, 0);
+  EXPECT_EQ(g.Neighbors(0)[0].delay, kDelay);
+  EXPECT_DOUBLE_EQ(g.Neighbors(0)[0].bandwidth_bps, kBw);
+  EXPECT_EQ(g.Neighbors(0)[0].link_index, 0);
+}
+
+TEST(GraphTest, NeighborsSortedByNodeId) {
+  Graph g(5);
+  g.AddLink(2, 4, kDelay, kBw);
+  g.AddLink(2, 0, kDelay, kBw);
+  g.AddLink(2, 3, kDelay, kBw);
+  g.AddLink(2, 1, kDelay, kBw);
+  const auto& edges = g.Neighbors(2);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0].to, 0);
+  EXPECT_EQ(edges[1].to, 1);
+  EXPECT_EQ(edges[2].to, 3);
+  EXPECT_EQ(edges[3].to, 4);
+}
+
+TEST(GraphTest, HasLinkIsSymmetric) {
+  Graph g(3);
+  g.AddLink(0, 1, kDelay, kBw);
+  EXPECT_TRUE(g.HasLink(0, 1));
+  EXPECT_TRUE(g.HasLink(1, 0));
+  EXPECT_FALSE(g.HasLink(0, 2));
+  EXPECT_FALSE(g.HasLink(1, 2));
+}
+
+TEST(GraphTest, HasLinkOutOfRangeIsFalse) {
+  Graph g(2);
+  EXPECT_FALSE(g.HasLink(-1, 0));
+  EXPECT_FALSE(g.HasLink(0, 5));
+}
+
+TEST(GraphTest, DisconnectedGraphDetected) {
+  Graph g(4);
+  g.AddLink(0, 1, kDelay, kBw);
+  g.AddLink(2, 3, kDelay, kBw);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddLink(1, 2, kDelay, kBw);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, LinkAccessors) {
+  Graph g(3);
+  g.AddLink(0, 1, kDelay, kBw);
+  g.AddLink(1, 2, 2 * kDelay, kBw / 2);
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.link(1).a, 1);
+  EXPECT_EQ(g.link(1).b, 2);
+  EXPECT_EQ(g.link(1).delay, 2 * kDelay);
+}
+
+TEST(GraphDeathTest, SelfLinkAborts) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddLink(1, 1, kDelay, kBw), "RADAR_CHECK");
+}
+
+TEST(GraphDeathTest, DuplicateLinkAborts) {
+  Graph g(2);
+  g.AddLink(0, 1, kDelay, kBw);
+  EXPECT_DEATH(g.AddLink(1, 0, kDelay, kBw), "duplicate");
+}
+
+TEST(GraphDeathTest, OutOfRangeEndpointAborts) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddLink(0, 2, kDelay, kBw), "RADAR_CHECK");
+}
+
+TEST(GraphDeathTest, NonPositiveBandwidthAborts) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddLink(0, 1, kDelay, 0.0), "RADAR_CHECK");
+}
+
+}  // namespace
+}  // namespace radar::net

@@ -1,0 +1,163 @@
+// The paper's worked examples, reproduced as executable checks.
+//
+// Sec. 3 argues the request distribution algorithm through a two-host
+// America/Europe scenario and several closed-form claims; this suite runs
+// each of them against the real implementation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/distance.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+namespace {
+
+// America = node 0, Europe = node 1, three hops apart.
+MatrixDistanceOracle TwoSiteOracle() {
+  MatrixDistanceOracle oracle(2);
+  oracle.Set(0, 1, 3);
+  return oracle;
+}
+
+TEST(PaperExampleTest, BalancedDemandGoesToClosestReplica) {
+  // "If roughly half of requests come from each region ... every request
+  // will be directed to the closest replica (assuming both replicas have
+  // affinity one)."
+  MatrixDistanceOracle oracle = TwoSiteOracle();
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, 0);
+  redirector.OnReplicaCreated(1, 1);
+  int cross_region = 0;
+  for (int i = 0; i < 2000; ++i) {
+    // Regularly inter-spaced alternating demand.
+    if (redirector.ChooseReplica(1, 0) != 0) ++cross_region;
+    if (redirector.ChooseReplica(1, 1) != 1) ++cross_region;
+  }
+  EXPECT_EQ(cross_region, 0);
+}
+
+TEST(PaperExampleTest, SwampedSiteLosesOneThird) {
+  // "the American site will receive all requests until its request count
+  // exceeds the request count of the European site by a factor of two...
+  // Therefore, the load on the American site will be reduced by one-third
+  // on average."
+  MatrixDistanceOracle oracle = TwoSiteOracle();
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, 0);
+  redirector.OnReplicaCreated(1, 1);
+  int to_europe = 0;
+  constexpr int kRequests = 9000;
+  for (int i = 0; i < kRequests; ++i) {
+    if (redirector.ChooseReplica(1, 0) == 1) ++to_europe;
+  }
+  EXPECT_NEAR(static_cast<double>(to_europe) / kRequests, 1.0 / 3.0, 0.01);
+}
+
+TEST(PaperExampleTest, NReplicasServeTwoOverNPlusOne) {
+  // "Assume that n replicas of an object are created. Even if the same
+  // replica is the closest to all requests ... this replica will have to
+  // service only 2N/(n+1)". And: "by increasing the number of replicas,
+  // we can make the load on this replica arbitrarily low."
+  MatrixDistanceOracle oracle(12);
+  for (NodeId b = 1; b < 12; ++b) oracle.Set(0, b, 3);
+  double previous_share = 1.0;
+  for (const int n : {2, 3, 5, 8, 11}) {
+    Redirector redirector(oracle, 2.0);
+    redirector.RegisterObject(1, 0);
+    for (NodeId host = 1; host < n; ++host) {
+      redirector.OnReplicaCreated(1, host);
+    }
+    int close = 0;
+    constexpr int kRequests = 12000;
+    for (int i = 0; i < kRequests; ++i) {
+      if (redirector.ChooseReplica(1, 0) == 0) ++close;
+    }
+    const double share = static_cast<double>(close) / kRequests;
+    EXPECT_NEAR(share, 2.0 / (n + 1), 0.02) << "n=" << n;
+    EXPECT_LT(share, previous_share);
+    previous_share = share;
+  }
+}
+
+TEST(PaperExampleTest, AffinityFourSendsOneNinthToEurope) {
+  // "assume that request patterns change ... to the 90%-10% split ... the
+  // replica placement algorithm can set the affinity of the American
+  // replica to 4. With regular request inter-spacing ... the request
+  // distribution algorithm would direct 1/9 (11%) of all requests,
+  // including all those from Europe, to the European site."
+  MatrixDistanceOracle oracle = TwoSiteOracle();
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, 0);
+  redirector.OnReplicaCreated(1, 1);
+  for (int i = 0; i < 3; ++i) redirector.OnReplicaCreated(1, 0);  // aff 4
+  ASSERT_EQ(redirector.AffinityOf(1, 0), 4);
+
+  int to_europe = 0;
+  int europe_requests_to_europe = 0;
+  constexpr int kRounds = 2000;  // 9 requests per round: 9:1 inter-spaced
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < 9; ++i) {
+      if (redirector.ChooseReplica(1, 0) == 1) ++to_europe;
+    }
+    const NodeId chosen = redirector.ChooseReplica(1, 1);
+    if (chosen == 1) {
+      ++to_europe;
+      ++europe_requests_to_europe;
+    }
+  }
+  const double total = kRounds * 10.0;
+  EXPECT_NEAR(static_cast<double>(to_europe) / total, 1.0 / 9.0, 0.02);
+  // "including all those from Europe": nearly every European request is
+  // serviced locally.
+  EXPECT_GT(static_cast<double>(europe_requests_to_europe) / kRounds, 0.95);
+}
+
+TEST(PaperExampleTest, ReplRatioOneSixthMakesReplicationBeneficial) {
+  // Sec. 4.2.1: "Assume s has the sole replica of object x, and replicates
+  // x on host p that appeared in 1/6 of its requests ... the request
+  // distribution algorithm will direct 1/3 of all requests to host p,
+  // including all requests that are closer to p."
+  MatrixDistanceOracle oracle(3);
+  oracle.Set(0, 1, 4);  // s and p far apart
+  oracle.Set(0, 2, 1);  // gateway 2 close to s
+  oracle.Set(1, 2, 5);
+  Redirector redirector(oracle, 2.0);
+  redirector.RegisterObject(1, 0);
+  redirector.OnReplicaCreated(1, 1);
+  // 1/6 of requests enter near p (gateway 1), the rest near s.
+  int to_p = 0;
+  int p_local_to_p = 0;
+  constexpr int kRounds = 3000;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      if (redirector.ChooseReplica(1, 2) == 1) ++to_p;
+    }
+    if (redirector.ChooseReplica(1, 1) == 1) {
+      ++to_p;
+      ++p_local_to_p;
+    }
+  }
+  const double total = kRounds * 6.0;
+  EXPECT_NEAR(static_cast<double>(to_p) / total, 1.0 / 3.0, 0.02);
+  EXPECT_GT(static_cast<double>(p_local_to_p) / kRounds, 0.95);
+}
+
+TEST(PaperExampleTest, TopZipfObjectExceedsServerCapacity) {
+  // Sec. 6's implicit hot spot: under Zipf demand over 10k objects at
+  // 2120 req/s total, the most popular page alone approaches the 200
+  // req/s server capacity — replication is forced, not optional.
+  ReedsZipf zipf(10000);
+  Rng rng(1);
+  constexpr int kSamples = 1000000;
+  int rank_two = 0;  // rank 2 is the Reeds form's most likely head rank
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) == 2) ++rank_two;
+  }
+  const double rate =
+      2120.0 * static_cast<double>(rank_two) / kSamples;
+  EXPECT_GT(rate, 90.0);  // above the high watermark
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,0 +1,271 @@
+// Unit tests for the request distribution algorithm (Fig. 2) and the
+// redirector's replica-set registry.
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/redirector.h"
+
+namespace radar::core {
+namespace {
+
+// A 4-node line: 0 - 1 - 2 - 3 (hop distances = index differences).
+MatrixDistanceOracle LineOracle() {
+  MatrixDistanceOracle oracle(4);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) {
+      oracle.Set(a, b, b - a);
+    }
+  }
+  return oracle;
+}
+
+class RedirectorTest : public ::testing::Test {
+ protected:
+  RedirectorTest() : oracle_(LineOracle()), redirector_(oracle_, 2.0, 1) {}
+
+  MatrixDistanceOracle oracle_;
+  Redirector redirector_;
+};
+
+TEST_F(RedirectorTest, SoleReplicaAlwaysChosen) {
+  redirector_.RegisterObject(5, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(redirector_.ChooseReplica(5, 0), 2);
+  }
+  EXPECT_EQ(redirector_.RequestCountOf(5, 2), 11);  // initial 1 + 10
+}
+
+TEST_F(RedirectorTest, HomeNodeStored) {
+  EXPECT_EQ(redirector_.home_node(), 1);
+}
+
+TEST_F(RedirectorTest, KnowsObjectOnlyAfterRegistration) {
+  EXPECT_FALSE(redirector_.KnowsObject(3));
+  redirector_.RegisterObject(3, 0);
+  EXPECT_TRUE(redirector_.KnowsObject(3));
+  EXPECT_FALSE(redirector_.KnowsObject(4));
+}
+
+TEST_F(RedirectorTest, ClosestWinsWhenCountsBalanced) {
+  // Two replicas at 0 and 3; alternating gateways at 0 and 3 keep the
+  // counts balanced, so every request goes to its closest replica — the
+  // paper's America/Europe first scenario.
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(redirector_.ChooseReplica(1, 0), 0);
+    EXPECT_EQ(redirector_.ChooseReplica(1, 3), 3);
+  }
+}
+
+TEST_F(RedirectorTest, OverloadedRegionSpillsOneThird) {
+  // All requests from gateway 0, replicas at 0 and 3. The closest replica
+  // (0) is taken until its unit count exceeds twice the other's, so
+  // replica 3 ends up with ~1/3 of the requests (Sec. 3's analysis).
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  int remote = 0;
+  constexpr int kRequests = 3000;
+  for (int i = 0; i < kRequests; ++i) {
+    if (redirector_.ChooseReplica(1, 0) == 3) ++remote;
+  }
+  EXPECT_NEAR(static_cast<double>(remote) / kRequests, 1.0 / 3.0, 0.01);
+}
+
+TEST_F(RedirectorTest, NReplicasBoundClosestShareByTwoOverNPlusOne) {
+  // With n replicas and every request closest to the same one, that
+  // replica services only 2N/(n+1) of N requests (Sec. 3).
+  for (const int n : {2, 3, 4}) {
+    Redirector r(oracle_, 2.0);
+    r.RegisterObject(1, 0);
+    for (NodeId host = 1; host < n; ++host) r.OnReplicaCreated(1, host);
+    int close = 0;
+    constexpr int kRequests = 6000;
+    for (int i = 0; i < kRequests; ++i) {
+      if (r.ChooseReplica(1, 0) == 0) ++close;
+    }
+    EXPECT_NEAR(static_cast<double>(close) / kRequests, 2.0 / (n + 1), 0.02)
+        << "n=" << n;
+  }
+}
+
+TEST_F(RedirectorTest, AffinitySkewsDistribution) {
+  // Affinity 4 on the near replica vs 1 on the far one: with all requests
+  // nearest the first, it should absorb ~8/9 of them (unit counts).
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  for (int i = 0; i < 3; ++i) redirector_.OnReplicaCreated(1, 0);  // aff 4
+  ASSERT_EQ(redirector_.AffinityOf(1, 0), 4);
+  int near = 0;
+  constexpr int kRequests = 9000;
+  for (int i = 0; i < kRequests; ++i) {
+    if (redirector_.ChooseReplica(1, 0) == 0) ++near;
+  }
+  EXPECT_NEAR(static_cast<double>(near) / kRequests, 8.0 / 9.0, 0.02);
+}
+
+TEST_F(RedirectorTest, DistributionConstantControlsSpill) {
+  // With a larger constant the closest replica keeps more of the traffic.
+  for (const double c : {1.5, 2.0, 4.0}) {
+    Redirector r(oracle_, c);
+    r.RegisterObject(1, 0);
+    r.OnReplicaCreated(1, 3);
+    int close = 0;
+    constexpr int kRequests = 4000;
+    for (int i = 0; i < kRequests; ++i) {
+      if (r.ChooseReplica(1, 0) == 0) ++close;
+    }
+    // Steady-state near fraction is c/(c+1).
+    EXPECT_NEAR(static_cast<double>(close) / kRequests, c / (c + 1.0), 0.02)
+        << "c=" << c;
+  }
+}
+
+TEST_F(RedirectorTest, CountsResetOnReplicaSetChange) {
+  redirector_.RegisterObject(1, 0);
+  for (int i = 0; i < 50; ++i) redirector_.ChooseReplica(1, 0);
+  EXPECT_EQ(redirector_.RequestCountOf(1, 0), 51);
+  redirector_.OnReplicaCreated(1, 3);
+  EXPECT_EQ(redirector_.RequestCountOf(1, 0), 1);
+  EXPECT_EQ(redirector_.RequestCountOf(1, 3), 1);
+  EXPECT_EQ(redirector_.replica_set_changes(), 1);
+}
+
+TEST_F(RedirectorTest, NewReplicaIsNotFlooded) {
+  // Without the reset, a new replica would receive every request until it
+  // caught up. After the reset it receives only its fair share.
+  redirector_.RegisterObject(1, 0);
+  for (int i = 0; i < 1000; ++i) redirector_.ChooseReplica(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  int remote_first_100 = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (redirector_.ChooseReplica(1, 0) == 3) ++remote_first_100;
+  }
+  // Fair share is ~1/3; catching up 1000 counts would have been 100/100.
+  EXPECT_LT(remote_first_100, 50);
+}
+
+TEST_F(RedirectorTest, AffinityIncrementInsteadOfDuplicate) {
+  redirector_.RegisterObject(1, 2);
+  redirector_.OnReplicaCreated(1, 2);
+  EXPECT_EQ(redirector_.ReplicaCount(1), 1);
+  EXPECT_EQ(redirector_.AffinityOf(1, 2), 2);
+  EXPECT_EQ(redirector_.TotalAffinity(1), 2);
+}
+
+TEST_F(RedirectorTest, AffinityReduction) {
+  redirector_.RegisterObject(1, 2);
+  redirector_.OnReplicaCreated(1, 2);
+  redirector_.OnAffinityReduced(1, 2, 1);
+  EXPECT_EQ(redirector_.AffinityOf(1, 2), 1);
+}
+
+TEST_F(RedirectorTest, LastReplicaDropDenied) {
+  redirector_.RegisterObject(1, 2);
+  EXPECT_FALSE(redirector_.RequestDrop(1, 2));
+  EXPECT_EQ(redirector_.ReplicaCount(1), 1);
+}
+
+TEST_F(RedirectorTest, NonLastDropGrantedAndRemovedImmediately) {
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  EXPECT_TRUE(redirector_.RequestDrop(1, 0));
+  EXPECT_EQ(redirector_.ReplicaCount(1), 1);
+  // All subsequent requests go to the survivor.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(redirector_.ChooseReplica(1, 0), 3);
+}
+
+TEST_F(RedirectorTest, ConcurrentDropsCannotEmptyReplicaSet) {
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 2);
+  redirector_.OnReplicaCreated(1, 3);
+  EXPECT_TRUE(redirector_.RequestDrop(1, 0));
+  EXPECT_TRUE(redirector_.RequestDrop(1, 2));
+  EXPECT_FALSE(redirector_.RequestDrop(1, 3));  // last one survives
+  EXPECT_EQ(redirector_.ReplicaCount(1), 1);
+}
+
+TEST_F(RedirectorTest, ReplicaHostsSortedAscending) {
+  redirector_.RegisterObject(1, 3);
+  redirector_.OnReplicaCreated(1, 0);
+  redirector_.OnReplicaCreated(1, 2);
+  const auto hosts = redirector_.ReplicaHosts(1);
+  EXPECT_EQ(hosts, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST_F(RedirectorTest, ObjectsListsRegistered) {
+  redirector_.RegisterObject(4, 0);
+  redirector_.RegisterObject(2, 1);
+  EXPECT_EQ(redirector_.Objects(), (std::vector<ObjectId>{2, 4}));
+}
+
+TEST_F(RedirectorTest, RequestsDistributedCounter) {
+  redirector_.RegisterObject(1, 0);
+  for (int i = 0; i < 7; ++i) redirector_.ChooseReplica(1, 2);
+  EXPECT_EQ(redirector_.requests_distributed(), 7);
+}
+
+TEST_F(RedirectorTest, ClosestTieBreaksTowardLowestHost) {
+  // Replicas at 1 and 3, gateway 2 equidistant from both.
+  redirector_.RegisterObject(1, 1);
+  redirector_.OnReplicaCreated(1, 3);
+  EXPECT_EQ(redirector_.ChooseReplica(1, 2), 1);
+}
+
+TEST(RedirectorGroupTest, PartitionIsStable) {
+  MatrixDistanceOracle oracle(4);
+  RedirectorGroup group(oracle, 2.0, {0, 1, 2});
+  EXPECT_EQ(group.size(), 3);
+  for (ObjectId x = 0; x < 100; ++x) {
+    EXPECT_EQ(&group.For(x), &group.For(x));
+  }
+}
+
+TEST(RedirectorGroupTest, PartitionIsRoughlyBalanced) {
+  MatrixDistanceOracle oracle(4);
+  RedirectorGroup group(oracle, 2.0, {0, 1, 2, 3});
+  std::vector<int> counts(4, 0);
+  for (ObjectId x = 0; x < 10000; ++x) {
+    for (int i = 0; i < 4; ++i) {
+      if (&group.For(x) == &group.At(i)) ++counts[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 1800);
+    EXPECT_LT(c, 3200);
+  }
+}
+
+TEST(RedirectorGroupTest, CensusAggregatesAcrossRedirectors) {
+  MatrixDistanceOracle oracle(4);
+  RedirectorGroup group(oracle, 2.0, {0, 1});
+  for (ObjectId x = 0; x < 10; ++x) group.For(x).RegisterObject(x, 0);
+  group.For(3).OnReplicaCreated(3, 2);
+  const auto [replicas, objects] = group.TotalReplicasAndObjects();
+  EXPECT_EQ(objects, 10);
+  EXPECT_EQ(replicas, 11);
+}
+
+TEST(RedirectorDeathTest, ChooseOnUnknownObjectAborts) {
+  MatrixDistanceOracle oracle(2);
+  Redirector r(oracle, 2.0);
+  EXPECT_DEATH(r.ChooseReplica(1, 0), "unknown");
+}
+
+TEST(RedirectorDeathTest, DoubleRegistrationAborts) {
+  MatrixDistanceOracle oracle(2);
+  Redirector r(oracle, 2.0);
+  r.RegisterObject(1, 0);
+  EXPECT_DEATH(r.RegisterObject(1, 1), "registered");
+}
+
+TEST(RedirectorDeathTest, DropWithAffinityAboveOneAborts) {
+  MatrixDistanceOracle oracle(2);
+  Redirector r(oracle, 2.0);
+  r.RegisterObject(1, 0);
+  r.OnReplicaCreated(1, 0);  // affinity 2
+  EXPECT_DEATH(r.RequestDrop(1, 0), "affinity");
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,0 +1,194 @@
+// Unit tests for the discrete-event engine: event queue ordering, the
+// simulator clock, periodic tasks, the FCFS server model, and the
+// store-and-forward transfer model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/fcfs_server.h"
+#include "sim/simulator.h"
+#include "sim/transfer.h"
+
+namespace radar::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(42, [] {});
+  q.Push(7, [] {});
+  EXPECT_EQ(q.NextTime(), 7);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Schedule(100, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(50, [&] { ++fired; });
+  sim.Schedule(150, [&] { ++fired; });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsScheduledExactlyAtHorizonRun) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(100, [&] { fired = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, PeriodicFiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.SchedulePeriodic(100, 100, [&](SimTime t) { fires.push_back(t); });
+  sim.RunUntil(450);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 200, 300, 400}));
+}
+
+TEST(SimulatorTest, PeriodicStopsAtHorizon) {
+  Simulator sim;
+  int fires = 0;
+  sim.SchedulePeriodic(10, 10, [&](SimTime) { ++fires; });
+  sim.RunUntil(55);
+  EXPECT_EQ(fires, 5);
+  // A later horizon resumes the cadence.
+  sim.RunUntil(100);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(SimulatorTest, TwoPeriodicsInterleave) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.SchedulePeriodic(10, 20, [&](SimTime) { order.push_back(1); });
+  sim.SchedulePeriodic(20, 20, [&](SimTime) { order.push_back(2); });
+  sim.RunUntil(60);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(FcfsServerTest, ServiceTimeFromCapacity) {
+  FcfsServer server(200.0);  // Table 1: 200 req/s -> 5 ms
+  EXPECT_EQ(server.service_time(), MillisToSim(5.0));
+}
+
+TEST(FcfsServerTest, IdleServerCompletesAfterOneServiceTime) {
+  FcfsServer server(100.0);
+  const SimTime done = server.Admit(SecondsToSim(1.0));
+  EXPECT_EQ(done, SecondsToSim(1.0) + MillisToSim(10.0));
+}
+
+TEST(FcfsServerTest, BackToBackArrivalsQueue) {
+  FcfsServer server(100.0);  // 10 ms service
+  const SimTime t = SecondsToSim(1.0);
+  EXPECT_EQ(server.Admit(t), t + MillisToSim(10.0));
+  EXPECT_EQ(server.Admit(t), t + MillisToSim(20.0));
+  EXPECT_EQ(server.Admit(t), t + MillisToSim(30.0));
+  EXPECT_EQ(server.admitted(), 3);
+}
+
+TEST(FcfsServerTest, GapDrainsQueue) {
+  FcfsServer server(100.0);
+  server.Admit(0);
+  server.Admit(0);  // busy until 20 ms
+  EXPECT_EQ(server.BacklogAt(MillisToSim(5.0)), MillisToSim(15.0));
+  // Arrival after the queue drained starts fresh.
+  const SimTime done = server.Admit(MillisToSim(100.0));
+  EXPECT_EQ(done, MillisToSim(110.0));
+  EXPECT_EQ(server.BacklogAt(MillisToSim(200.0)), 0);
+}
+
+TEST(FcfsServerTest, OverloadGrowsUnbounded) {
+  // Sustained arrivals above capacity back the queue up linearly — the
+  // hot-sites workload's initial tens-of-seconds latencies rely on this.
+  FcfsServer server(100.0);
+  SimTime last_arrival = 0;
+  for (int i = 0; i < 1000; ++i) {
+    last_arrival = static_cast<SimTime>(i) * MillisToSim(5.0);
+    server.Admit(last_arrival);
+  }
+  // 1000 requests x 10 ms service vs 5 ms spacing: ~5 s of backlog at the
+  // time the last request arrives.
+  EXPECT_GT(server.BacklogAt(last_arrival), SecondsToSim(4.0));
+}
+
+TEST(FcfsServerTest, ResetForgetsBacklog) {
+  FcfsServer server(100.0);
+  server.Admit(0);
+  server.Reset();
+  EXPECT_EQ(server.admitted(), 0);
+  EXPECT_EQ(server.Admit(0), MillisToSim(10.0));
+}
+
+TEST(FcfsServerDeathTest, TimeMustNotGoBackwards) {
+  FcfsServer server(100.0);
+  server.Admit(MillisToSim(10.0));
+  EXPECT_DEATH(server.Admit(MillisToSim(5.0)), "RADAR_CHECK");
+}
+
+TEST(TransferTest, SerializationTimeMatchesTable1) {
+  // 12 KB at 350 KBps: 12/350 s = ~34.3 ms.
+  const SimTime t = SerializationTime(12 * 1024, 350.0 * 1024.0);
+  EXPECT_NEAR(SimToSeconds(t), 12.0 / 350.0, 1e-6);
+}
+
+TEST(TransferTest, StoreAndForwardScalesWithHops) {
+  const SimTime per_hop = MillisToSim(10.0);
+  const double bw = 350.0 * 1024.0;
+  const SimTime one = TransferTime(1, 12 * 1024, per_hop, bw);
+  const SimTime three = TransferTime(3, 12 * 1024, per_hop, bw);
+  EXPECT_EQ(three, 3 * one);
+  EXPECT_EQ(TransferTime(0, 12 * 1024, per_hop, bw), 0);
+}
+
+TEST(TransferTest, ControlLatencyIsPropagationOnly) {
+  EXPECT_EQ(ControlLatency(4, MillisToSim(10.0)), MillisToSim(40.0));
+  EXPECT_EQ(ControlLatency(0, MillisToSim(10.0)), 0);
+}
+
+}  // namespace
+}  // namespace radar::sim

@@ -1,0 +1,28 @@
+// Shared test configuration helpers.
+#pragma once
+
+#include "driver/config.h"
+
+namespace radar::driver::testing {
+
+/// A configuration dynamically equivalent to the paper's Table 1 but
+/// `scale` times smaller. All rates (request rate, capacity, watermarks,
+/// thresholds) shrink together with the object count, so per-object load
+/// relative to the watermarks — the ratio the protocol's admission bounds
+/// key off — is preserved while simulations run `scale` times faster.
+/// Latency magnitudes change (service time grows); placement dynamics do
+/// not.
+inline SimConfig ScaledPaperConfig(double scale = 10.0) {
+  SimConfig config;
+  config.num_objects = static_cast<ObjectId>(10000.0 / scale);
+  config.node_request_rate = 40.0 / scale;
+  config.server_capacity = 200.0 / scale;
+  config.protocol.high_watermark = 90.0 / scale;
+  config.protocol.low_watermark = 80.0 / scale;
+  // The deletion/replication thresholds are *per-object* rates; the
+  // per-object request rate (total rate / objects) is scale-invariant, so
+  // they keep their Table 1 values.
+  return config;
+}
+
+}  // namespace radar::driver::testing

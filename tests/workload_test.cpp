@@ -1,0 +1,220 @@
+// Unit tests for the synthetic workloads of Sec. 6.1.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "net/uunet.h"
+#include "workload/workload.h"
+
+namespace radar::workload {
+namespace {
+
+constexpr ObjectId kObjects = 1000;
+
+TEST(UniformWorkloadTest, CoversDomainEvenly) {
+  UniformWorkload w(kObjects);
+  Rng rng(1);
+  std::vector<int> counts(kObjects, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const ObjectId x = w.NextObject(0, 0, rng);
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, kObjects);
+    ++counts[static_cast<std::size_t>(x)];
+  }
+  const double expected = static_cast<double>(kSamples) / kObjects;
+  for (const int c : counts) EXPECT_NEAR(c, expected, expected);  // +-100%
+}
+
+TEST(ZipfWorkloadTest, ObjectZeroIsRankOne) {
+  ZipfWorkload w(kObjects);
+  Rng rng(2);
+  std::map<ObjectId, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[w.NextObject(3, 0, rng)];
+  // Low-numbered objects dominate: the first 10 objects must hold far
+  // more than 1% of the requests.
+  int head = 0;
+  for (ObjectId x = 0; x < 10; ++x) {
+    const auto it = counts.find(x);
+    if (it != counts.end()) head += it->second;
+  }
+  EXPECT_GT(head, 20000);
+}
+
+TEST(ZipfWorkloadTest, GatewayIndependent) {
+  // Zipf popularity is global: two gateways with identical RNG streams
+  // draw identical objects.
+  ZipfWorkload w(kObjects);
+  Rng a(3);
+  Rng b(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(w.NextObject(0, 0, a), w.NextObject(52, 0, b));
+  }
+}
+
+TEST(HotSitesWorkloadTest, HotSitesAreMinority) {
+  HotSitesWorkload w(kObjects, 53, 0.9, /*site_seed=*/7);
+  // With p = 0.9, roughly 10% of the 53 sites are hot.
+  EXPECT_GE(w.hot_sites().size(), 1u);
+  EXPECT_LE(w.hot_sites().size(), 16u);
+}
+
+TEST(HotSitesWorkloadTest, HotSitesReceiveNinetyPercent) {
+  HotSitesWorkload w(kObjects, 53, 0.9, 7);
+  std::set<NodeId> hot(w.hot_sites().begin(), w.hot_sites().end());
+  Rng rng(8);
+  int hot_requests = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const ObjectId x = w.NextObject(0, 0, rng);
+    if (hot.count(x % 53) > 0) ++hot_requests;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_requests) / kSamples, 0.9, 0.01);
+}
+
+TEST(HotSitesWorkloadTest, DeterministicForSameSeed) {
+  HotSitesWorkload a(kObjects, 53, 0.9, 7);
+  HotSitesWorkload b(kObjects, 53, 0.9, 7);
+  EXPECT_EQ(a.hot_sites(), b.hot_sites());
+}
+
+TEST(HotPagesWorkloadTest, TenPercentOfPagesAreHot) {
+  HotPagesWorkload w(kObjects, 0.1, 0.9, 9);
+  EXPECT_EQ(w.hot_pages().size(), 100u);
+}
+
+TEST(HotPagesWorkloadTest, HotPagesGetNinetyPercent) {
+  HotPagesWorkload w(kObjects, 0.1, 0.9, 9);
+  std::set<ObjectId> hot(w.hot_pages().begin(), w.hot_pages().end());
+  Rng rng(10);
+  int hot_requests = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (hot.count(w.NextObject(0, 0, rng)) > 0) ++hot_requests;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_requests) / kSamples, 0.9, 0.01);
+}
+
+TEST(HotPagesWorkloadTest, HotSetIsRandomNotPrefix) {
+  HotPagesWorkload w(kObjects, 0.1, 0.9, 11);
+  // A Fisher-Yates draw of 100 from 1000 is essentially never the exact
+  // prefix 0..99.
+  bool all_below_100 = true;
+  for (const ObjectId x : w.hot_pages()) {
+    if (x >= 100) all_below_100 = false;
+  }
+  EXPECT_FALSE(all_below_100);
+}
+
+class RegionalWorkloadTest : public ::testing::Test {
+ protected:
+  RegionalWorkloadTest()
+      : topology_(net::MakeUunetBackbone()),
+        workload_(10000, topology_) {}
+
+  net::Topology topology_;
+  RegionalWorkload workload_;
+};
+
+TEST_F(RegionalWorkloadTest, SlicesAreDisjointOnePercent) {
+  std::set<ObjectId> seen;
+  for (int r = 0; r < net::kNumRegions; ++r) {
+    const auto [first, last] =
+        workload_.PreferredRange(static_cast<net::Region>(r));
+    EXPECT_EQ(last - first + 1, 100);  // 1% of 10000
+    for (ObjectId x = first; x <= last; ++x) {
+      EXPECT_TRUE(seen.insert(x).second) << "overlapping slices";
+    }
+  }
+}
+
+TEST_F(RegionalWorkloadTest, NinetyPercentFromOwnSlice) {
+  // Pick one node per region and verify its preferred-slice hit rate.
+  for (int r = 0; r < net::kNumRegions; ++r) {
+    const auto region = static_cast<net::Region>(r);
+    const NodeId node = topology_.NodesInRegion(region).front();
+    const auto [first, last] = workload_.PreferredRange(region);
+    Rng rng(20 + static_cast<std::uint64_t>(r));
+    int in_slice = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+      const ObjectId x = workload_.NextObject(node, 0, rng);
+      if (x >= first && x <= last) ++in_slice;
+    }
+    // 90% preferred plus ~0.1% of the uniform tail landing in-slice.
+    EXPECT_NEAR(static_cast<double>(in_slice) / kSamples, 0.901, 0.01);
+  }
+}
+
+TEST_F(RegionalWorkloadTest, UniformTailCoversWholeDomain) {
+  const NodeId node = topology_.NodesInRegion(net::Region::kEurope).front();
+  Rng rng(33);
+  bool saw_far_object = false;
+  for (int i = 0; i < 50000; ++i) {
+    if (workload_.NextObject(node, 0, rng) >= 5000) {
+      saw_far_object = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_far_object);
+}
+
+TEST(MixtureWorkloadTest, DrawsFromAllComponents) {
+  std::vector<MixtureWorkload::Component> components;
+  components.push_back({std::make_unique<UniformWorkload>(kObjects), 1.0});
+  components.push_back({std::make_unique<ZipfWorkload>(kObjects), 1.0});
+  MixtureWorkload mix(std::move(components));
+  EXPECT_EQ(mix.num_objects(), kObjects);
+  Rng rng(40);
+  // The zipf half concentrates on low ids; uniform half spreads. Sampled
+  // together, low ids must be clearly over-represented but the tail still
+  // present.
+  int low = 0;
+  int high = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const ObjectId x = mix.NextObject(0, 0, rng);
+    if (x < 10) ++low;
+    if (x >= kObjects / 2) ++high;
+  }
+  EXPECT_GT(low, kSamples / 20);
+  EXPECT_GT(high, kSamples / 5);
+}
+
+TEST(DemandShiftWorkloadTest, SwitchesAtShiftTime) {
+  auto before = std::make_unique<UniformWorkload>(kObjects);
+  auto after = std::make_unique<ZipfWorkload>(kObjects);
+  DemandShiftWorkload shift(std::move(before), std::move(after),
+                            SecondsToSim(100.0));
+  EXPECT_EQ(shift.name(), "uniform->zipf");
+  Rng rng(50);
+  // After the shift, low ids dominate (zipf); before, they do not.
+  int low_before = 0;
+  int low_after = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (shift.NextObject(0, SecondsToSim(50.0), rng) < 10) ++low_before;
+    if (shift.NextObject(0, SecondsToSim(150.0), rng) < 10) ++low_after;
+  }
+  EXPECT_LT(low_before, kSamples / 50);
+  EXPECT_GT(low_after, kSamples / 10);
+}
+
+TEST(DemandShiftWorkloadTest, BoundaryBelongsToAfter) {
+  auto before = std::make_unique<UniformWorkload>(2);
+  auto after = std::make_unique<UniformWorkload>(2);
+  DemandShiftWorkload shift(std::move(before), std::move(after), 100);
+  EXPECT_EQ(shift.shift_at(), 100);
+  // No crash at exactly the boundary; draws remain in-domain.
+  Rng rng(60);
+  for (int i = 0; i < 10; ++i) {
+    const ObjectId x = shift.NextObject(0, 100, rng);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 2);
+  }
+}
+
+}  // namespace
+}  // namespace radar::workload

@@ -1,0 +1,74 @@
+// radar_sim: run the hosting-platform simulation from the command line.
+//
+//   radar_sim --workload=regional --duration=1800 --series
+//   radar_sim --topology=my_backbone.txt --trace=requests.trace
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "driver/cli.h"
+#include "driver/hosting_simulation.h"
+#include "net/topology_io.h"
+
+int main(int argc, char** argv) {
+  using namespace radar;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  driver::CliError error;
+  const auto options = driver::ParseCli(args, &error);
+  if (!options) {
+    std::cerr << "error: " << error.message << "\n\n" << driver::CliUsage();
+    return 2;
+  }
+  if (options->show_help) {
+    std::cout << driver::CliUsage();
+    return 0;
+  }
+
+  std::optional<net::Topology> topology;
+  if (!options->topology_file.empty()) {
+    std::ifstream in(options->topology_file);
+    if (!in) {
+      std::cerr << "error: cannot open topology file '"
+                << options->topology_file << "'\n";
+      return 2;
+    }
+    std::string parse_error;
+    topology = net::ReadTopology(in, &parse_error);
+    if (!topology) {
+      std::cerr << "error: " << options->topology_file << ": "
+                << parse_error << "\n";
+      return 2;
+    }
+  }
+
+  driver::HostingSimulation sim =
+      topology.has_value()
+          ? driver::HostingSimulation(options->config, *std::move(topology))
+          : driver::HostingSimulation(options->config);
+
+  if (!options->trace_file.empty()) {
+    std::ifstream in(options->trace_file);
+    if (!in) {
+      std::cerr << "error: cannot open trace file '" << options->trace_file
+                << "'\n";
+      return 2;
+    }
+    std::string parse_error;
+    auto trace = workload::RequestTrace::Load(in, &parse_error);
+    if (!trace) {
+      std::cerr << "error: " << options->trace_file << ": " << parse_error
+                << "\n";
+      return 2;
+    }
+    sim.SetTrace(*std::move(trace));
+  }
+
+  const driver::RunReport report = sim.Run();
+  report.PrintSummary(std::cout);
+  if (options->print_series) {
+    std::cout << "\n";
+    report.PrintSeries(std::cout);
+  }
+  return 0;
+}
