@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_constant"
+  "../bench/ablation_constant.pdb"
+  "CMakeFiles/ablation_constant.dir/ablation_constant.cpp.o"
+  "CMakeFiles/ablation_constant.dir/ablation_constant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

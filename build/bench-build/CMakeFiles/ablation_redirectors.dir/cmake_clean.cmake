@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_redirectors"
+  "../bench/ablation_redirectors.pdb"
+  "CMakeFiles/ablation_redirectors.dir/ablation_redirectors.cpp.o"
+  "CMakeFiles/ablation_redirectors.dir/ablation_redirectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redirectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

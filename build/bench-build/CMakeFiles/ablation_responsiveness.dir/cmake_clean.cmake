@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_responsiveness"
+  "../bench/ablation_responsiveness.pdb"
+  "CMakeFiles/ablation_responsiveness.dir/ablation_responsiveness.cpp.o"
+  "CMakeFiles/ablation_responsiveness.dir/ablation_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_performance"
+  "../bench/fig6_performance.pdb"
+  "CMakeFiles/fig6_performance.dir/fig6_performance.cpp.o"
+  "CMakeFiles/fig6_performance.dir/fig6_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

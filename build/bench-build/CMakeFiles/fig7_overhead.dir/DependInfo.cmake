@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_overhead.cpp" "bench-build/CMakeFiles/fig7_overhead.dir/fig7_overhead.cpp.o" "gcc" "bench-build/CMakeFiles/fig7_overhead.dir/fig7_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/radar_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/radar_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/radar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/radar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/radar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/radar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/radar_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

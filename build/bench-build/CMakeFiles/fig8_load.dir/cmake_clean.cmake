@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_load"
+  "../bench/fig8_load.pdb"
+  "CMakeFiles/fig8_load.dir/fig8_load.cpp.o"
+  "CMakeFiles/fig8_load.dir/fig8_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

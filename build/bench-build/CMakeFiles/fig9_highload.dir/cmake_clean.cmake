@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_highload"
+  "../bench/fig9_highload.pdb"
+  "CMakeFiles/fig9_highload.dir/fig9_highload.cpp.o"
+  "CMakeFiles/fig9_highload.dir/fig9_highload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_highload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/radar_bench_util.dir/bench_util.cpp.o.d"
+  "libradar_bench_util.a"
+  "libradar_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_adjustment"
+  "../bench/table2_adjustment.pdb"
+  "CMakeFiles/table2_adjustment.dir/table2_adjustment.cpp.o"
+  "CMakeFiles/table2_adjustment.dir/table2_adjustment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosting_service.dir/hosting_service.cpp.o"
+  "CMakeFiles/hosting_service.dir/hosting_service.cpp.o.d"
+  "hosting_service"
+  "hosting_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosting_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

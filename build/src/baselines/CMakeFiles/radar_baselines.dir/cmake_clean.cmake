@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_baselines.dir/selectors.cpp.o"
+  "CMakeFiles/radar_baselines.dir/selectors.cpp.o.d"
+  "libradar_baselines.a"
+  "libradar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

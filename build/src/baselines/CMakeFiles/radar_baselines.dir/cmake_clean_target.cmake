@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradar_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_common.dir/log.cpp.o"
+  "CMakeFiles/radar_common.dir/log.cpp.o.d"
+  "CMakeFiles/radar_common.dir/rng.cpp.o"
+  "CMakeFiles/radar_common.dir/rng.cpp.o.d"
+  "CMakeFiles/radar_common.dir/stats.cpp.o"
+  "CMakeFiles/radar_common.dir/stats.cpp.o.d"
+  "CMakeFiles/radar_common.dir/zipf.cpp.o"
+  "CMakeFiles/radar_common.dir/zipf.cpp.o.d"
+  "libradar_common.a"
+  "libradar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

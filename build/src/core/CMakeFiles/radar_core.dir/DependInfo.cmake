@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/radar_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/radar_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/radar_core.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/radar_core.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/host_agent.cpp" "src/core/CMakeFiles/radar_core.dir/host_agent.cpp.o" "gcc" "src/core/CMakeFiles/radar_core.dir/host_agent.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/radar_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/radar_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/redirector.cpp" "src/core/CMakeFiles/radar_core.dir/redirector.cpp.o" "gcc" "src/core/CMakeFiles/radar_core.dir/redirector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_core.dir/cluster.cpp.o"
+  "CMakeFiles/radar_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/radar_core.dir/consistency.cpp.o"
+  "CMakeFiles/radar_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/radar_core.dir/host_agent.cpp.o"
+  "CMakeFiles/radar_core.dir/host_agent.cpp.o.d"
+  "CMakeFiles/radar_core.dir/params.cpp.o"
+  "CMakeFiles/radar_core.dir/params.cpp.o.d"
+  "CMakeFiles/radar_core.dir/redirector.cpp.o"
+  "CMakeFiles/radar_core.dir/redirector.cpp.o.d"
+  "libradar_core.a"
+  "libradar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

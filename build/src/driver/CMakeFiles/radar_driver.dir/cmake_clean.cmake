@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_driver.dir/cli.cpp.o"
+  "CMakeFiles/radar_driver.dir/cli.cpp.o.d"
+  "CMakeFiles/radar_driver.dir/config.cpp.o"
+  "CMakeFiles/radar_driver.dir/config.cpp.o.d"
+  "CMakeFiles/radar_driver.dir/hosting_simulation.cpp.o"
+  "CMakeFiles/radar_driver.dir/hosting_simulation.cpp.o.d"
+  "CMakeFiles/radar_driver.dir/report.cpp.o"
+  "CMakeFiles/radar_driver.dir/report.cpp.o.d"
+  "libradar_driver.a"
+  "libradar_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_metrics.dir/collector.cpp.o"
+  "CMakeFiles/radar_metrics.dir/collector.cpp.o.d"
+  "libradar_metrics.a"
+  "libradar_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

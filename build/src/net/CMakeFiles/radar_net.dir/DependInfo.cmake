@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/analysis.cpp" "src/net/CMakeFiles/radar_net.dir/analysis.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/analysis.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/radar_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/link_stats.cpp" "src/net/CMakeFiles/radar_net.dir/link_stats.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/link_stats.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/radar_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/radar_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_io.cpp" "src/net/CMakeFiles/radar_net.dir/topology_io.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/topology_io.cpp.o.d"
+  "/root/repo/src/net/uunet.cpp" "src/net/CMakeFiles/radar_net.dir/uunet.cpp.o" "gcc" "src/net/CMakeFiles/radar_net.dir/uunet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_net.dir/analysis.cpp.o"
+  "CMakeFiles/radar_net.dir/analysis.cpp.o.d"
+  "CMakeFiles/radar_net.dir/graph.cpp.o"
+  "CMakeFiles/radar_net.dir/graph.cpp.o.d"
+  "CMakeFiles/radar_net.dir/link_stats.cpp.o"
+  "CMakeFiles/radar_net.dir/link_stats.cpp.o.d"
+  "CMakeFiles/radar_net.dir/routing.cpp.o"
+  "CMakeFiles/radar_net.dir/routing.cpp.o.d"
+  "CMakeFiles/radar_net.dir/topology.cpp.o"
+  "CMakeFiles/radar_net.dir/topology.cpp.o.d"
+  "CMakeFiles/radar_net.dir/topology_io.cpp.o"
+  "CMakeFiles/radar_net.dir/topology_io.cpp.o.d"
+  "CMakeFiles/radar_net.dir/uunet.cpp.o"
+  "CMakeFiles/radar_net.dir/uunet.cpp.o.d"
+  "libradar_net.a"
+  "libradar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

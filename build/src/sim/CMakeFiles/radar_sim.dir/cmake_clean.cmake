@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/radar_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/radar_sim.dir/fcfs_server.cpp.o"
+  "CMakeFiles/radar_sim.dir/fcfs_server.cpp.o.d"
+  "CMakeFiles/radar_sim.dir/simulator.cpp.o"
+  "CMakeFiles/radar_sim.dir/simulator.cpp.o.d"
+  "libradar_sim.a"
+  "libradar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_workload.dir/trace.cpp.o"
+  "CMakeFiles/radar_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/radar_workload.dir/workload.cpp.o"
+  "CMakeFiles/radar_workload.dir/workload.cpp.o.d"
+  "libradar_workload.a"
+  "libradar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_metrics_test.dir/baselines_metrics_test.cpp.o"
+  "CMakeFiles/baselines_metrics_test.dir/baselines_metrics_test.cpp.o.d"
+  "baselines_metrics_test"
+  "baselines_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_agent_test.dir/host_agent_test.cpp.o"
+  "CMakeFiles/host_agent_test.dir/host_agent_test.cpp.o.d"
+  "host_agent_test"
+  "host_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirector_test.dir/redirector_test.cpp.o"
+  "CMakeFiles/redirector_test.dir/redirector_test.cpp.o.d"
+  "redirector_test"
+  "redirector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

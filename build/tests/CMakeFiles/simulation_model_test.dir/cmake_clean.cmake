@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_model_test.dir/simulation_model_test.cpp.o"
+  "CMakeFiles/simulation_model_test.dir/simulation_model_test.cpp.o.d"
+  "simulation_model_test"
+  "simulation_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

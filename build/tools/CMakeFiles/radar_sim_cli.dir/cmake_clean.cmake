@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_sim_cli.dir/radar_sim.cpp.o"
+  "CMakeFiles/radar_sim_cli.dir/radar_sim.cpp.o.d"
+  "radar-sim"
+  "radar-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

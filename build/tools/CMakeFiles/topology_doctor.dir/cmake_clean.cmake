@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_doctor.dir/topology_doctor.cpp.o"
+  "CMakeFiles/topology_doctor.dir/topology_doctor.cpp.o.d"
+  "topology_doctor"
+  "topology_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
