@@ -3,10 +3,17 @@
 // RADAR_CHECK is used for protocol invariants that must hold regardless of
 // build type; violating one indicates a bug in the library, so we terminate
 // with a diagnostic rather than continue with corrupted state.
+//
+// The comparison forms (RADAR_CHECK_EQ/NE/LT/LE/GT/GE) print both operand
+// values on failure — "RADAR_CHECK failed: from < num_nodes_ (7 vs 7)" tells
+// you the bad value without re-running under a debugger. Prefer them over
+// hand-rolled RADAR_CHECK(a < b).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 namespace radar::internal {
 
@@ -14,6 +21,33 @@ namespace radar::internal {
                                      int line) {
   std::fprintf(stderr, "RADAR_CHECK failed: %s at %s:%d\n", expr, file, line);
   std::abort();
+}
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& value) {
+  os << value;
+};
+
+template <typename T>
+void StreamValue(std::ostream& os, const T& value) {
+  if constexpr (Streamable<T>) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* a_expr, const char* op,
+                                const char* b_expr, const A& a, const B& b,
+                                const char* file, int line) {
+  std::ostringstream msg;
+  msg << a_expr << ' ' << op << ' ' << b_expr << " (";
+  StreamValue(msg, a);
+  msg << " vs ";
+  StreamValue(msg, b);
+  msg << ')';
+  CheckFailed(msg.str().c_str(), file, line);
 }
 
 }  // namespace radar::internal
@@ -31,3 +65,22 @@ namespace radar::internal {
       ::radar::internal::CheckFailed(msg, __FILE__, __LINE__);     \
     }                                                              \
   } while (false)
+
+// Operands are evaluated exactly once; both values are printed on failure.
+#define RADAR_CHECK_OP_(a, op, b)                                        \
+  do {                                                                   \
+    const auto& radar_check_a_ = (a);                                    \
+    const auto& radar_check_b_ = (b);                                    \
+    if (!(radar_check_a_ op radar_check_b_)) {                           \
+      ::radar::internal::CheckOpFailed(#a, #op, #b, radar_check_a_,      \
+                                       radar_check_b_, __FILE__,         \
+                                       __LINE__);                        \
+    }                                                                    \
+  } while (false)
+
+#define RADAR_CHECK_EQ(a, b) RADAR_CHECK_OP_(a, ==, b)
+#define RADAR_CHECK_NE(a, b) RADAR_CHECK_OP_(a, !=, b)
+#define RADAR_CHECK_LT(a, b) RADAR_CHECK_OP_(a, <, b)
+#define RADAR_CHECK_LE(a, b) RADAR_CHECK_OP_(a, <=, b)
+#define RADAR_CHECK_GT(a, b) RADAR_CHECK_OP_(a, >, b)
+#define RADAR_CHECK_GE(a, b) RADAR_CHECK_OP_(a, >=, b)

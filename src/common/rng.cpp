@@ -45,7 +45,7 @@ double Rng::NextDouble() {
 }
 
 std::uint64_t Rng::NextBounded(std::uint64_t bound) {
-  RADAR_CHECK(bound > 0);
+  RADAR_CHECK_GT(bound, std::uint64_t{0});
   // Lemire's multiply-shift rejection method (unbiased).
   std::uint64_t x = NextU64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -62,7 +62,7 @@ std::uint64_t Rng::NextBounded(std::uint64_t bound) {
 }
 
 std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
-  RADAR_CHECK(lo <= hi);
+  RADAR_CHECK_LE(lo, hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(NextBounded(span));
 }
@@ -74,7 +74,7 @@ bool Rng::NextBool(double p) {
 }
 
 double Rng::NextExponential(double mean) {
-  RADAR_CHECK(mean > 0.0);
+  RADAR_CHECK_GT(mean, 0.0);
   double u = NextDouble();
   // Avoid log(0).
   if (u <= 0.0) u = 0x1.0p-53;

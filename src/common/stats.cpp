@@ -48,11 +48,11 @@ void OnlineStats::Merge(const OnlineStats& other) {
 
 BucketedSeries::BucketedSeries(SimTime bucket_width)
     : bucket_width_(bucket_width) {
-  RADAR_CHECK(bucket_width > 0);
+  RADAR_CHECK_GT(bucket_width, 0);
 }
 
 void BucketedSeries::Add(SimTime t, double value) {
-  RADAR_CHECK(t >= 0);
+  RADAR_CHECK_GE(t, 0);
   const auto idx = static_cast<std::size_t>(t / bucket_width_);
   if (idx >= sums_.size()) {
     sums_.resize(idx + 1, 0.0);
@@ -67,12 +67,12 @@ SimTime BucketedSeries::BucketStart(std::size_t i) const {
 }
 
 double BucketedSeries::MeanAt(std::size_t i) const {
-  RADAR_CHECK(i < sums_.size());
+  RADAR_CHECK_LT(i, sums_.size());
   return counts_[i] > 0 ? sums_[i] / static_cast<double>(counts_[i]) : 0.0;
 }
 
 double BucketedSeries::RateAt(std::size_t i) const {
-  RADAR_CHECK(i < sums_.size());
+  RADAR_CHECK_LT(i, sums_.size());
   return sums_[i] / SimToSeconds(bucket_width_);
 }
 
@@ -86,7 +86,8 @@ double BucketedSeries::MeanRateOver(std::size_t first, std::size_t last) const {
 }
 
 double Percentile(std::vector<double> values, double pct) {
-  RADAR_CHECK(pct >= 0.0 && pct <= 100.0);
+  RADAR_CHECK_GE(pct, 0.0);
+  RADAR_CHECK_LE(pct, 100.0);
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
   const double pos = pct / 100.0 * static_cast<double>(values.size() - 1);

@@ -8,7 +8,7 @@
 namespace radar {
 
 ReedsZipf::ReedsZipf(std::int64_t n) : n_(n), log_n_(std::log(static_cast<double>(n))) {
-  RADAR_CHECK(n >= 1);
+  RADAR_CHECK_GE(n, 1);
 }
 
 std::int64_t ReedsZipf::Sample(Rng& rng) const {
@@ -19,8 +19,8 @@ std::int64_t ReedsZipf::Sample(Rng& rng) const {
 }
 
 ExactZipf::ExactZipf(std::int64_t n, double exponent) {
-  RADAR_CHECK(n >= 1);
-  RADAR_CHECK(exponent > 0.0);
+  RADAR_CHECK_GE(n, 1);
+  RADAR_CHECK_GT(exponent, 0.0);
   cdf_.resize(static_cast<std::size_t>(n));
   double total = 0.0;
   for (std::int64_t i = 1; i <= n; ++i) {
@@ -37,7 +37,8 @@ std::int64_t ExactZipf::Sample(Rng& rng) const {
 }
 
 double ExactZipf::Pmf(std::int64_t rank) const {
-  RADAR_CHECK(rank >= 1 && rank <= n());
+  RADAR_CHECK_GE(rank, 1);
+  RADAR_CHECK_LE(rank, n());
   const auto idx = static_cast<std::size_t>(rank - 1);
   return idx == 0 ? cdf_[0] : cdf_[idx] - cdf_[idx - 1];
 }

@@ -13,29 +13,29 @@ namespace radar::core {
 /// Theorem 1: when host i replicates x (source keeps its replica), the load
 /// on i may decrease by at most (3/4) * l, where l = load(x_i) before.
 inline double ReplicationSourceDecreaseBound(double object_load) {
-  RADAR_CHECK(object_load >= 0.0);
+  RADAR_CHECK_GE(object_load, 0.0);
   return 0.75 * object_load;
 }
 
 /// Theorems 2 and 4: the recipient's load may increase by at most
 /// 4 * l / aff(x_i) after receiving a replica or migrated copy.
 inline double RecipientIncreaseBound(double object_load, int affinity) {
-  RADAR_CHECK(object_load >= 0.0);
-  RADAR_CHECK(affinity >= 1);
+  RADAR_CHECK_GE(object_load, 0.0);
+  RADAR_CHECK_GE(affinity, 1);
   return 4.0 * object_load / static_cast<double>(affinity);
 }
 
 /// Same bound expressed on the unit load carried in CreateObj messages.
 inline double RecipientIncreaseBoundFromUnitLoad(double unit_load) {
-  RADAR_CHECK(unit_load >= 0.0);
+  RADAR_CHECK_GE(unit_load, 0.0);
   return 4.0 * unit_load;
 }
 
 /// Theorem 3: when host i migrates one affinity unit of x away, the load
 /// on i may decrease by at most l/aff + (3/4) * l * (aff-1)/aff.
 inline double MigrationSourceDecreaseBound(double object_load, int affinity) {
-  RADAR_CHECK(object_load >= 0.0);
-  RADAR_CHECK(affinity >= 1);
+  RADAR_CHECK_GE(object_load, 0.0);
+  RADAR_CHECK_GE(affinity, 1);
   const auto aff = static_cast<double>(affinity);
   return object_load / aff + 0.75 * object_load * (aff - 1.0) / aff;
 }
@@ -44,7 +44,7 @@ inline double MigrationSourceDecreaseBound(double object_load, int affinity) {
 /// exceeds m, then m/4 lower-bounds every replica's unit access count after
 /// replication — hence the stability requirement 4u < m.
 inline double PostReplicationAccessLowerBound(double replication_threshold_m) {
-  RADAR_CHECK(replication_threshold_m >= 0.0);
+  RADAR_CHECK_GE(replication_threshold_m, 0.0);
   return replication_threshold_m / 4.0;
 }
 

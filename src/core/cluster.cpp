@@ -13,7 +13,7 @@ Cluster::Cluster(std::int32_t num_nodes, const DistanceOracle& distance,
       distance_(distance),
       redirectors_(distance, params.distribution_constant,
                    std::move(redirector_homes)) {
-  RADAR_CHECK(num_nodes > 0);
+  RADAR_CHECK_GT(num_nodes, 0);
   params_.CheckStructure();
   agents_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId n = 0; n < num_nodes; ++n) {
@@ -22,12 +22,14 @@ Cluster::Cluster(std::int32_t num_nodes, const DistanceOracle& distance,
 }
 
 HostAgent& Cluster::host(NodeId n) {
-  RADAR_CHECK(n >= 0 && n < num_nodes());
+  RADAR_CHECK_GE(n, 0);
+  RADAR_CHECK_LT(n, num_nodes());
   return agents_[static_cast<std::size_t>(n)];
 }
 
 const HostAgent& Cluster::host(NodeId n) const {
-  RADAR_CHECK(n >= 0 && n < num_nodes());
+  RADAR_CHECK_GE(n, 0);
+  RADAR_CHECK_LT(n, num_nodes());
   return agents_[static_cast<std::size_t>(n)];
 }
 
@@ -52,7 +54,7 @@ PlacementStats Cluster::RunPlacement(NodeId n, SimTime now) {
 CreateObjResponse Cluster::CreateObjRpc(NodeId from, NodeId to,
                                         CreateObjMethod method, ObjectId x,
                                         double unit_load) {
-  RADAR_CHECK(from != to);
+  RADAR_CHECK_NE(from, to);
   if (method == CreateObjMethod::kReplicate && replica_cap_) {
     const int cap = replica_cap_(x);
     if (cap > 0 && redirectors_.For(x).ReplicaCount(x) >= cap &&

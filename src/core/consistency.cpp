@@ -9,7 +9,7 @@ namespace radar::core {
 
 void ObjectCatalog::Register(ObjectId x, ObjectCategory category,
                              NodeId primary, int replica_cap) {
-  RADAR_CHECK(x >= 0);
+  RADAR_CHECK_GE(x, 0);
   RADAR_CHECK_MSG(!Knows(x), "object already catalogued");
   ObjectMeta meta;
   meta.category = category;
@@ -49,8 +49,8 @@ UpdateManager::UpdateManager(const ObjectCatalog* catalog,
     : catalog_(catalog),
       replica_set_fn_(std::move(replica_set_fn)),
       policy_(policy) {
-  RADAR_CHECK(catalog_ != nullptr);
-  RADAR_CHECK(replica_set_fn_ != nullptr);
+  RADAR_CHECK_NE(catalog_, nullptr);
+  RADAR_CHECK_NE(replica_set_fn_, nullptr);
 }
 
 UpdateManager::ObjectState& UpdateManager::StateOf(ObjectId x) {
@@ -185,8 +185,8 @@ std::int64_t UpdateManager::pending_batch_size() const {
 
 ConsistencyBridge::ConsistencyBridge(UpdateManager* manager, ClockFn clock)
     : manager_(manager), clock_(std::move(clock)) {
-  RADAR_CHECK(manager_ != nullptr);
-  RADAR_CHECK(clock_ != nullptr);
+  RADAR_CHECK_NE(manager_, nullptr);
+  RADAR_CHECK_NE(clock_, nullptr);
 }
 
 void ConsistencyBridge::OnReplicaAdded(ObjectId x, NodeId host) {

@@ -29,11 +29,11 @@ class MatrixDistanceOracle final : public DistanceOracle {
         matrix_(static_cast<std::size_t>(num_nodes) *
                     static_cast<std::size_t>(num_nodes),
                 0) {
-    RADAR_CHECK(num_nodes > 0);
+    RADAR_CHECK_GT(num_nodes, 0);
   }
 
   void Set(NodeId a, NodeId b, std::int32_t distance) {
-    RADAR_CHECK(distance >= 0);
+    RADAR_CHECK_GE(distance, 0);
     matrix_[Index(a, b)] = distance;
     matrix_[Index(b, a)] = distance;
   }
@@ -44,8 +44,10 @@ class MatrixDistanceOracle final : public DistanceOracle {
 
  private:
   std::size_t Index(NodeId a, NodeId b) const {
-    RADAR_CHECK(a >= 0 && a < num_nodes_);
-    RADAR_CHECK(b >= 0 && b < num_nodes_);
+    RADAR_CHECK_GE(a, 0);
+    RADAR_CHECK_LT(a, num_nodes_);
+    RADAR_CHECK_GE(b, 0);
+    RADAR_CHECK_LT(b, num_nodes_);
     return static_cast<std::size_t>(a) * static_cast<std::size_t>(num_nodes_) +
            static_cast<std::size_t>(b);
   }

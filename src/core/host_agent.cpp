@@ -10,8 +10,9 @@ namespace radar::core {
 HostAgent::HostAgent(NodeId self, std::int32_t num_nodes,
                      const ProtocolParams* params)
     : self_(self), num_nodes_(num_nodes), params_(params) {
-  RADAR_CHECK(self >= 0 && self < num_nodes);
-  RADAR_CHECK(params != nullptr);
+  RADAR_CHECK_GE(self, 0);
+  RADAR_CHECK_LT(self, num_nodes);
+  RADAR_CHECK_NE(params, nullptr);
   params->CheckStructure();
 }
 
@@ -98,7 +99,7 @@ double HostAgent::UnitLoad(ObjectId x) const {
 CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
                                              ObjectId x, double unit_load,
                                              SimTime now) {
-  RADAR_CHECK(unit_load >= 0.0);
+  RADAR_CHECK_GE(unit_load, 0.0);
   // Fig. 4: any acceptance requires load below the low watermark; a
   // migration additionally must not push the upper-bound estimate past the
   // high watermark (replications may — overloading a recipient temporarily
@@ -149,7 +150,8 @@ double HostAgent::UnitAccessRate(ObjectId x, SimTime now) const {
 }
 
 std::uint32_t HostAgent::AccessCount(ObjectId x, NodeId p) const {
-  RADAR_CHECK(p >= 0 && p < num_nodes_);
+  RADAR_CHECK_GE(p, 0);
+  RADAR_CHECK_LT(p, num_nodes_);
   const ReplicaRecord* rec = FindRecord(x);
   return rec != nullptr ? rec->path_counts[static_cast<std::size_t>(p)] : 0;
 }
@@ -288,7 +290,7 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
                         SimTime now) {
   const NodeId recipient = ctx.FindOffloadRecipient(self_);
   if (recipient == kInvalidNode) return;
-  RADAR_CHECK(recipient != self_);
+  RADAR_CHECK_NE(recipient, self_);
   double recipient_load = ctx.ReportedLoad(recipient);
   if (recipient_load >= params_->low_watermark) return;
 
@@ -370,12 +372,12 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
 }
 
 void HostAgent::set_weight(double weight) {
-  RADAR_CHECK(weight > 0.0);
+  RADAR_CHECK_GT(weight, 0.0);
   weight_ = weight;
 }
 
 void HostAgent::set_storage_capacity(std::int64_t max_objects) {
-  RADAR_CHECK(max_objects >= 0);
+  RADAR_CHECK_GE(max_objects, 0);
   storage_capacity_ = max_objects;
 }
 

@@ -12,15 +12,17 @@ bool ProtocolParams::IsStable() const {
 }
 
 void ProtocolParams::CheckStructure() const {
-  RADAR_CHECK(deletion_threshold_u >= 0.0);
-  RADAR_CHECK(replication_threshold_m > 0.0);
-  RADAR_CHECK(migr_ratio > 0.0 && migr_ratio <= 1.0);
-  RADAR_CHECK(repl_ratio > 0.0 && repl_ratio <= 1.0);
-  RADAR_CHECK(high_watermark > 0.0);
-  RADAR_CHECK(low_watermark > 0.0);
-  RADAR_CHECK(distribution_constant > 0.0);
-  RADAR_CHECK(placement_interval > 0);
-  RADAR_CHECK(measurement_interval > 0);
+  RADAR_CHECK_GE(deletion_threshold_u, 0.0);
+  RADAR_CHECK_GT(replication_threshold_m, 0.0);
+  RADAR_CHECK_GT(migr_ratio, 0.0);
+  RADAR_CHECK_LE(migr_ratio, 1.0);
+  RADAR_CHECK_GT(repl_ratio, 0.0);
+  RADAR_CHECK_LE(repl_ratio, 1.0);
+  RADAR_CHECK_GT(high_watermark, 0.0);
+  RADAR_CHECK_GT(low_watermark, 0.0);
+  RADAR_CHECK_GT(distribution_constant, 0.0);
+  RADAR_CHECK_GT(placement_interval, 0);
+  RADAR_CHECK_GT(measurement_interval, 0);
 }
 
 }  // namespace radar::core

@@ -11,11 +11,11 @@ Redirector::Redirector(const DistanceOracle& distance,
     : distance_(distance),
       distribution_constant_(distribution_constant),
       home_node_(home_node) {
-  RADAR_CHECK(distribution_constant > 0.0);
+  RADAR_CHECK_GT(distribution_constant, 0.0);
 }
 
 Redirector::Entry& Redirector::EntryOf(ObjectId x) {
-  RADAR_CHECK(x >= 0);
+  RADAR_CHECK_GE(x, 0);
   if (static_cast<std::size_t>(x) >= table_.size()) {
     table_.resize(static_cast<std::size_t>(x) + 1);
   }
@@ -23,7 +23,8 @@ Redirector::Entry& Redirector::EntryOf(ObjectId x) {
 }
 
 const Redirector::Entry& Redirector::EntryOf(ObjectId x) const {
-  RADAR_CHECK(x >= 0 && static_cast<std::size_t>(x) < table_.size());
+  RADAR_CHECK_GE(x, 0);
+  RADAR_CHECK_LT(static_cast<std::size_t>(x), table_.size());
   return table_[static_cast<std::size_t>(x)];
 }
 
@@ -102,11 +103,11 @@ void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
 }
 
 void Redirector::OnAffinityReduced(ObjectId x, NodeId host, int new_affinity) {
-  RADAR_CHECK(new_affinity >= 1);
+  RADAR_CHECK_GE(new_affinity, 1);
   Entry& e = EntryOf(x);
   Replica* r = FindReplica(e, host);
   RADAR_CHECK_MSG(r != nullptr, "affinity notice for unknown replica");
-  RADAR_CHECK(new_affinity < r->aff);
+  RADAR_CHECK_LT(new_affinity, r->aff);
   r->aff = new_affinity;
   ResetCounts(e);
 }
@@ -178,7 +179,7 @@ RedirectorGroup::RedirectorGroup(const DistanceOracle& distance,
 }
 
 Redirector& RedirectorGroup::For(ObjectId x) {
-  RADAR_CHECK(x >= 0);
+  RADAR_CHECK_GE(x, 0);
   // Fibonacci-hash the object id for an even partition even when ids are
   // assigned contiguously.
   const auto h = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
@@ -191,7 +192,8 @@ const Redirector& RedirectorGroup::For(ObjectId x) const {
 }
 
 Redirector& RedirectorGroup::At(int index) {
-  RADAR_CHECK(index >= 0 && index < size());
+  RADAR_CHECK_GE(index, 0);
+  RADAR_CHECK_LT(index, size());
   return redirectors_[static_cast<std::size_t>(index)];
 }
 

@@ -16,13 +16,13 @@ const char* WorkloadKindName(WorkloadKind kind) {
 }
 
 void SimConfig::Check() const {
-  RADAR_CHECK(num_objects > 0);
-  RADAR_CHECK(object_bytes > 0);
-  RADAR_CHECK(node_request_rate > 0.0);
-  RADAR_CHECK(server_capacity > 0.0);
-  RADAR_CHECK(duration > 0);
-  RADAR_CHECK(num_redirectors >= 1);
-  RADAR_CHECK(metric_bucket > 0);
+  RADAR_CHECK_GT(num_objects, 0);
+  RADAR_CHECK_GT(object_bytes, 0);
+  RADAR_CHECK_GT(node_request_rate, 0.0);
+  RADAR_CHECK_GT(server_capacity, 0.0);
+  RADAR_CHECK_GT(duration, 0);
+  RADAR_CHECK_GE(num_redirectors, 1);
+  RADAR_CHECK_GT(metric_bucket, 0);
   protocol.CheckStructure();
 }
 

@@ -17,8 +17,8 @@ std::vector<NodeId> PickRedirectorHomes(const net::RoutingTable& routing,
   // in hops to other nodes is minimum"; additional redirectors take the
   // next-most-central nodes.
   const std::vector<NodeId> by_centrality = routing.NodesByCentrality();
-  RADAR_CHECK(count >= 1 &&
-              static_cast<std::size_t>(count) <= by_centrality.size());
+  RADAR_CHECK_GE(count, 1);
+  RADAR_CHECK_LE(static_cast<std::size_t>(count), by_centrality.size());
   return {by_centrality.begin(), by_centrality.begin() + count};
 }
 
@@ -48,7 +48,7 @@ HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
   servers_.reserve(static_cast<std::size_t>(topology_.num_nodes()));
   for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
     const double weight = config_.host_weight ? config_.host_weight(n) : 1.0;
-    RADAR_CHECK(weight > 0.0);
+    RADAR_CHECK_GT(weight, 0.0);
     cluster_->host(n).set_weight(weight);
     if (config_.host_storage) {
       cluster_->host(n).set_storage_capacity(config_.host_storage(n));
@@ -58,16 +58,16 @@ HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
 }
 
 NodeId HostingSimulation::redirector_home(int index) const {
-  RADAR_CHECK(index >= 0 &&
-              static_cast<std::size_t>(index) < redirector_homes_.size());
+  RADAR_CHECK_GE(index, 0);
+  RADAR_CHECK_LT(static_cast<std::size_t>(index), redirector_homes_.size());
   return redirector_homes_[static_cast<std::size_t>(index)];
 }
 
 void HostingSimulation::SetWorkload(
     std::unique_ptr<workload::Workload> workload) {
   RADAR_CHECK(!started_);
-  RADAR_CHECK(workload != nullptr);
-  RADAR_CHECK(workload->num_objects() == config_.num_objects);
+  RADAR_CHECK_NE(workload, nullptr);
+  RADAR_CHECK_EQ(workload->num_objects(), config_.num_objects);
   workload_ = std::move(workload);
 }
 
@@ -100,7 +100,8 @@ void HostingSimulation::PlaceInitialObjects() {
   const auto home_of = [&](ObjectId x) {
     if (config_.initial_home) {
       const NodeId home = config_.initial_home(x);
-      RADAR_CHECK(home >= 0 && home < nodes);
+      RADAR_CHECK_GE(home, 0);
+      RADAR_CHECK_LT(home, nodes);
       return home;
     }
     return x % nodes;
@@ -158,7 +159,7 @@ void HostingSimulation::SetTrace(workload::RequestTrace trace) {
   RADAR_CHECK_MSG(trace.NumObjectsReferenced() <= config_.num_objects,
                   "trace references objects beyond num_objects");
   for (const workload::TraceRecord& r : trace.records()) {
-    RADAR_CHECK(r.gateway < topology_.num_nodes());
+    RADAR_CHECK_LT(r.gateway, topology_.num_nodes());
     RADAR_CHECK_MSG(topology_.IsGateway(r.gateway),
                     "trace request at a non-gateway node");
   }
@@ -194,8 +195,11 @@ void HostingSimulation::ScheduleArrivals() {
       sim_.SchedulePeriodic(phase, period,
                             [this, g](SimTime t) { GenerateRequest(g, t); });
     } else {
-      // Self-rescheduling Poisson process.
-      auto tick = std::make_shared<std::function<void()>>();
+      // Self-rescheduling Poisson process. The closure lives in
+      // arrival_ticks_; capturing a shared self-handle instead would form
+      // a reference cycle and leak (caught by the asan-ubsan preset).
+      arrival_ticks_.push_back(std::make_unique<std::function<void()>>());
+      auto* tick = arrival_ticks_.back().get();
       *tick = [this, g, rate, tick] {
         GenerateRequest(g, sim_.Now());
         const double gap =
@@ -335,7 +339,8 @@ void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
 }
 
 const sim::FcfsServer& HostingSimulation::server(NodeId n) const {
-  RADAR_CHECK(n >= 0 && static_cast<std::size_t>(n) < servers_.size());
+  RADAR_CHECK_GE(n, 0);
+  RADAR_CHECK_LT(static_cast<std::size_t>(n), servers_.size());
   return servers_[static_cast<std::size_t>(n)];
 }
 

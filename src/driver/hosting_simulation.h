@@ -16,6 +16,7 @@
 //      object_bytes per hop to the backbone-bandwidth metric.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -130,6 +131,10 @@ class HostingSimulation {
   std::vector<sim::FcfsServer> servers_;
   net::LinkStats link_stats_;
   std::vector<Rng> node_rngs_;
+  /// Poisson-arrival tick closures; owned here (not by the event queue) so
+  /// the self-rescheduling lambdas capture a raw pointer to a stable slot
+  /// instead of a shared self-handle, which would be a reference cycle.
+  std::vector<std::unique_ptr<std::function<void()>>> arrival_ticks_;
   baselines::RoundRobinSelector round_robin_;
   baselines::ClosestSelector closest_;
   std::unique_ptr<RunReport> report_;

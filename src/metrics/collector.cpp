@@ -10,14 +10,14 @@ TrafficLedger::TrafficLedger(SimTime bucket_width)
     : payload_(bucket_width), overhead_(bucket_width) {}
 
 void TrafficLedger::AddPayload(SimTime t, std::int64_t byte_hops) {
-  RADAR_CHECK(byte_hops >= 0);
+  RADAR_CHECK_GE(byte_hops, 0);
   if (byte_hops == 0) return;
   payload_.Add(t, static_cast<double>(byte_hops));
   total_payload_ += byte_hops;
 }
 
 void TrafficLedger::AddOverhead(SimTime t, std::int64_t byte_hops) {
-  RADAR_CHECK(byte_hops >= 0);
+  RADAR_CHECK_GE(byte_hops, 0);
   if (byte_hops == 0) return;
   overhead_.Add(t, static_cast<double>(byte_hops));
   total_overhead_ += byte_hops;
@@ -44,11 +44,11 @@ std::vector<double> TrafficLedger::OverheadPercentSeries() const {
 }
 
 MaxSeries::MaxSeries(SimTime bucket_width) : bucket_width_(bucket_width) {
-  RADAR_CHECK(bucket_width > 0);
+  RADAR_CHECK_GT(bucket_width, 0);
 }
 
 void MaxSeries::Add(SimTime t, double value) {
-  RADAR_CHECK(t >= 0);
+  RADAR_CHECK_GE(t, 0);
   const auto idx = static_cast<std::size_t>(t / bucket_width_);
   if (idx >= maxima_.size()) {
     maxima_.resize(idx + 1, 0.0);
@@ -65,7 +65,7 @@ SimTime MaxSeries::BucketStart(std::size_t i) const {
 }
 
 double MaxSeries::MaxAt(std::size_t i) const {
-  RADAR_CHECK(i < maxima_.size());
+  RADAR_CHECK_LT(i, maxima_.size());
   return maxima_[i];
 }
 
@@ -101,9 +101,10 @@ double SampledSeries::LastValue() const {
 double AdjustmentTimeSeconds(const BucketedSeries& traffic, double tolerance,
                              double equilibrium_fraction, int stable_buckets,
                              std::size_t max_buckets) {
-  RADAR_CHECK(tolerance >= 1.0);
-  RADAR_CHECK(equilibrium_fraction > 0.0 && equilibrium_fraction <= 1.0);
-  RADAR_CHECK(stable_buckets >= 1);
+  RADAR_CHECK_GE(tolerance, 1.0);
+  RADAR_CHECK_GT(equilibrium_fraction, 0.0);
+  RADAR_CHECK_LE(equilibrium_fraction, 1.0);
+  RADAR_CHECK_GE(stable_buckets, 1);
   const std::size_t n = std::min(traffic.num_buckets(), max_buckets);
   if (n == 0) return -1.0;
   const auto tail = std::max<std::size_t>(

@@ -9,7 +9,7 @@ namespace radar::net {
 std::vector<FunnelReport> ComputeFunnels(const Topology& topology,
                                          const RoutingTable& routing) {
   const std::int32_t n = topology.num_nodes();
-  RADAR_CHECK(routing.num_nodes() == n);
+  RADAR_CHECK_EQ(routing.num_nodes(), n);
   std::vector<FunnelReport> reports;
   reports.reserve(static_cast<std::size_t>(n));
   std::vector<std::int32_t> transit_count(static_cast<std::size_t>(n));

@@ -7,17 +7,19 @@
 namespace radar::net {
 
 Graph::Graph(std::int32_t num_nodes) : num_nodes_(num_nodes) {
-  RADAR_CHECK(num_nodes >= 0);
+  RADAR_CHECK_GE(num_nodes, 0);
   adjacency_.resize(static_cast<std::size_t>(num_nodes));
 }
 
 std::int32_t Graph::AddLink(NodeId a, NodeId b, SimTime delay,
                             double bandwidth_bps) {
-  RADAR_CHECK(a >= 0 && a < num_nodes_);
-  RADAR_CHECK(b >= 0 && b < num_nodes_);
-  RADAR_CHECK(a != b);
-  RADAR_CHECK(delay >= 0);
-  RADAR_CHECK(bandwidth_bps > 0.0);
+  RADAR_CHECK_GE(a, 0);
+  RADAR_CHECK_LT(a, num_nodes_);
+  RADAR_CHECK_GE(b, 0);
+  RADAR_CHECK_LT(b, num_nodes_);
+  RADAR_CHECK_NE(a, b);
+  RADAR_CHECK_GE(delay, 0);
+  RADAR_CHECK_GT(bandwidth_bps, 0.0);
   RADAR_CHECK_MSG(!HasLink(a, b), "duplicate link");
   const auto index = static_cast<std::int32_t>(links_.size());
   links_.push_back(Link{a, b, delay, bandwidth_bps});
@@ -35,7 +37,8 @@ std::int32_t Graph::AddLink(NodeId a, NodeId b, SimTime delay,
 }
 
 const std::vector<Edge>& Graph::Neighbors(NodeId n) const {
-  RADAR_CHECK(n >= 0 && n < num_nodes_);
+  RADAR_CHECK_GE(n, 0);
+  RADAR_CHECK_LT(n, num_nodes_);
   return adjacency_[static_cast<std::size_t>(n)];
 }
 

@@ -7,21 +7,23 @@
 namespace radar::net {
 
 LinkStats::LinkStats(std::int32_t num_nodes) : num_nodes_(num_nodes) {
-  RADAR_CHECK(num_nodes > 0);
+  RADAR_CHECK_GT(num_nodes, 0);
   per_hop_bytes_.assign(
       static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes),
       0);
 }
 
 std::size_t LinkStats::Index(NodeId from, NodeId to) const {
-  RADAR_CHECK(from >= 0 && from < num_nodes_);
-  RADAR_CHECK(to >= 0 && to < num_nodes_);
+  RADAR_CHECK_GE(from, 0);
+  RADAR_CHECK_LT(from, num_nodes_);
+  RADAR_CHECK_GE(to, 0);
+  RADAR_CHECK_LT(to, num_nodes_);
   return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_nodes_) +
          static_cast<std::size_t>(to);
 }
 
 void LinkStats::RecordPath(const std::vector<NodeId>& path, std::int64_t bytes) {
-  RADAR_CHECK(bytes >= 0);
+  RADAR_CHECK_GE(bytes, 0);
   for (std::size_t i = 1; i < path.size(); ++i) {
     RecordHop(path[i - 1], path[i], bytes);
   }

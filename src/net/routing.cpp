@@ -36,7 +36,7 @@ std::uint64_t TieBreakRank(NodeId src, NodeId via, NodeId parent) {
 
 RoutingTable::RoutingTable(const Graph& graph, RoutingMetric metric)
     : num_nodes_(graph.num_nodes()) {
-  RADAR_CHECK(num_nodes_ > 0);
+  RADAR_CHECK_GT(num_nodes_, 0);
   RADAR_CHECK_MSG(graph.IsConnected(), "routing requires a connected graph");
   const auto n = static_cast<std::size_t>(num_nodes_);
   hop_distance_.assign(n * n, 0);
@@ -93,15 +93,18 @@ RoutingTable::RoutingTable(const Graph& graph, RoutingMetric metric)
         path.push_back(at);
       }
       std::reverse(path.begin(), path.end());
-      RADAR_CHECK(path.front() == src && path.back() == dst);
+      RADAR_CHECK_EQ(path.front(), src);
+      RADAR_CHECK_EQ(path.back(), dst);
       hop_distance_[idx] = static_cast<std::int32_t>(path.size()) - 1;
     }
   }
 }
 
 std::size_t RoutingTable::PairIndex(NodeId from, NodeId to) const {
-  RADAR_CHECK(from >= 0 && from < num_nodes_);
-  RADAR_CHECK(to >= 0 && to < num_nodes_);
+  RADAR_CHECK_GE(from, 0);
+  RADAR_CHECK_LT(from, num_nodes_);
+  RADAR_CHECK_GE(to, 0);
+  RADAR_CHECK_LT(to, num_nodes_);
   return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_nodes_) +
          static_cast<std::size_t>(to);
 }

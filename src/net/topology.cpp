@@ -18,11 +18,12 @@ const char* RegionName(Region region) {
 
 Topology::Topology(Graph graph, std::vector<NodeInfo> nodes)
     : graph_(std::move(graph)), nodes_(std::move(nodes)) {
-  RADAR_CHECK(static_cast<std::size_t>(graph_.num_nodes()) == nodes_.size());
+  RADAR_CHECK_EQ(static_cast<std::size_t>(graph_.num_nodes()), nodes_.size());
 }
 
 const NodeInfo& Topology::node(NodeId id) const {
-  RADAR_CHECK(id >= 0 && id < num_nodes());
+  RADAR_CHECK_GE(id, 0);
+  RADAR_CHECK_LT(id, num_nodes());
   return nodes_[static_cast<std::size_t>(id)];
 }
 
@@ -58,8 +59,10 @@ NodeId TopologyBuilder::AddNode(std::string name, Region region,
 
 TopologyBuilder& TopologyBuilder::Link(NodeId a, NodeId b, SimTime delay,
                                        double bandwidth_bps) {
-  RADAR_CHECK(a >= 0 && a < num_nodes());
-  RADAR_CHECK(b >= 0 && b < num_nodes());
+  RADAR_CHECK_GE(a, 0);
+  RADAR_CHECK_LT(a, num_nodes());
+  RADAR_CHECK_GE(b, 0);
+  RADAR_CHECK_LT(b, num_nodes());
   links_.push_back(PendingLink{a, b, delay, bandwidth_bps});
   return *this;
 }

@@ -70,7 +70,7 @@ Topology MakeUunetBackbone(const BackboneParams& params) {
   b.AddNode("Sydney", Region::kPacificAustralia);
   b.AddNode("Melbourne", Region::kPacificAustralia);
 
-  RADAR_CHECK(b.num_nodes() == kUunetNodeCount);
+  RADAR_CHECK_EQ(b.num_nodes(), kUunetNodeCount);
 
   // The 1998 UUNET backbone was a densely redundant partial mesh: every
   // POP had several geographically diverse uplinks. Density matters for

@@ -7,7 +7,7 @@
 namespace radar::sim {
 
 void EventQueue::Push(SimTime when, EventFn fn) {
-  RADAR_CHECK(when >= 0);
+  RADAR_CHECK_GE(when, 0);
   heap_.push(Entry{when, next_seq_++, std::move(fn)});
 }
 

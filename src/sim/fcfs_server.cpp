@@ -7,14 +7,14 @@
 namespace radar::sim {
 
 FcfsServer::FcfsServer(double capacity_rps) {
-  RADAR_CHECK(capacity_rps > 0.0);
+  RADAR_CHECK_GT(capacity_rps, 0.0);
   service_time_ = static_cast<SimTime>(
       static_cast<double>(kMicrosPerSecond) / capacity_rps);
-  RADAR_CHECK(service_time_ > 0);
+  RADAR_CHECK_GT(service_time_, 0);
 }
 
 SimTime FcfsServer::Admit(SimTime arrival) {
-  RADAR_CHECK(arrival >= last_arrival_);
+  RADAR_CHECK_GE(arrival, last_arrival_);
   last_arrival_ = arrival;
   const SimTime start = std::max(arrival, busy_until_);
   busy_until_ = start + service_time_;

@@ -8,38 +8,40 @@
 namespace radar::sim {
 
 void Simulator::Schedule(SimTime delay, EventFn fn) {
-  RADAR_CHECK(delay >= 0);
+  RADAR_CHECK_GE(delay, 0);
   queue_.Push(now_ + delay, std::move(fn));
 }
 
 void Simulator::ScheduleAt(SimTime when, EventFn fn) {
-  RADAR_CHECK(when >= now_);
+  RADAR_CHECK_GE(when, now_);
   queue_.Push(when, std::move(fn));
 }
 
 void Simulator::SchedulePeriodic(SimTime first_at, SimTime period,
                                  std::function<void(SimTime)> fn) {
-  RADAR_CHECK(period > 0);
-  RADAR_CHECK(first_at >= now_);
-  // Self-rescheduling wrapper; stops automatically when the next firing
-  // would land past the run horizon.
+  RADAR_CHECK_GT(period, 0);
+  RADAR_CHECK_GE(first_at, now_);
   // Self-rescheduling wrapper. The next firing is always enqueued, so a
   // periodic task survives successive RunUntil() horizons; it simply waits
-  // in the queue past the last horizon.
-  auto tick = std::make_shared<std::function<void(SimTime)>>();
-  *tick = [this, period, fn = std::move(fn), self = tick](SimTime at) {
+  // in the queue past the last horizon. The closure is owned by
+  // periodic_tasks_ (capturing a shared self-handle instead would form a
+  // reference cycle and leak — ASan's leak checker catches exactly that).
+  periodic_tasks_.push_back(
+      std::make_unique<std::function<void(SimTime)>>());
+  auto* tick = periodic_tasks_.back().get();
+  *tick = [this, period, fn = std::move(fn), tick](SimTime at) {
     fn(at);
     const SimTime next = at + period;
-    queue_.Push(next, [self, next] { (*self)(next); });
+    queue_.Push(next, [tick, next] { (*tick)(next); });
   };
   queue_.Push(first_at, [tick, first_at] { (*tick)(first_at); });
 }
 
 void Simulator::RunUntil(SimTime until) {
-  RADAR_CHECK(until >= now_);
+  RADAR_CHECK_GE(until, now_);
   while (!queue_.empty() && queue_.NextTime() <= until) {
     auto [when, fn] = queue_.Pop();
-    RADAR_CHECK(when >= now_);
+    RADAR_CHECK_GE(when, now_);
     now_ = when;
     fn();
     ++events_executed_;
@@ -50,7 +52,7 @@ void Simulator::RunUntil(SimTime until) {
 void Simulator::RunAll() {
   while (!queue_.empty()) {
     auto [when, fn] = queue_.Pop();
-    RADAR_CHECK(when >= now_);
+    RADAR_CHECK_GE(when, now_);
     now_ = when;
     fn();
     ++events_executed_;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -39,6 +41,11 @@ class Simulator {
   SimTime now_ = 0;
   EventQueue queue_;
   std::uint64_t events_executed_ = 0;
+  /// Periodic tick closures live here, not in the event queue: the queued
+  /// continuations capture a raw pointer to the stable heap slot, so there
+  /// is no shared_ptr cycle and the closures die with the simulator.
+  /// (Queued events already require the simulator alive — they use queue_.)
+  std::vector<std::unique_ptr<std::function<void(SimTime)>>> periodic_tasks_;
 };
 
 }  // namespace radar::sim

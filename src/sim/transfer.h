@@ -19,8 +19,8 @@ namespace radar::sim {
 
 /// Serialization time for `bytes` at `bandwidth_bps` bytes/second.
 inline SimTime SerializationTime(std::int64_t bytes, double bandwidth_bps) {
-  RADAR_CHECK(bytes >= 0);
-  RADAR_CHECK(bandwidth_bps > 0.0);
+  RADAR_CHECK_GE(bytes, 0);
+  RADAR_CHECK_GT(bandwidth_bps, 0.0);
   return static_cast<SimTime>(static_cast<double>(bytes) /
                               bandwidth_bps *
                               static_cast<double>(kMicrosPerSecond));
@@ -29,8 +29,8 @@ inline SimTime SerializationTime(std::int64_t bytes, double bandwidth_bps) {
 /// Store-and-forward latency across `hops` identical links.
 inline SimTime TransferTime(std::int32_t hops, std::int64_t bytes,
                             SimTime per_hop_delay, double bandwidth_bps) {
-  RADAR_CHECK(hops >= 0);
-  RADAR_CHECK(per_hop_delay >= 0);
+  RADAR_CHECK_GE(hops, 0);
+  RADAR_CHECK_GE(per_hop_delay, 0);
   if (hops == 0) return 0;
   return static_cast<SimTime>(hops) *
          (per_hop_delay + SerializationTime(bytes, bandwidth_bps));
@@ -38,8 +38,8 @@ inline SimTime TransferTime(std::int32_t hops, std::int64_t bytes,
 
 /// Latency of a control message (propagation only).
 inline SimTime ControlLatency(std::int32_t hops, SimTime per_hop_delay) {
-  RADAR_CHECK(hops >= 0);
-  RADAR_CHECK(per_hop_delay >= 0);
+  RADAR_CHECK_GE(hops, 0);
+  RADAR_CHECK_GE(per_hop_delay, 0);
   return static_cast<SimTime>(hops) * per_hop_delay;
 }
 

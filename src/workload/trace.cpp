@@ -18,9 +18,9 @@ RequestTrace::RequestTrace(std::vector<TraceRecord> records)
 }
 
 void RequestTrace::Append(SimTime t, NodeId gateway, ObjectId object) {
-  RADAR_CHECK(t >= 0);
-  RADAR_CHECK(gateway >= 0);
-  RADAR_CHECK(object >= 0);
+  RADAR_CHECK_GE(t, 0);
+  RADAR_CHECK_GE(gateway, 0);
+  RADAR_CHECK_GE(object, 0);
   RADAR_CHECK_MSG(records_.empty() || records_.back().t <= t,
                   "trace records must be appended in time order");
   records_.push_back(TraceRecord{t, gateway, object});
@@ -81,12 +81,12 @@ RequestTrace RequestTrace::Synthesize(Workload& workload,
                                       std::int32_t num_gateways,
                                       double rate_per_node, SimTime duration,
                                       std::uint64_t seed) {
-  RADAR_CHECK(num_gateways > 0);
-  RADAR_CHECK(rate_per_node > 0.0);
-  RADAR_CHECK(duration > 0);
+  RADAR_CHECK_GT(num_gateways, 0);
+  RADAR_CHECK_GT(rate_per_node, 0.0);
+  RADAR_CHECK_GT(duration, 0);
   const auto period = static_cast<SimTime>(
       static_cast<double>(kMicrosPerSecond) / rate_per_node);
-  RADAR_CHECK(period > 0);
+  RADAR_CHECK_GT(period, 0);
 
   Rng root(seed);
   std::vector<Rng> rngs;

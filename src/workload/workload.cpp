@@ -9,7 +9,7 @@ namespace radar::workload {
 
 UniformWorkload::UniformWorkload(ObjectId num_objects)
     : num_objects_(num_objects) {
-  RADAR_CHECK(num_objects > 0);
+  RADAR_CHECK_GT(num_objects, 0);
 }
 
 ObjectId UniformWorkload::NextObject(NodeId, SimTime, Rng& rng) {
@@ -19,7 +19,7 @@ ObjectId UniformWorkload::NextObject(NodeId, SimTime, Rng& rng) {
 
 ZipfWorkload::ZipfWorkload(ObjectId num_objects)
     : num_objects_(num_objects), zipf_(num_objects) {
-  RADAR_CHECK(num_objects > 0);
+  RADAR_CHECK_GT(num_objects, 0);
 }
 
 ObjectId ZipfWorkload::NextObject(NodeId, SimTime, Rng& rng) {
@@ -30,9 +30,10 @@ HotSitesWorkload::HotSitesWorkload(ObjectId num_objects,
                                    std::int32_t num_nodes, double p,
                                    std::uint64_t site_seed)
     : num_objects_(num_objects), p_(p) {
-  RADAR_CHECK(num_objects > 0);
-  RADAR_CHECK(num_nodes > 0);
-  RADAR_CHECK(p > 0.0 && p < 1.0);
+  RADAR_CHECK_GT(num_objects, 0);
+  RADAR_CHECK_GT(num_nodes, 0);
+  RADAR_CHECK_GT(p, 0.0);
+  RADAR_CHECK_LT(p, 1.0);
   // Divide sites randomly: fraction p cold, remainder hot (Sec. 6.1).
   Rng site_rng(site_seed);
   std::vector<bool> is_hot(static_cast<std::size_t>(num_nodes), false);
@@ -72,9 +73,11 @@ HotPagesWorkload::HotPagesWorkload(ObjectId num_objects, double hot_fraction,
                                    double hot_probability,
                                    std::uint64_t page_seed)
     : num_objects_(num_objects), hot_probability_(hot_probability) {
-  RADAR_CHECK(num_objects > 1);
-  RADAR_CHECK(hot_fraction > 0.0 && hot_fraction < 1.0);
-  RADAR_CHECK(hot_probability > 0.0 && hot_probability < 1.0);
+  RADAR_CHECK_GT(num_objects, 1);
+  RADAR_CHECK_GT(hot_fraction, 0.0);
+  RADAR_CHECK_LT(hot_fraction, 1.0);
+  RADAR_CHECK_GT(hot_probability, 0.0);
+  RADAR_CHECK_LT(hot_probability, 1.0);
   // Sample the hot set without replacement via a Fisher-Yates prefix.
   std::vector<ObjectId> all(static_cast<std::size_t>(num_objects));
   for (ObjectId i = 0; i < num_objects; ++i) all[static_cast<std::size_t>(i)] = i;
@@ -101,9 +104,11 @@ RegionalWorkload::RegionalWorkload(ObjectId num_objects,
                                    double preferred_slice)
     : num_objects_(num_objects),
       preferred_probability_(preferred_probability) {
-  RADAR_CHECK(num_objects >= 4);
-  RADAR_CHECK(preferred_probability > 0.0 && preferred_probability < 1.0);
-  RADAR_CHECK(preferred_slice > 0.0 && preferred_slice <= 0.25);
+  RADAR_CHECK_GE(num_objects, 4);
+  RADAR_CHECK_GT(preferred_probability, 0.0);
+  RADAR_CHECK_LT(preferred_probability, 1.0);
+  RADAR_CHECK_GT(preferred_slice, 0.0);
+  RADAR_CHECK_LE(preferred_slice, 0.25);
   slice_size_ = std::max<ObjectId>(
       1, static_cast<ObjectId>(static_cast<double>(num_objects) * preferred_slice));
   node_region_.resize(static_cast<std::size_t>(topology.num_nodes()));
@@ -120,8 +125,8 @@ std::pair<ObjectId, ObjectId> RegionalWorkload::PreferredRange(
 }
 
 ObjectId RegionalWorkload::NextObject(NodeId gateway, SimTime, Rng& rng) {
-  RADAR_CHECK(gateway >= 0 &&
-              static_cast<std::size_t>(gateway) < node_region_.size());
+  RADAR_CHECK_GE(gateway, 0);
+  RADAR_CHECK_LT(static_cast<std::size_t>(gateway), node_region_.size());
   if (rng.NextBool(preferred_probability_)) {
     const auto [first, last] =
         PreferredRange(node_region_[static_cast<std::size_t>(gateway)]);
@@ -137,9 +142,9 @@ MixtureWorkload::MixtureWorkload(std::vector<Component> components)
   RADAR_CHECK(!components_.empty());
   double total = 0.0;
   for (const auto& c : components_) {
-    RADAR_CHECK(c.workload != nullptr);
-    RADAR_CHECK(c.weight > 0.0);
-    RADAR_CHECK(c.workload->num_objects() == components_[0].workload->num_objects());
+    RADAR_CHECK_NE(c.workload, nullptr);
+    RADAR_CHECK_GT(c.weight, 0.0);
+    RADAR_CHECK_EQ(c.workload->num_objects(), components_[0].workload->num_objects());
     total += c.weight;
     cumulative_.push_back(total);
   }
@@ -162,9 +167,10 @@ DemandShiftWorkload::DemandShiftWorkload(std::unique_ptr<Workload> before,
                                          std::unique_ptr<Workload> after,
                                          SimTime shift_at)
     : before_(std::move(before)), after_(std::move(after)), shift_at_(shift_at) {
-  RADAR_CHECK(before_ != nullptr && after_ != nullptr);
-  RADAR_CHECK(before_->num_objects() == after_->num_objects());
-  RADAR_CHECK(shift_at >= 0);
+  RADAR_CHECK_NE(before_, nullptr);
+  RADAR_CHECK_NE(after_, nullptr);
+  RADAR_CHECK_EQ(before_->num_objects(), after_->num_objects());
+  RADAR_CHECK_GE(shift_at, 0);
 }
 
 ObjectId DemandShiftWorkload::NextObject(NodeId gateway, SimTime now, Rng& rng) {

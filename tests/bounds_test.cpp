@@ -213,8 +213,8 @@ INSTANTIATE_TEST_SUITE_P(
                       4,
                       3,
                       0}),
-    [](const ::testing::TestParamInfo<BoundScenario>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BoundScenario>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(Theorem5Test, UnitRequestShareAfterReplicationAtLeastQuarter) {

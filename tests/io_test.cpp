@@ -111,8 +111,8 @@ INSTANTIATE_TEST_SUITE_P(
                         "link a b 10 350\n",
                         "not connected"},
         BadTopologyCase{"garbage", "frobnicate\n", "unknown keyword"}),
-    [](const ::testing::TestParamInfo<BadTopologyCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadTopologyCase>& param_info) {
+      return param_info.param.name;
     });
 
 // ---------------------------------------------------------------------
@@ -306,8 +306,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadCliCase{"bad_redirectors", "--redirectors=0", ">= 1"},
         BadCliCase{"bad_arrivals", "--arrivals=bursty", "deterministic"},
         BadCliCase{"positional", "stray", "unrecognized"}),
-    [](const ::testing::TestParamInfo<BadCliCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadCliCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(CliTest, WatermarkOrderingValidated) {

@@ -1,0 +1,7 @@
+// Deliberately violating fixture for lint_test.cpp: no #pragma once, a
+// file-scope using-directive, and a hard-coded repl_ratio.
+#include <string>
+
+using namespace std;  // using-namespace-in-header
+
+inline double ReplRatio() { return 1.0 / 6.0; }  // protocol-literal

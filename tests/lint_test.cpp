@@ -1,0 +1,211 @@
+// Tests for the radar_lint rule engine (tools/lint/linter.h): each rule
+// fires on a minimal violating snippet, stays quiet on idiomatic code, and
+// the tree walker rejects the checked-in violating fixture.
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace radar::lint {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<Violation>& violations) {
+  std::vector<std::string> rules;
+  rules.reserve(violations.size());
+  for (const auto& v : violations) rules.push_back(v.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<Violation>& violations,
+             const std::string& rule) {
+  const auto rules = RulesOf(violations);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+FileKind Header() { return {/*is_header=*/true, false}; }
+FileKind Source() { return {/*is_header=*/false, false}; }
+
+// ---------------------------------------------------------------------
+// Comment/string stripping
+// ---------------------------------------------------------------------
+
+TEST(StripTest, BlanksLineCommentsButKeepsNewlines) {
+  const std::string stripped =
+      StripCommentsAndStrings("int a;  // rand()\nint b;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksBlockCommentsAcrossLines) {
+  const std::string stripped =
+      StripCommentsAndStrings("/* rand()\n   assert(x) */ int a;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("assert"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+}
+
+TEST(StripTest, BlanksStringAndCharLiteralBodies) {
+  const std::string stripped = StripCommentsAndStrings(
+      "auto s = \"call rand() now\"; char c = 'x';\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find('x'), std::string::npos);
+}
+
+TEST(StripTest, EscapedQuoteDoesNotEndString) {
+  const std::string stripped =
+      StripCommentsAndStrings("auto s = \"a \\\" rand() b\"; int k;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int k;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Banned constructs
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsRandAndSrandCalls) {
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "int x = rand() % 7;\n", Source()),
+                      "banned-rand"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "srand(42);\n", Source()),
+                      "banned-rand"));
+}
+
+TEST(LintSourceTest, IgnoresIdentifiersContainingRand) {
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "int strand(int); int x = strand(3);\n", Source()),
+      "banned-rand"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "double rand_ratio = Grand(3);\n", Source()),
+      "banned-rand"));
+}
+
+TEST(LintSourceTest, FlagsCoutAndCerr) {
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "std::cout << 1;\n", Source()),
+                      "banned-iostream"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "std::cerr << 1;\n", Source()),
+                      "banned-iostream"));
+}
+
+TEST(LintSourceTest, FlagsRawAssertButNotStaticAssert) {
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "assert(n > 0);\n", Source()),
+                      "banned-assert"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "static_assert(sizeof(int) == 4);\n", Source()),
+      "banned-assert"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "RADAR_CHECK(n > 0);\n", Source()),
+                       "banned-assert"));
+}
+
+TEST(LintSourceTest, FlagsUsingNamespaceInHeadersOnly) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.h", "#pragma once\nusing namespace std;\n", Header()),
+      "using-namespace-in-header"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "using namespace std;\n", Source()),
+                       "using-namespace-in-header"));
+}
+
+TEST(LintSourceTest, RequiresPragmaOnceInHeaders) {
+  EXPECT_TRUE(HasRule(LintSource("f.h", "int f();\n", Header()),
+                      "missing-pragma-once"));
+  EXPECT_FALSE(HasRule(LintSource("f.h", "#pragma once\nint f();\n", Header()),
+                       "missing-pragma-once"));
+  // A #pragma once that only appears inside a comment does not count.
+  EXPECT_TRUE(HasRule(
+      LintSource("f.h", "// #pragma once\nint f();\n", Header()),
+      "missing-pragma-once"));
+}
+
+// ---------------------------------------------------------------------
+// Protocol-literal audit
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsProtocolThresholdLiterals) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "double migr_ratio = 0.6;\n", Source()),
+      "protocol-literal"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "double repl = 1.0 / 6.0;\n", Source()),
+      "protocol-literal"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "unsigned k = 6u;\n", Source()),
+                      "protocol-literal"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "double u = 0.03;\n", Source()),
+                      "protocol-literal"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "double m = 0.18;\n", Source()),
+                      "protocol-literal"));
+}
+
+TEST(LintSourceTest, IgnoresNearbyNonThresholdNumbers) {
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "double x = 0.66;\n", Source()),
+                       "protocol-literal"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "double x = 10.6;\n", Source()),
+                       "protocol-literal"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "unsigned x = 16u;\n", Source()),
+                       "protocol-literal"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "double x = 0.035;\n", Source()),
+                       "protocol-literal"));
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "double x = 1.0 / 60.0;\n",
+                                  Source()),
+                       "protocol-literal"));
+}
+
+TEST(LintSourceTest, CommentedThresholdsAreFine) {
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "// the paper uses MIGR_RATIO = 0.6 here\n",
+                 Source()),
+      "protocol-literal"));
+}
+
+TEST(LintSourceTest, ParamsHeaderMayDefineThresholds) {
+  FileKind params_kind;
+  params_kind.is_header = true;
+  params_kind.allow_protocol_literals = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/params.h",
+                 "#pragma once\ndouble migr_ratio = 0.6;\n", params_kind),
+      "protocol-literal"));
+}
+
+TEST(LintSourceTest, ViolationsCarryFileAndLine) {
+  const auto violations =
+      LintSource("src/core/x.cpp", "int a;\nint b = rand();\n", Source());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].file, "src/core/x.cpp");
+  EXPECT_EQ(violations[0].line, 2);
+  const std::string formatted = FormatViolation(violations[0]);
+  EXPECT_NE(formatted.find("src/core/x.cpp:2"), std::string::npos);
+  EXPECT_NE(formatted.find("banned-rand"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Tree walking over the checked-in violating fixture
+// ---------------------------------------------------------------------
+
+TEST(LintTreeTest, RejectsViolatingFixture) {
+  const auto violations = LintTree(std::string(RADAR_LINT_FIXTURE_DIR) +
+                                   "/bad/src");
+  EXPECT_TRUE(HasRule(violations, "banned-rand"));
+  EXPECT_TRUE(HasRule(violations, "banned-iostream"));
+  EXPECT_TRUE(HasRule(violations, "banned-assert"));
+  EXPECT_TRUE(HasRule(violations, "protocol-literal"));
+  EXPECT_TRUE(HasRule(violations, "using-namespace-in-header"));
+  EXPECT_TRUE(HasRule(violations, "missing-pragma-once"));
+  for (const auto& v : violations) {
+    EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
+  }
+}
+
+TEST(LintTreeTest, RealSourceTreeIsClean) {
+  // The same property the radar_lint ctest case enforces, kept here too so
+  // a plain `ctest -R lint` covers both the engine and the tree.
+  const auto violations = LintTree(std::string(RADAR_SOURCE_DIR) + "/src");
+  for (const auto& v : violations) {
+    ADD_FAILURE() << FormatViolation(v);
+  }
+}
+
+}  // namespace
+}  // namespace radar::lint

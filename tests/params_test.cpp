@@ -1,0 +1,109 @@
+// Boundary tests for ProtocolParams::IsStable() and CheckStructure()
+// (Sec. 4.2, Table 1). The stability conditions are strict inequalities —
+// sitting exactly on a boundary (4u == m, lw == hw, migr_ratio == 0.5)
+// must count as unstable, and structural nonsense must abort.
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace radar::core {
+namespace {
+
+TEST(ProtocolParamsTest, DefaultsAreStableAndStructurallyValid) {
+  const ProtocolParams params;
+  EXPECT_TRUE(params.IsStable());
+  params.CheckStructure();  // must not abort
+}
+
+TEST(ProtocolParamsTest, ExactlyFourUEqualsMIsUnstable) {
+  // Theorem 5 needs m > 4u strictly; m == 4u admits oscillation.
+  ProtocolParams params;
+  params.deletion_threshold_u = 0.05;
+  params.replication_threshold_m = 4.0 * params.deletion_threshold_u;
+  EXPECT_FALSE(params.IsStable());
+  params.replication_threshold_m =
+      4.0 * params.deletion_threshold_u * 1.0001;
+  EXPECT_TRUE(params.IsStable());
+}
+
+TEST(ProtocolParamsTest, EqualWatermarksAreUnstable) {
+  ProtocolParams params;
+  params.low_watermark = params.high_watermark;
+  EXPECT_FALSE(params.IsStable());
+  // Inverted watermarks are unstable too, but still structurally legal —
+  // ablations deliberately run such configurations.
+  params.low_watermark = params.high_watermark + 1.0;
+  EXPECT_FALSE(params.IsStable());
+  params.CheckStructure();
+}
+
+TEST(ProtocolParamsTest, MigrRatioExactlyHalfIsUnstable) {
+  // migr_ratio must strictly exceed 0.5 or two hosts can each see "more
+  // than half" of the requests and ping-pong the object.
+  ProtocolParams params;
+  params.migr_ratio = 0.5;
+  params.repl_ratio = 0.25;
+  EXPECT_FALSE(params.IsStable());
+  params.migr_ratio = 0.5001;
+  EXPECT_TRUE(params.IsStable());
+}
+
+TEST(ProtocolParamsTest, ReplRatioMustBeStrictlyBelowMigrRatio) {
+  ProtocolParams params;
+  params.repl_ratio = params.migr_ratio;
+  EXPECT_FALSE(params.IsStable());
+}
+
+TEST(ProtocolParamsTest, DistributionConstantAtOneIsUnstable) {
+  ProtocolParams params;
+  params.distribution_constant = 1.0;
+  EXPECT_FALSE(params.IsStable());
+}
+
+TEST(ProtocolParamsTest, ZeroDeletionThresholdIsStructurallyValid) {
+  // u == 0 means "never delete for idleness"; legal, and stable as long
+  // as m stays positive.
+  ProtocolParams params;
+  params.deletion_threshold_u = 0.0;
+  params.CheckStructure();
+  EXPECT_TRUE(params.IsStable());
+}
+
+TEST(ProtocolParamsDeathTest, NegativeDeletionThresholdAborts) {
+  ProtocolParams params;
+  params.deletion_threshold_u = -0.01;
+  EXPECT_DEATH(params.CheckStructure(), "deletion_threshold_u");
+}
+
+TEST(ProtocolParamsDeathTest, ZeroReplicationThresholdAborts) {
+  ProtocolParams params;
+  params.replication_threshold_m = 0.0;
+  EXPECT_DEATH(params.CheckStructure(), "replication_threshold_m");
+}
+
+TEST(ProtocolParamsDeathTest, ZeroPlacementIntervalAborts) {
+  ProtocolParams params;
+  params.placement_interval = 0;
+  EXPECT_DEATH(params.CheckStructure(), "placement_interval");
+}
+
+TEST(ProtocolParamsDeathTest, NegativeMeasurementIntervalAborts) {
+  ProtocolParams params;
+  params.measurement_interval = SecondsToSim(-20.0);
+  EXPECT_DEATH(params.CheckStructure(), "measurement_interval");
+}
+
+TEST(ProtocolParamsDeathTest, MigrRatioAboveOneAborts) {
+  ProtocolParams params;
+  params.migr_ratio = 1.5;
+  EXPECT_DEATH(params.CheckStructure(), "migr_ratio");
+}
+
+TEST(ProtocolParamsDeathTest, ZeroWatermarkAborts) {
+  ProtocolParams params;
+  params.high_watermark = 0.0;
+  EXPECT_DEATH(params.CheckStructure(), "high_watermark");
+}
+
+}  // namespace
+}  // namespace radar::core

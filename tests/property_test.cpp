@@ -169,8 +169,14 @@ INSTANTIATE_TEST_SUITE_P(Constants, ConstantSweepTest,
                            const int whole = static_cast<int>(i.param);
                            const int frac =
                                static_cast<int>(i.param * 100.0) - whole * 100;
-                           return "c" + std::to_string(whole) + "_" +
-                                  std::to_string(frac);
+                           // Appending in place (rather than chaining
+                           // operator+) sidesteps a GCC 12 -Wrestrict false
+                           // positive on SSO string concatenation.
+                           std::string name = "c";
+                           name += std::to_string(whole);
+                           name += '_';
+                           name += std::to_string(frac);
+                           return name;
                          });
 
 }  // namespace

@@ -1,0 +1,238 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace radar::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos..]` starts with `token` and the characters on both
+/// sides are not identifier characters (so "srand" does not match "rand").
+bool TokenAt(std::string_view text, size_t pos, std::string_view token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + token.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+bool ContainsToken(std::string_view line, std::string_view token) {
+  for (size_t pos = line.find(token); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    if (TokenAt(line, pos, token)) return true;
+  }
+  return false;
+}
+
+/// True when `line` contains `token` immediately followed (modulo spaces)
+/// by an opening parenthesis — i.e. a call of that name.
+bool ContainsCall(std::string_view line, std::string_view token) {
+  for (size_t pos = line.find(token); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    if (!TokenAt(line, pos, token)) continue;
+    size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+/// Protocol constants from PAPER.md Table 1 / Sec. 4.2 that must only be
+/// spelled out in core/params.h. Everything else takes them from
+/// ProtocolParams so ablations and sweeps stay coherent.
+const std::regex& ProtocolLiteralRegex() {
+  static const std::regex re(
+      // 0.6 (migr_ratio), 1/6 or 1.0/6.0 (repl_ratio), a bare 6u unsigned
+      // literal (the m = 6u convention), 0.03 (u), 0.18 (m).
+      R"((^|[^\w.])(0\.60*(?![\d])|1(\.0+)?\s*/\s*6(\.0+)?(?![\d])|6[uU](?![\w])|0\.030*(?![\d])|0\.180*(?![\d])))");
+  return re;
+}
+
+void CheckLine(const std::string& path_label, int line_no,
+               std::string_view line, const FileKind& kind,
+               std::vector<Violation>* out) {
+  if (ContainsCall(line, "rand") || ContainsCall(line, "srand")) {
+    out->push_back({path_label, line_no, "banned-rand",
+                    "rand()/srand() is banned; use radar::Rng "
+                    "(common/rng.h) so runs stay reproducible"});
+  }
+  if (ContainsToken(line, "cout") || ContainsToken(line, "cerr")) {
+    out->push_back({path_label, line_no, "banned-iostream",
+                    "std::cout/std::cerr is banned in library code; use "
+                    "RADAR_LOG (common/log.h)"});
+  }
+  if (ContainsCall(line, "assert")) {
+    out->push_back({path_label, line_no, "banned-assert",
+                    "raw assert() is banned; use RADAR_CHECK "
+                    "(common/check.h), which is on in every build type"});
+  }
+  if (kind.is_header && ContainsToken(line, "using namespace")) {
+    out->push_back({path_label, line_no, "using-namespace-in-header",
+                    "`using namespace` in a header leaks into every "
+                    "includer; qualify names instead"});
+  }
+  if (!kind.allow_protocol_literals) {
+    const std::string line_str(line);
+    if (std::regex_search(line_str, ProtocolLiteralRegex())) {
+      out->push_back({path_label, line_no, "protocol-literal",
+                      "hard-coded protocol threshold (0.6 / 1/6 / 6u / "
+                      "0.03 / 0.18); take it from core::ProtocolParams "
+                      "(core/params.h) instead"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw strings would need delimiter tracking; the tree doesn't
+          // use them, and a raw string would only blank too little, never
+          // hide code, so plain-string handling is sufficient.
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += '"';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += '\'';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintSource(const std::string& path_label,
+                                  std::string_view content,
+                                  const FileKind& kind) {
+  std::vector<Violation> violations;
+  const std::string stripped = StripCommentsAndStrings(content);
+
+  if (kind.is_header) {
+    bool has_pragma_once = false;
+    std::istringstream scan(stripped);
+    for (std::string line; std::getline(scan, line);) {
+      if (line.find("#pragma once") != std::string::npos) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      violations.push_back({path_label, 1, "missing-pragma-once",
+                            "every header must contain #pragma once"});
+    }
+  }
+
+  std::istringstream lines(stripped);
+  int line_no = 0;
+  for (std::string line; std::getline(lines, line);) {
+    ++line_no;
+    CheckLine(path_label, line_no, line, kind, &violations);
+  }
+  return violations;
+}
+
+std::vector<Violation> LintTree(const std::filesystem::path& src_root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      violations.push_back({file.string(), 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    // Label paths relative to the tree root (prefixed "src/") so output is
+    // stable whether the caller passed an absolute or relative --src.
+    const std::string rel = fs::relative(file, src_root).generic_string();
+    FileKind kind;
+    kind.is_header = file.extension() == ".h";
+    kind.allow_protocol_literals = rel == "core/params.h";
+    auto file_violations = LintSource("src/" + rel, buf.str(), kind);
+    violations.insert(violations.end(), file_violations.begin(),
+                      file_violations.end());
+  }
+  return violations;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream out;
+  out << v.file << ':' << v.line << ": [" << v.rule << "] " << v.message;
+  return out.str();
+}
+
+}  // namespace radar::lint

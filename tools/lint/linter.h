@@ -1,0 +1,54 @@
+// radar_lint: project-specific source linter.
+//
+// The compiler cannot see repo conventions or the paper's protocol
+// invariants; this linter enforces them statically. Rules (see DESIGN.md
+// "Correctness tooling"):
+//   - no rand()/srand() — all randomness goes through common/rng.h
+//   - no std::cout/std::cerr in library code — use common/log.h
+//   - no raw assert() — use RADAR_CHECK, which is on in every build type
+//   - no `using namespace` at file scope in headers
+//   - every header starts with #pragma once
+//   - protocol threshold constants (0.6, 1/6, 6u-style multiples, the
+//     default u/m thresholds) must live in core/params.h only
+//
+// The logic is a library so tests can feed it sources directly; the
+// radar_lint binary is a thin filesystem walker around it.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radar::lint {
+
+struct Violation {
+  std::string file;  // path label as given by the caller
+  int line = 0;      // 1-based
+  std::string rule;  // short rule id, e.g. "banned-rand"
+  std::string message;
+};
+
+struct FileKind {
+  bool is_header = false;
+  /// core/params.h (and only it) may define protocol constants.
+  bool allow_protocol_literals = false;
+};
+
+/// Returns `content` with comments and string/char literal bodies blanked
+/// out (newlines preserved), so token checks don't fire on prose.
+std::string StripCommentsAndStrings(std::string_view content);
+
+/// Lints a single source, returning all violations found.
+std::vector<Violation> LintSource(const std::string& path_label,
+                                  std::string_view content,
+                                  const FileKind& kind);
+
+/// Walks `src_root` recursively, linting every .h/.cpp file. Paths in the
+/// returned violations are relative to `src_root`'s parent.
+std::vector<Violation> LintTree(const std::filesystem::path& src_root);
+
+/// Formats a violation as "file:line: [rule] message".
+std::string FormatViolation(const Violation& v);
+
+}  // namespace radar::lint

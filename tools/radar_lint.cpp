@@ -1,0 +1,56 @@
+// radar_lint — walks a source tree and enforces repo conventions and the
+// paper's protocol-invariant hygiene (see tools/lint/linter.h for rules).
+// Exit code 0 means clean, 1 means violations were printed, 2 means usage
+// or I/O error. Registered as a ctest case over src/.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: radar_lint [--src <dir>]\n"
+               "  --src <dir>   source tree to lint (default: ./src)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path src_root = "src";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--src" && i + 1 < argc) {
+      src_root = argv[++i];
+    } else if (arg.rfind("--src=", 0) == 0) {
+      src_root = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "radar_lint: unknown argument '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (!std::filesystem::is_directory(src_root)) {
+    std::fprintf(stderr, "radar_lint: '%s' is not a directory\n",
+                 src_root.string().c_str());
+    return 2;
+  }
+
+  const auto violations = radar::lint::LintTree(src_root);
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s\n", radar::lint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "radar_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::fprintf(stderr, "radar_lint: clean\n");
+  return 0;
+}
