@@ -17,8 +17,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout, "Ablation A3: baseline policies", base);
 
@@ -39,13 +40,11 @@ int main() {
       {"closest/full-repl", baselines::DistributionPolicy::kClosest,
        baselines::PlacementPolicy::kFullReplication},
   };
+  const driver::WorkloadKind workloads[] = {driver::WorkloadKind::kRegional,
+                                            driver::WorkloadKind::kZipf};
 
-  for (const driver::WorkloadKind kind :
-       {driver::WorkloadKind::kRegional, driver::WorkloadKind::kZipf}) {
-    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
-              << " ----\n";
-    std::cout << "  policy               bw(byte-hops/s)  latency(s)  "
-                 "maxload   replicas\n";
+  runner::ExperimentPlan plan = bench::PaperPlan("ablation_baselines");
+  for (const driver::WorkloadKind kind : workloads) {
     for (const Policy& policy : policies) {
       driver::SimConfig config = base;
       config.workload = kind;
@@ -54,7 +53,22 @@ int main() {
       if (policy.placement != baselines::PlacementPolicy::kRadar) {
         config.duration = base.duration / 3;  // no adaptation to wait for
       }
-      const driver::RunReport report = bench::RunOnce(config);
+      plan.Add(std::string(driver::WorkloadKindName(kind)) + "/" +
+                   policy.label,
+               config);
+    }
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::size_t next = 0;
+  for (const driver::WorkloadKind kind : workloads) {
+    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
+              << " ----\n";
+    std::cout << "  policy               bw(byte-hops/s)  latency(s)  "
+                 "maxload   replicas\n";
+    for (const Policy& policy : policies) {
+      const driver::RunReport& report = sweep.runs[next++].report;
       const std::size_t n =
           report.CompleteBuckets(report.max_load.num_buckets());
       const double late_max =

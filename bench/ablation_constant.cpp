@@ -10,25 +10,34 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(
       std::cout, "Ablation A1: distribution constant sweep (zipf)", base);
 
-  std::cout << "  c      bw(byte-hops/s)  latency(s)  maxload(req/s)  "
-               "replicas\n";
-  for (const double c : {1.25, 1.5, 2.0, 3.0, 4.0}) {
+  runner::ExperimentPlan plan = bench::PaperPlan("ablation_constant");
+  const double constants[] = {1.25, 1.5, 2.0, 3.0, 4.0};
+  for (const double c : constants) {
     driver::SimConfig config = base;
     config.workload = driver::WorkloadKind::kZipf;
     config.protocol.distribution_constant = c;
-    const driver::RunReport report = bench::RunOnce(config);
+    plan.Add("c=" + std::to_string(c).substr(0, 4), config);
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << "  c      bw(byte-hops/s)  latency(s)  maxload(req/s)  "
+               "replicas\n";
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    const driver::RunReport& report = sweep.runs[i].report;
     const std::size_t n =
         report.CompleteBuckets(report.max_load.num_buckets());
     const double late_max =
         n >= 3 ? report.max_load.MaxOver(n - 3, n - 1) : 0.0;
-    std::cout << std::fixed << std::setw(5) << std::setprecision(2) << c
-              << std::setw(17) << std::setprecision(0)
+    std::cout << std::fixed << std::setw(5) << std::setprecision(2)
+              << constants[i] << std::setw(17) << std::setprecision(0)
               << report.EquilibriumBandwidthRate() << std::setw(12)
               << std::setprecision(4) << report.EquilibriumLatency()
               << std::setw(16) << std::setprecision(1) << late_max

@@ -5,10 +5,10 @@
 // problem of optimally placing redirectors for different objects in order
 // to minimize the added latency due to them"). This bench sweeps the
 // number of hash-partitioned redirectors (placed at the most central
-// nodes, best-first) and, as a worst-case reference, a single redirector
-// exiled to the least central node.
+// nodes, best-first).
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "net/routing.h"
@@ -35,23 +35,39 @@ double MeanDetourHops(const radar::driver::HostingSimulation& sim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   base.workload = driver::WorkloadKind::kZipf;
   bench::PrintHeader(std::cout,
                      "Ablation A5: redirector count and placement (zipf)",
                      base);
 
-  std::cout << "  redirectors  detour(hops)  latency(s)  bw(byte-hops/s)\n";
-  for (const int k : {1, 2, 4, 8}) {
+  const int counts[] = {1, 2, 4, 8};
+  // Detour length is a pure function of the config; each executor fills
+  // its own slot, so concurrent runs never touch shared state.
+  std::vector<double> detours(std::size(counts), 0.0);
+
+  runner::ExperimentPlan plan = bench::PaperPlan("ablation_redirectors");
+  for (std::size_t i = 0; i < std::size(counts); ++i) {
     driver::SimConfig config = base;
-    config.num_redirectors = k;
-    driver::HostingSimulation sim(config);
-    const double detour = MeanDetourHops(sim, k);
-    const driver::RunReport report = sim.Run();
-    std::cout << std::fixed << std::setw(13) << k << std::setw(14)
-              << std::setprecision(2) << detour << std::setw(12)
+    config.num_redirectors = counts[i];
+    plan.AddCustom("redirectors=" + std::to_string(counts[i]), config,
+                   [&detours, i](const driver::SimConfig& c) {
+                     driver::HostingSimulation sim(c);
+                     detours[i] = MeanDetourHops(sim, c.num_redirectors);
+                     return sim.Run();
+                   });
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << "  redirectors  detour(hops)  latency(s)  bw(byte-hops/s)\n";
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    const driver::RunReport& report = sweep.runs[i].report;
+    std::cout << std::fixed << std::setw(13) << counts[i] << std::setw(14)
+              << std::setprecision(2) << detours[i] << std::setw(12)
               << std::setprecision(4) << report.EquilibriumLatency()
               << std::setw(17) << std::setprecision(0)
               << report.EquilibriumBandwidthRate() << "\n";

@@ -15,7 +15,9 @@
 
 namespace {
 
-radar::driver::RunReport RunShift(radar::driver::SimConfig config,
+// Runs on a SweepRunner worker thread: builds its own simulation and
+// workload, so it is safe to execute concurrently with the other run.
+radar::driver::RunReport RunShift(const radar::driver::SimConfig& config,
                                   radar::SimTime shift_at) {
   using namespace radar;
   driver::HostingSimulation sim(config);
@@ -59,8 +61,9 @@ double ReAdjustSeconds(const radar::driver::RunReport& report,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   base.duration = 2 * base.duration;
   const SimTime shift_at = base.duration / 2;
@@ -69,11 +72,21 @@ int main() {
                      "(regional -> zipf at half-time)",
                      base);
 
+  runner::ExperimentPlan plan = bench::PaperPlan("ablation_responsiveness");
   for (const bool bulk : {true, false}) {
     driver::SimConfig config = base;
     config.protocol.bulk_offload = bulk;
-    const driver::RunReport report = RunShift(config, shift_at);
-    const double readjust = ReAdjustSeconds(report, shift_at);
+    plan.AddCustom(bulk ? "bulk-offload" : "single-object", config,
+                   [shift_at](const driver::SimConfig& c) {
+                     return RunShift(c, shift_at);
+                   });
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  for (const runner::RunResult& run : sweep.runs) {
+    const bool bulk = run.name == "bulk-offload";
+    const double readjust = ReAdjustSeconds(run.report, shift_at);
     std::cout << (bulk ? "[en-masse offloading (paper)]\n"
                        : "[one object per round (ablation)]\n");
     std::cout << std::fixed << std::setprecision(1);
@@ -81,12 +94,13 @@ int main() {
               << (readjust >= 0.0 ? FormatMinutes(readjust)
                                   : std::string("did not settle"))
               << "\n";
-    std::cout << "  relocations: " << report.TotalRelocations()
-              << " (load-migrations " << report.offload_migrations
-              << ", load-replications " << report.offload_replications
+    std::cout << "  relocations: " << run.report.TotalRelocations()
+              << " (load-migrations " << run.report.offload_migrations
+              << ", load-replications " << run.report.offload_replications
               << ")\n";
     std::cout << "  equilibrium bandwidth after shift: "
-              << std::setprecision(0) << report.EquilibriumBandwidthRate()
+              << std::setprecision(0)
+              << run.report.EquilibriumBandwidthRate()
               << " byte-hops/s\n\n";
   }
   return 0;

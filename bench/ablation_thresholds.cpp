@@ -28,35 +28,43 @@ void Row(const radar::driver::RunReport& report, const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   base.workload = driver::WorkloadKind::kHotPages;
   bench::PrintHeader(
       std::cout, "Ablation A2: deletion/replication thresholds (hot-pages)",
       base);
 
-  std::cout << "  config            4u<m?   bw(bh/s)     replicas"
-               "   aff-drops  overhead%\n";
-
-  std::cout << "-- u sweep (m = 6u, the paper's ratio) --\n";
+  runner::ExperimentPlan plan = bench::PaperPlan("ablation_thresholds");
+  std::vector<bool> stable;
   for (const double u : {0.01, 0.03, 0.09}) {
     driver::SimConfig config = base;
     config.protocol.deletion_threshold_u = u;
     config.protocol.replication_threshold_m = 6.0 * u;
-    const driver::RunReport report = bench::RunOnce(config);
-    Row(report, "u=" + std::to_string(u).substr(0, 5),
-        config.protocol.IsStable());
+    stable.push_back(config.protocol.IsStable());
+    plan.Add("u=" + std::to_string(u).substr(0, 5), config);
   }
-
-  std::cout << "-- m/u sweep (u = 0.03) --\n";
   for (const double ratio : {2.0, 4.5, 6.0, 12.0}) {
     driver::SimConfig config = base;
     config.protocol.deletion_threshold_u = 0.03;
     config.protocol.replication_threshold_m = ratio * 0.03;
-    const driver::RunReport report = bench::RunOnce(config);
-    Row(report, "m/u=" + std::to_string(ratio).substr(0, 4),
-        config.protocol.IsStable());
+    stable.push_back(config.protocol.IsStable());
+    plan.Add("m/u=" + std::to_string(ratio).substr(0, 4), config);
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << "  config            4u<m?   bw(bh/s)     replicas"
+               "   aff-drops  overhead%\n";
+  std::cout << "-- u sweep (m = 6u, the paper's ratio) --\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    Row(sweep.runs[i].report, sweep.runs[i].name, stable[i]);
+  }
+  std::cout << "-- m/u sweep (u = 0.03) --\n";
+  for (std::size_t i = 3; i < sweep.runs.size(); ++i) {
+    Row(sweep.runs[i].report, sweep.runs[i].name, stable[i]);
   }
 
   std::cout << "\n  (expected: smaller u -> more replicas and overhead;"

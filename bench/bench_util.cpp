@@ -1,9 +1,23 @@
 #include "bench_util.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <ostream>
 
 namespace radar::bench {
+namespace {
+
+[[noreturn]] void UsageAndExit(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--json PATH]\n"
+               "  --jobs N     worker threads (0 = hardware concurrency;\n"
+               "               default $RADAR_BENCH_JOBS, else 1)\n"
+               "  --json PATH  write the sweep as a SweepJson document\n",
+               argv0);
+  std::exit(code);
+}
+
+}  // namespace
 
 double EnvOr(const char* name, double fallback) {
   const char* value = std::getenv(name);
@@ -27,9 +41,75 @@ driver::SimConfig PaperConfig() {
   return config;
 }
 
-driver::RunReport RunOnce(const driver::SimConfig& config) {
-  driver::HostingSimulation simulation(config);
-  return simulation.Run();
+runner::ExperimentPlan PaperPlan(const std::string& name) {
+  return runner::ExperimentPlan(
+      name, static_cast<std::uint64_t>(EnvOr("RADAR_BENCH_SEED", 1.0)),
+      runner::SeedPolicy::kSharedRoot);
+}
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  options.jobs = static_cast<int>(EnvOr("RADAR_BENCH_JOBS", 1.0));
+
+  const auto value_of = [&](int* i, const std::string& arg,
+                            const std::string& flag) -> std::string {
+    const std::string prefix = flag + "=";
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag.c_str());
+      UsageAndExit(argv[0], 2);
+    }
+    return argv[++*i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      UsageAndExit(argv[0], 0);
+    } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      const std::string value = value_of(&i, arg, "--jobs");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "%s: --jobs must be a non-negative integer\n",
+                     argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+      options.jobs = static_cast<int>(parsed);
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      options.json_path = value_of(&i, arg, "--json");
+      if (options.json_path.empty()) {
+        std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      UsageAndExit(argv[0], 2);
+    }
+  }
+  return options;
+}
+
+runner::SweepResult RunSweep(const runner::ExperimentPlan& plan,
+                             const BenchOptions& options) {
+  const runner::SweepRunner engine(options.jobs);
+  std::fprintf(stderr, "[%s] %zu run(s), jobs=%d\n", plan.name().c_str(),
+               plan.size(), engine.jobs());
+  runner::SweepResult result = engine.Run(plan);
+  std::fprintf(stderr, "[%s] sweep finished in %.2fs wall\n",
+               plan.name().c_str(), result.wall_seconds);
+  if (!options.json_path.empty()) {
+    std::string error;
+    if (!driver::WriteJsonFile(options.json_path, runner::SweepJson(result),
+                               &error)) {
+      std::fprintf(stderr, "[%s] %s\n", plan.name().c_str(), error.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "[%s] wrote %s\n", plan.name().c_str(),
+                 options.json_path.c_str());
+  }
+  return result;
 }
 
 void PrintHeader(std::ostream& os, const std::string& artefact,

@@ -1,11 +1,26 @@
 // Shared helpers for the per-figure/table benchmark binaries.
 //
 // Each bench binary regenerates one artefact of the paper's evaluation
-// (Sec. 6.2) as textual rows/series. Environment knobs keep full paper-
-// scale runs available without recompiling:
+// (Sec. 6.2). Since PR 3 the benches run through the experiment engine
+// (src/runner): every binary builds an ExperimentPlan, executes it on a
+// SweepRunner, and prints from the collected results — so independent
+// runs execute concurrently under --jobs and the whole sweep can be
+// archived as a schema-versioned JSON artefact with --json.
+//
+// Command line (every bench binary):
+//   --jobs N      worker threads (0 = hardware concurrency;
+//                 default $RADAR_BENCH_JOBS, else 1)
+//   --json PATH   write the sweep's SweepJson document to PATH
+//
+// Environment knobs keep full paper-scale runs available without
+// recompiling:
 //   RADAR_BENCH_DURATION   simulated seconds per run (default 2400)
 //   RADAR_BENCH_OBJECTS    objects in the system (default 10000)
 //   RADAR_BENCH_SEED       root RNG seed (default 1)
+//   RADAR_BENCH_JOBS       default worker-thread count
+//
+// Results are bit-identical for any --jobs value: per-run seeds come from
+// the plan, and each simulation is self-contained.
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +30,8 @@
 #include "driver/config.h"
 #include "driver/hosting_simulation.h"
 #include "driver/report.h"
+#include "runner/experiment_plan.h"
+#include "runner/sweep_runner.h"
 
 namespace radar::bench {
 
@@ -25,8 +42,27 @@ std::vector<driver::WorkloadKind> PaperWorkloads();
 /// applied.
 driver::SimConfig PaperConfig();
 
-/// Runs one simulation and returns the report (convenience wrapper).
-driver::RunReport RunOnce(const driver::SimConfig& config);
+/// A plan rooted at the bench seed with the paper's shared-root seeding
+/// (every run sees the same workload realization, so policy comparisons
+/// are paired — the paper's methodology).
+runner::ExperimentPlan PaperPlan(const std::string& name);
+
+struct BenchOptions {
+  int jobs = 1;           ///< worker threads; 0 = hardware concurrency
+  std::string json_path;  ///< empty = no JSON artefact
+};
+
+/// Parses --jobs/--json (either "--flag value" or "--flag=value") plus
+/// --help. jobs defaults to $RADAR_BENCH_JOBS, else 1. Prints usage and
+/// exits(2) on a malformed command line, exits(0) on --help.
+BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// Executes the plan with options.jobs threads; writes SweepJson to
+/// options.json_path when set (exits(1) on I/O failure). Progress and
+/// wall-clock go to stderr so stdout — the printed artefact — stays
+/// byte-identical across job counts.
+runner::SweepResult RunSweep(const runner::ExperimentPlan& plan,
+                             const BenchOptions& options);
 
 /// Prints the standard bench header: which figure/table, parameters used.
 void PrintHeader(std::ostream& os, const std::string& artefact,

@@ -10,12 +10,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout, "Figure 6: performance of dynamic replication",
                      base);
 
+  runner::ExperimentPlan plan = bench::PaperPlan("fig6_performance");
   for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
     driver::SimConfig dynamic_config = base;
     dynamic_config.workload = kind;
@@ -30,11 +32,19 @@ int main() {
     static_config.duration = base.duration / 3;  // static equilibrium is
                                                  // immediate
 
-    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
-              << " ----\n";
-    const driver::RunReport dynamic_report = bench::RunOnce(dynamic_config);
-    const driver::RunReport static_report = bench::RunOnce(static_config);
+    const std::string name = driver::WorkloadKindName(kind);
+    plan.Add(name + "/dynamic", dynamic_config);
+    plan.Add(name + "/static", static_config);
+  }
 
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  for (std::size_t i = 0; i < sweep.runs.size(); i += 2) {
+    const driver::RunReport& dynamic_report = sweep.runs[i].report;
+    const driver::RunReport& static_report = sweep.runs[i + 1].report;
+
+    std::cout << "---- workload: " << dynamic_report.workload_name
+              << " ----\n";
     std::cout << "[dynamic]\n";
     dynamic_report.PrintSummary(std::cout);
     std::cout << "[static]\n";

@@ -8,18 +8,24 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout, "Figure 7: network overhead", base);
 
+  runner::ExperimentPlan plan = bench::PaperPlan("fig7_overhead");
   for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
     driver::SimConfig config = base;
     config.workload = kind;
-    const driver::RunReport report = bench::RunOnce(config);
+    plan.Add(driver::WorkloadKindName(kind), config);
+  }
 
-    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
-              << " ----\n";
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  for (const runner::RunResult& run : sweep.runs) {
+    const driver::RunReport& report = run.report;
+    std::cout << "---- workload: " << report.workload_name << " ----\n";
     std::cout << std::fixed;
     std::cout << "  total overhead: " << std::setprecision(2)
               << report.traffic.OverheadPercent() << "% ("

@@ -10,20 +10,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout,
                      "Figure 8: maximum load and load estimates", base);
 
-  std::cout << "---- Fig. 8a: maximum host load (req/s) over time ----\n";
-  std::cout << "  t(s)";
-  for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
-    std::cout << std::setw(11) << driver::WorkloadKindName(kind);
-  }
-  std::cout << "\n";
-
-  std::vector<driver::RunReport> reports;
+  runner::ExperimentPlan plan = bench::PaperPlan("fig8_load");
   for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
     driver::SimConfig config = base;
     config.workload = kind;
@@ -31,18 +25,26 @@ int main() {
       config.duration = 2 * base.duration;
     }
     config.tracked_host = 10;
-    reports.push_back(bench::RunOnce(config));
+    plan.Add(driver::WorkloadKindName(kind), config);
   }
 
-  const std::size_t rows =
-      reports[0].CompleteBuckets(reports[0].max_load.num_buckets());
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << "---- Fig. 8a: maximum host load (req/s) over time ----\n";
+  std::cout << "  t(s)";
+  for (const runner::RunResult& run : sweep.runs) {
+    std::cout << std::setw(11) << run.name;
+  }
+  std::cout << "\n";
+
+  const driver::RunReport& first = sweep.runs[0].report;
+  const std::size_t rows = first.CompleteBuckets(first.max_load.num_buckets());
   for (std::size_t i = 0; i < rows; ++i) {
     std::cout << std::fixed << std::setw(6) << std::setprecision(0)
-              << SimToSeconds(static_cast<SimTime>(i) *
-                              reports[0].bucket_width);
-    for (const auto& report : reports) {
-      const double value = i < report.max_load.num_buckets()
-                               ? report.max_load.MaxAt(i)
+              << SimToSeconds(static_cast<SimTime>(i) * first.bucket_width);
+    for (const runner::RunResult& run : sweep.runs) {
+      const double value = i < run.report.max_load.num_buckets()
+                               ? run.report.max_load.MaxAt(i)
                                : 0.0;
       std::cout << std::setw(11) << std::setprecision(1) << value;
     }
@@ -54,7 +56,7 @@ int main() {
   std::cout << "---- Fig. 8b: load estimates vs actual (host 10, "
             << "hot-pages) ----\n";
   std::cout << "  t(s)    low-est    actual    high-est   bracketed\n";
-  const driver::RunReport& hp = reports[2];  // hot-pages
+  const driver::RunReport& hp = sweep.runs[2].report;  // hot-pages
   int violations = 0;
   for (std::size_t i = 0; i < hp.tracked_host_loads.size(); ++i) {
     const auto& s = hp.tracked_host_loads[i];

@@ -11,13 +11,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout, "Figure 9: dynamic replication, high load",
                      base);
 
-  std::cout << std::fixed;
+  runner::ExperimentPlan plan = bench::PaperPlan("fig9_highload");
   for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
     driver::SimConfig low = base;
     low.workload = kind;
@@ -33,11 +34,19 @@ int main() {
     // "the responsiveness of the system decreases").
     high.duration = 2 * low.duration;
 
-    std::cout << "---- workload: " << driver::WorkloadKindName(kind)
-              << " ----\n";
-    const driver::RunReport low_report = bench::RunOnce(low);
-    const driver::RunReport high_report = bench::RunOnce(high);
+    const std::string name = driver::WorkloadKindName(kind);
+    plan.Add(name + "/low", low);
+    plan.Add(name + "/high", high);
+  }
 
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << std::fixed;
+  for (std::size_t i = 0; i < sweep.runs.size(); i += 2) {
+    const driver::RunReport& low_report = sweep.runs[i].report;
+    const driver::RunReport& high_report = sweep.runs[i + 1].report;
+
+    std::cout << "---- workload: " << low_report.workload_name << " ----\n";
     std::cout << "[high load hw=50 lw=40]\n";
     high_report.PrintSummary(std::cout);
 

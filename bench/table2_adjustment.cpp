@@ -8,29 +8,35 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radar;
+  const bench::BenchOptions options = bench::ParseBenchArgs(argc, argv);
   driver::SimConfig base = bench::PaperConfig();
   bench::PrintHeader(std::cout,
                      "Table 2: adjustment time and average replicas", base);
 
-  std::cout << "  Workload    Adjustment Time (min:sec)   "
-               "Average Number of Replicas\n";
+  runner::ExperimentPlan plan = bench::PaperPlan("table2_adjustment");
   for (const driver::WorkloadKind kind : bench::PaperWorkloads()) {
     driver::SimConfig config = base;
     config.workload = kind;
     if (kind == driver::WorkloadKind::kHotSites) {
       config.duration = 2 * base.duration;
     }
-    const driver::RunReport report = bench::RunOnce(config);
-    const double adjustment = report.AdjustmentTimeSeconds();
-    std::cout << "  " << std::left << std::setw(12)
-              << driver::WorkloadKindName(kind) << std::right
-              << std::setw(14)
+    plan.Add(driver::WorkloadKindName(kind), config);
+  }
+
+  const runner::SweepResult sweep = bench::RunSweep(plan, options);
+
+  std::cout << "  Workload    Adjustment Time (min:sec)   "
+               "Average Number of Replicas\n";
+  for (const runner::RunResult& run : sweep.runs) {
+    const double adjustment = run.report.AdjustmentTimeSeconds();
+    std::cout << "  " << std::left << std::setw(12) << run.name
+              << std::right << std::setw(14)
               << (adjustment >= 0.0 ? FormatMinutes(adjustment)
                                     : std::string("n/a"))
               << std::setw(31) << std::fixed << std::setprecision(2)
-              << report.final_avg_replicas << "\n";
+              << run.report.final_avg_replicas << "\n";
   }
   std::cout << "\n  (paper: hot-sites 20 min / 2.62, hot-pages 22 / 2.59,"
             << " regional 20 / 1.49, zipf 23 / 1.86)\n";

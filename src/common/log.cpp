@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace radar {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so the experiment engine's worker threads can log (or query the
+// level) without racing a concurrent SetLogLevel.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,12 +23,14 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogF(LogLevel level, const char* fmt, ...) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] ", LevelName(level));
   va_list args;
   va_start(args, fmt);

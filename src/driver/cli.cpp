@@ -71,6 +71,8 @@ usage: radar_sim [flags]
   --topology=FILE             custom backbone (see topology_io.h)
   --trace=FILE                replay a request trace (see trace.h)
   --series                    print the per-bucket series table
+  --json=FILE                 write the report as schema-versioned JSON
+  --jobs=N                    experiment-engine threads (0 = hardware)
   --help                      this text
 )";
 }
@@ -170,6 +172,13 @@ std::optional<CliOptions> ParseCli(const std::vector<std::string>& args,
       options.topology_file = value;
     } else if (key == "trace") {
       options.trace_file = value;
+    } else if (key == "json") {
+      options.json_file = value;
+    } else if (key == "jobs") {
+      if (!ParseInt(value, &i) || i < 0) {
+        return fail("--jobs must be a non-negative integer");
+      }
+      options.jobs = static_cast<int>(i);
     } else {
       return fail("unknown flag --" + key);
     }

@@ -17,6 +17,11 @@ struct CliOptions {
   SimConfig config;
   std::string topology_file;  ///< empty = built-in UUNET backbone
   std::string trace_file;     ///< empty = workload-generated requests
+  std::string json_file;      ///< empty = no JSON report artefact
+  /// Experiment-engine worker threads (0 = hardware concurrency). One run
+  /// uses one thread; the flag exists so scripted multi-seed sweeps share
+  /// the bench binaries' interface.
+  int jobs = 1;
   bool print_series = false;
   bool show_help = false;
 };

@@ -1,0 +1,542 @@
+#include "driver/report_json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace radar::driver {
+
+JsonValue::JsonValue(double value) {
+  if (std::isfinite(value)) {
+    kind_ = Kind::kDouble;
+    double_ = value;
+  } else {
+    kind_ = Kind::kNull;
+  }
+}
+
+bool JsonValue::bool_value() const {
+  RADAR_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t JsonValue::int_value() const {
+  RADAR_CHECK(kind_ == Kind::kInt);
+  return int_;
+}
+
+double JsonValue::double_value() const {
+  RADAR_CHECK(is_number());
+  return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::string_value() const {
+  RADAR_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  RADAR_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+JsonValue::Array& JsonValue::array() {
+  RADAR_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  RADAR_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+JsonValue::Object& JsonValue::object() {
+  RADAR_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  RADAR_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  RADAR_CHECK(kind_ == Kind::kObject);
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::int64_t value, std::string* out) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, result.ptr);
+}
+
+void AppendNumber(double value, std::string* out) {
+  // Shortest round-trip representation: deterministic, locale-free, and
+  // re-parses to the same bits.
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, result.ptr);
+}
+
+void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kInt:
+      AppendNumber(v.int_value(), out);
+      break;
+    case JsonValue::Kind::kDouble:
+      AppendNumber(v.double_value(), out);
+      break;
+    case JsonValue::Kind::kString:
+      AppendEscaped(v.string_value(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      if (v.array().empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        DumpTo(item, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.object().empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const JsonValue::Member& member : v.object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(member.first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        DumpTo(member.second, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    auto value = ParseValue();
+    SkipWhitespace();
+    if (value && pos_ != text_.size()) {
+      value = std::nullopt;
+      error_ = "trailing characters after document";
+    }
+    if (!value && error != nullptr) {
+      *error = error_ + " (at offset " + std::to_string(pos_) + ")";
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> Fail(std::string message) {
+    error_ = std::move(message);
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' in object");
+      auto value = ParseValue();
+      if (!value) return std::nullopt;
+      obj.Set(key->string_value(), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      auto value = ParseValue();
+      if (!value) return std::nullopt;
+      arr.Append(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  /// Encodes one code point as UTF-8.
+  static void AppendUtf8(std::uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::optional<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    std::uint32_t value = 0;
+    const auto result =
+        std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, value, 16);
+    if (result.ec != std::errc() || result.ptr != text_.data() + pos_ + 4) {
+      return std::nullopt;
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::optional<JsonValue> ParseString() {
+    if (!Consume('"')) return Fail("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return JsonValue(std::move(out));
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          auto cp = ParseHex4();
+          if (!cp) return Fail("invalid \\u escape");
+          // Surrogate pair: a high surrogate must be followed by \uDCxx.
+          if (*cp >= 0xd800 && *cp <= 0xdbff) {
+            if (!ConsumeLiteral("\\u")) return Fail("lone high surrogate");
+            const auto low = ParseHex4();
+            if (!low || *low < 0xdc00 || *low > 0xdfff) {
+              return Fail("invalid low surrogate");
+            }
+            AppendUtf8(0x10000 + ((*cp - 0xd800) << 10) + (*low - 0xdc00),
+                       &out);
+          } else if (*cp >= 0xdc00 && *cp <= 0xdfff) {
+            return Fail("lone low surrogate");
+          } else {
+            AppendUtf8(*cp, &out);
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto result =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (result.ec == std::errc() &&
+          result.ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec != std::errc() || result.ptr != token.data() + token.size()) {
+      return Fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValue DoubleArray(const std::vector<double>& values) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const double v : values) arr.Append(JsonValue(v));
+  return arr;
+}
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  return out;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error) {
+  return Parser(text).Parse(error);
+}
+
+JsonValue ReportJson(const RunReport& report) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", std::string(kReportSchema));
+  doc.Set("workload", report.workload_name);
+  doc.Set("distribution", report.distribution_name);
+  doc.Set("placement", report.placement_name);
+  doc.Set("duration_us", report.duration);
+  doc.Set("bucket_width_us", report.bucket_width);
+
+  JsonValue latency_stats = JsonValue::MakeObject();
+  latency_stats.Set("count", report.latency_stats.count())
+      .Set("mean_s", report.latency_stats.mean())
+      .Set("stddev_s", report.latency_stats.stddev())
+      .Set("min_s", report.latency_stats.min())
+      .Set("max_s", report.latency_stats.max());
+
+  JsonValue totals = JsonValue::MakeObject();
+  totals.Set("requests", report.total_requests)
+      .Set("dropped_requests", report.dropped_requests)
+      .Set("geo_migrations", report.geo_migrations)
+      .Set("geo_replications", report.geo_replications)
+      .Set("offload_migrations", report.offload_migrations)
+      .Set("offload_replications", report.offload_replications)
+      .Set("affinity_drops", report.affinity_drops)
+      .Set("relocations", report.TotalRelocations())
+      .Set("object_copies", report.object_copies)
+      .Set("payload_byte_hops", report.traffic.total_payload())
+      .Set("overhead_byte_hops", report.traffic.total_overhead())
+      .Set("final_avg_replicas", report.final_avg_replicas)
+      .Set("latency", std::move(latency_stats));
+  doc.Set("totals", std::move(totals));
+
+  JsonValue derived = JsonValue::MakeObject();
+  derived.Set("initial_bandwidth_rate", report.InitialBandwidthRate())
+      .Set("equilibrium_bandwidth_rate", report.EquilibriumBandwidthRate())
+      .Set("bandwidth_reduction_percent", report.BandwidthReductionPercent())
+      .Set("initial_latency_s", report.InitialLatency())
+      .Set("equilibrium_latency_s", report.EquilibriumLatency())
+      .Set("latency_reduction_percent", report.LatencyReductionPercent())
+      .Set("overhead_percent", report.traffic.OverheadPercent())
+      .Set("adjustment_time_s", report.AdjustmentTimeSeconds());
+  doc.Set("derived", std::move(derived));
+
+  JsonValue latency_sums = JsonValue::MakeArray();
+  JsonValue latency_counts = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < report.latency.num_buckets(); ++i) {
+    latency_sums.Append(JsonValue(report.latency.SumAt(i)));
+    latency_counts.Append(JsonValue(report.latency.CountAt(i)));
+  }
+  JsonValue max_load = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < report.max_load.num_buckets(); ++i) {
+    max_load.Append(JsonValue(report.max_load.MaxAt(i)));
+  }
+  JsonValue replicas = JsonValue::MakeArray();
+  for (const metrics::Sample& s : report.avg_replicas.samples()) {
+    JsonValue sample = JsonValue::MakeObject();
+    sample.Set("t_us", s.t).Set("value", s.value);
+    replicas.Append(std::move(sample));
+  }
+  JsonValue tracked = JsonValue::MakeArray();
+  for (const metrics::TrackedLoadSample& s : report.tracked_host_loads) {
+    JsonValue sample = JsonValue::MakeObject();
+    sample.Set("t_us", s.t)
+        .Set("measured", s.measured)
+        .Set("upper_estimate", s.upper_estimate)
+        .Set("lower_estimate", s.lower_estimate);
+    tracked.Append(std::move(sample));
+  }
+
+  JsonValue series = JsonValue::MakeObject();
+  series.Set("payload_byte_hops", DoubleArray(report.traffic.payload().sums()))
+      .Set("overhead_byte_hops", DoubleArray(report.traffic.overhead().sums()))
+      .Set("overhead_percent", DoubleArray(report.traffic.OverheadPercentSeries()))
+      .Set("latency_sum_s", std::move(latency_sums))
+      .Set("latency_count", std::move(latency_counts))
+      .Set("max_load", std::move(max_load))
+      .Set("avg_replicas", std::move(replicas))
+      .Set("tracked_host_load", std::move(tracked));
+  doc.Set("series", std::move(series));
+  return doc;
+}
+
+bool WriteJsonFile(const std::string& path, const JsonValue& value,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << value.Dump(/*indent=*/2) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace radar::driver

@@ -1,0 +1,119 @@
+// Machine-readable run reports: a minimal JSON document model plus the
+// schema-versioned serialization of RunReport.
+//
+// The model is deliberately tiny (no external dependency) and, above all,
+// deterministic: objects preserve insertion order, numbers are formatted
+// with shortest-round-trip std::to_chars, and no wall-clock or locale
+// state leaks into the output. Serializing the same report twice — or the
+// reports of the same sweep executed with different thread counts —
+// produces byte-identical text, which is what lets CI diff BENCH_*.json
+// artifacts across machines and runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "driver/report.h"
+
+namespace radar::driver {
+
+/// Schema tag written into every serialized RunReport; bump the suffix on
+/// any incompatible field change.
+inline constexpr std::string_view kReportSchema = "radar.report/1";
+
+/// A JSON document: null, bool, integer, double, string, array, or object.
+/// Integers are kept distinct from doubles so 64-bit counters serialize
+/// exactly; object members keep insertion order so output is stable.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  /// Non-finite doubles have no JSON spelling; they serialize as null.
+  JsonValue(double value);
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  static JsonValue MakeArray() { return JsonValue(Kind::kArray); }
+  static JsonValue MakeObject() { return JsonValue(Kind::kObject); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  bool bool_value() const;
+  std::int64_t int_value() const;
+  /// Numeric value as double (integers convert).
+  double double_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  Array& array();
+  const Object& object() const;
+  Object& object();
+
+  /// Appends to an array value.
+  void Append(JsonValue value);
+
+  /// Appends a member to an object value (no de-duplication; callers keep
+  /// keys unique). Returns *this so construction chains.
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Member lookup by key; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes the document. indent == 0 emits compact single-line JSON;
+  /// indent > 0 pretty-prints with that many spaces per level. Both forms
+  /// are deterministic.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a JSON document (UTF-8; supports the full standard grammar,
+/// including \uXXXX escapes and surrogate pairs). Numbers without a
+/// fraction or exponent that fit std::int64_t parse as integers, the rest
+/// as doubles. Returns nullopt and fills *error on malformed input.
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+/// Serializes a RunReport: identity, totals, the derived figures of
+/// Figs. 6-9 / Table 2, and every per-bucket series. See DESIGN.md §9 for
+/// the field-by-field schema.
+JsonValue ReportJson(const RunReport& report);
+
+/// Writes `value` pretty-printed to `path` (plus a trailing newline).
+/// Returns false and fills *error on I/O failure.
+bool WriteJsonFile(const std::string& path, const JsonValue& value,
+                   std::string* error = nullptr);
+
+}  // namespace radar::driver

@@ -1,0 +1,30 @@
+#include "runner/experiment_plan.h"
+
+#include "common/rng.h"
+
+namespace radar::runner {
+
+const char* SeedPolicyName(SeedPolicy policy) {
+  switch (policy) {
+    case SeedPolicy::kForkPerRun: return "fork-per-run";
+    case SeedPolicy::kSharedRoot: return "shared-root";
+  }
+  return "?";
+}
+
+std::uint64_t DeriveRunSeed(std::uint64_t root_seed,
+                            std::uint64_t run_index) {
+  return Rng(root_seed).Fork(run_index).NextU64();
+}
+
+std::uint64_t ExperimentPlan::SeedFor(std::size_t index) const {
+  switch (seed_policy_) {
+    case SeedPolicy::kForkPerRun:
+      return DeriveRunSeed(root_seed_, static_cast<std::uint64_t>(index));
+    case SeedPolicy::kSharedRoot:
+      return root_seed_;
+  }
+  return root_seed_;
+}
+
+}  // namespace radar::runner

@@ -1,0 +1,81 @@
+// An ExperimentPlan names a sweep and carries its ordered grid of
+// simulation configurations; SweepRunner executes one.
+//
+// Seeding: every run's RNG stream is fixed by the plan — never by thread
+// scheduling — so a sweep's results are a pure function of (plan, root
+// seed). Under kForkPerRun, run i is seeded with DeriveRunSeed(root, i),
+// the first draw of Rng(root).Fork(i): independent streams for replicated
+// measurements. Under kSharedRoot, every run reuses the root seed, which
+// is the paper's paired-comparison methodology (dynamic vs static and the
+// ablations must see the same workload realization).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/config.h"
+#include "driver/report.h"
+
+namespace radar::runner {
+
+enum class SeedPolicy : std::uint8_t {
+  kForkPerRun,
+  kSharedRoot,
+};
+
+const char* SeedPolicyName(SeedPolicy policy);
+
+/// The seed run `run_index` receives under kForkPerRun: a pure function
+/// of (root_seed, run_index), pinned by golden-value tests so platform or
+/// refactor drift fails loudly.
+std::uint64_t DeriveRunSeed(std::uint64_t root_seed, std::uint64_t run_index);
+
+struct ExperimentRun {
+  std::string name;
+  driver::SimConfig config;
+  /// Optional custom executor (e.g. installs a DemandShiftWorkload or a
+  /// caller-provided topology before Run()); null executes
+  /// HostingSimulation(config).Run(). Runs on a pool thread, concurrently
+  /// with other runs, so it must touch only its own state.
+  std::function<driver::RunReport(const driver::SimConfig&)> execute;
+};
+
+class ExperimentPlan {
+ public:
+  ExperimentPlan(std::string name, std::uint64_t root_seed,
+                 SeedPolicy seed_policy = SeedPolicy::kForkPerRun)
+      : name_(std::move(name)),
+        root_seed_(root_seed),
+        seed_policy_(seed_policy) {}
+
+  void Add(std::string run_name, driver::SimConfig config) {
+    runs_.push_back({std::move(run_name), std::move(config), nullptr});
+  }
+
+  void AddCustom(std::string run_name, driver::SimConfig config,
+                 std::function<driver::RunReport(const driver::SimConfig&)>
+                     execute) {
+    runs_.push_back(
+        {std::move(run_name), std::move(config), std::move(execute)});
+  }
+
+  /// The seed SweepRunner assigns to run `index`.
+  std::uint64_t SeedFor(std::size_t index) const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t root_seed() const { return root_seed_; }
+  SeedPolicy seed_policy() const { return seed_policy_; }
+  const std::vector<ExperimentRun>& runs() const { return runs_; }
+  std::size_t size() const { return runs_.size(); }
+
+ private:
+  std::string name_;
+  std::uint64_t root_seed_;
+  SeedPolicy seed_policy_;
+  std::vector<ExperimentRun> runs_;
+};
+
+}  // namespace radar::runner

@@ -1,0 +1,58 @@
+// SweepRunner: executes every run of an ExperimentPlan concurrently on a
+// fixed-size ThreadPool — one HostingSimulation per task, nothing shared
+// between tasks but their pre-assigned result slots.
+//
+// Determinism: each run's seed comes from the plan (see experiment_plan.h)
+// and each simulation is self-contained, so the collected reports — and
+// the SweepJson document built from them — are byte-identical regardless
+// of thread count or completion order. Wall-clock timing is measured but
+// deliberately kept out of the JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/report.h"
+#include "driver/report_json.h"
+#include "runner/experiment_plan.h"
+
+namespace radar::runner {
+
+/// Schema tag of SweepJson documents; bump on incompatible change.
+inline constexpr std::string_view kSweepSchema = "radar.sweep/1";
+
+struct RunResult {
+  std::string name;
+  std::uint64_t seed = 0;  ///< the seed the run actually used
+  driver::RunReport report;
+};
+
+struct SweepResult {
+  std::string plan_name;
+  std::uint64_t root_seed = 0;
+  SeedPolicy seed_policy = SeedPolicy::kForkPerRun;
+  std::vector<RunResult> runs;  ///< plan order, not completion order
+  double wall_seconds = 0.0;    ///< measured; excluded from SweepJson
+};
+
+/// The sweep as a deterministic, schema-versioned JSON document: plan
+/// identity, per-run seeds (decimal strings — they span the full uint64
+/// range), and each run's full ReportJson.
+driver::JsonValue SweepJson(const SweepResult& result);
+
+class SweepRunner {
+ public:
+  /// jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs the whole plan; blocks until every run has finished.
+  SweepResult Run(const ExperimentPlan& plan) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace radar::runner

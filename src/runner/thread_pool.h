@@ -1,0 +1,57 @@
+// Fixed-size worker pool for the experiment engine.
+//
+// Deliberately minimal: one shared FIFO queue, no work stealing, no task
+// priorities. Tasks are coarse (one full simulation each, seconds of work),
+// so queue contention is negligible and a simple design keeps the
+// concurrency story auditable — this file and sweep_runner.cpp are the
+// only places in the tree allowed to create threads (enforced by
+// radar_lint's thread-confinement rule; everything else stays
+// single-threaded by construction).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radar::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must be self-contained: they run concurrently
+  /// with each other on worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (the remaining tasks still
+  /// ran to completion or were started normally).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: task or stop
+  std::condition_variable done_cv_;   ///< signals Wait(): all tasks done
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
+  int outstanding_ = 0;  ///< queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace radar::runner

@@ -120,6 +120,47 @@ TEST(LintSourceTest, RequiresPragmaOnceInHeaders) {
 }
 
 // ---------------------------------------------------------------------
+// Thread confinement
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsThreadCreationOutsideRunner) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::thread t([] {});\n", Source()),
+      "thread-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::jthread t([] {});\n", Source()),
+      "thread-confinement"));
+  EXPECT_TRUE(HasRule(LintSource("f.cpp", "worker.detach();\n", Source()),
+                      "thread-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.h", "#pragma once\nstd::thread member_;\n", Header()),
+      "thread-confinement"));
+}
+
+TEST(LintSourceTest, ThreadConfinementQuietOnLookalikes) {
+  // std::this_thread (sleeps, yields) is not thread creation.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "std::this_thread::yield();\n", Source()),
+      "thread-confinement"));
+  // Identifiers merely containing "detach" are not detach() calls.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "bool detached = IsDetached(x);\n", Source()),
+      "thread-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "#include <thread>\n", Source()),
+      "thread-confinement"));
+}
+
+TEST(LintSourceTest, RunnerFilesMayCreateThreads) {
+  FileKind runner_kind;
+  runner_kind.allow_threads = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/runner/thread_pool.cpp",
+                 "std::thread t([] {});\nt.detach();\n", runner_kind),
+      "thread-confinement"));
+}
+
+// ---------------------------------------------------------------------
 // Protocol-literal audit
 // ---------------------------------------------------------------------
 
@@ -193,6 +234,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "protocol-literal"));
   EXPECT_TRUE(HasRule(violations, "using-namespace-in-header"));
   EXPECT_TRUE(HasRule(violations, "missing-pragma-once"));
+  EXPECT_TRUE(HasRule(violations, "thread-confinement"));
   for (const auto& v : violations) {
     EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
   }

@@ -1,0 +1,185 @@
+// RunReport derived-figure edge inputs and the JSON document model:
+// parser round trips, schema tagging, and byte-deterministic dumps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "driver/hosting_simulation.h"
+#include "driver/report_json.h"
+#include "test_config.h"
+
+namespace radar::driver {
+namespace {
+
+constexpr SimTime kBucket = SecondsToSim(60.0);
+
+TEST(ReportDerivedTest, EmptyReportYieldsZeroFigures) {
+  const RunReport report(kBucket);
+  EXPECT_EQ(report.InitialBandwidthRate(), 0.0);
+  EXPECT_EQ(report.EquilibriumBandwidthRate(), 0.0);
+  EXPECT_EQ(report.BandwidthReductionPercent(), 0.0);
+  EXPECT_EQ(report.InitialLatency(), 0.0);
+  EXPECT_EQ(report.EquilibriumLatency(), 0.0);
+  EXPECT_EQ(report.LatencyReductionPercent(), 0.0);
+  EXPECT_LT(report.AdjustmentTimeSeconds(), 0.0);
+  EXPECT_EQ(report.TotalRelocations(), 0);
+}
+
+TEST(ReportDerivedTest, SingleBucketRunHasNoReduction) {
+  // A run shorter than one bucket: initial and equilibrium windows both
+  // collapse onto bucket 0, so the reduction is exactly zero.
+  RunReport report(kBucket);
+  report.duration = SecondsToSim(30.0);
+  report.traffic.AddPayload(SecondsToSim(10.0), 1000);
+  report.latency.Add(SecondsToSim(10.0), 0.5);
+  EXPECT_GT(report.InitialBandwidthRate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.InitialBandwidthRate(),
+                   report.EquilibriumBandwidthRate());
+  EXPECT_EQ(report.BandwidthReductionPercent(), 0.0);
+  EXPECT_DOUBLE_EQ(report.InitialLatency(), 0.5);
+  EXPECT_DOUBLE_EQ(report.EquilibriumLatency(), 0.5);
+  EXPECT_EQ(report.LatencyReductionPercent(), 0.0);
+}
+
+TEST(ReportDerivedTest, EmptyLeadingBucketsDoNotDivideByZero) {
+  // The only latency sample falls in the last bucket; the initial window
+  // has buckets but zero samples and must report 0, not NaN.
+  RunReport report(kBucket);
+  report.duration = 8 * kBucket;
+  report.latency.Add(SecondsToSim(7.0 * 60.0 + 30.0), 1.25);
+  EXPECT_EQ(report.InitialLatency(), 0.0);
+  EXPECT_DOUBLE_EQ(report.EquilibriumLatency(), 1.25);
+  EXPECT_EQ(report.LatencyReductionPercent(), 0.0);
+}
+
+TEST(ReportDerivedTest, OscillatingTrafficNeverSettles) {
+  RunReport report(kBucket);
+  report.duration = 12 * kBucket;
+  for (int i = 0; i < 12; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * kBucket + SecondsToSim(1.0);
+    report.traffic.AddPayload(t, i % 2 == 0 ? 100000 : 100);
+  }
+  EXPECT_LT(report.AdjustmentTimeSeconds(), 0.0);
+}
+
+TEST(ReportDerivedTest, SettlingTrafficReportsAdjustmentTime) {
+  RunReport report(kBucket);
+  report.duration = 12 * kBucket;
+  const std::int64_t levels[12] = {100000, 50000, 10000, 10000, 10000, 10000,
+                                   10000,  10000, 10000, 10000, 10000, 10000};
+  for (int i = 0; i < 12; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * kBucket + SecondsToSim(1.0);
+    report.traffic.AddPayload(t, levels[i]);
+  }
+  const double adjustment = report.AdjustmentTimeSeconds();
+  EXPECT_GE(adjustment, 0.0);
+  EXPECT_LE(adjustment, SimToSeconds(report.duration));
+  EXPECT_GT(report.BandwidthReductionPercent(), 50.0);
+}
+
+TEST(JsonValueTest, DumpIsCompactAndOrdered) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("b", std::int64_t{1})
+      .Set("a", JsonValue(true))
+      .Set("nested", JsonValue::MakeArray());
+  object.object().back().second.Append(JsonValue(0.5));
+  object.object().back().second.Append(JsonValue());
+  // Members serialize in insertion order — never sorted — so repeated
+  // dumps of the same document are byte-identical.
+  EXPECT_EQ(object.Dump(), R"({"b":1,"a":true,"nested":[0.5,null]})");
+}
+
+TEST(JsonValueTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(1.5).Dump(), "1.5");
+}
+
+TEST(JsonValueTest, StringsEscapeControlCharacters) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t\x01").Dump(),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonParseTest, RoundTripsTypedValues) {
+  const std::string text =
+      R"({"i":-42,"d":2.5,"b":true,"n":null,"s":"xA","a":[1,2]})";
+  const auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("i")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(parsed->Find("i")->int_value(), -42);
+  EXPECT_EQ(parsed->Find("d")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(parsed->Find("d")->double_value(), 2.5);
+  EXPECT_TRUE(parsed->Find("b")->bool_value());
+  EXPECT_TRUE(parsed->Find("n")->is_null());
+  EXPECT_EQ(parsed->Find("s")->string_value(), "xA");
+  EXPECT_EQ(parsed->Find("a")->array().size(), 2u);
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseJson("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated").has_value());
+  EXPECT_FALSE(ParseJson("{} trailing").has_value());
+  EXPECT_FALSE(ParseJson("").has_value());
+}
+
+TEST(ReportJsonTest, CarriesSchemaAndMatchesReportFields) {
+  SimConfig config = testing::ScaledPaperConfig(20.0);
+  config.duration = SecondsToSim(300.0);
+  const RunReport report = HostingSimulation(config).Run();
+  const JsonValue json = ReportJson(report);
+
+  ASSERT_NE(json.Find("schema"), nullptr);
+  EXPECT_EQ(json.Find("schema")->string_value(), kReportSchema);
+  EXPECT_EQ(json.Find("workload")->string_value(), report.workload_name);
+  EXPECT_EQ(json.Find("duration_us")->int_value(),
+            static_cast<std::int64_t>(report.duration));
+
+  const JsonValue* totals = json.Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->Find("requests")->int_value(), report.total_requests);
+  EXPECT_EQ(totals->Find("geo_replications")->int_value(),
+            report.geo_replications);
+  EXPECT_DOUBLE_EQ(totals->Find("final_avg_replicas")->double_value(),
+                   report.final_avg_replicas);
+  EXPECT_EQ(totals->Find("latency")->Find("count")->int_value(),
+            report.latency_stats.count());
+
+  const JsonValue* derived = json.Find("derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_DOUBLE_EQ(derived->Find("equilibrium_latency_s")->double_value(),
+                   report.EquilibriumLatency());
+  EXPECT_DOUBLE_EQ(
+      derived->Find("bandwidth_reduction_percent")->double_value(),
+      report.BandwidthReductionPercent());
+
+  const JsonValue* series = json.Find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->Find("payload_byte_hops")->array().size(),
+            report.traffic.payload().num_buckets());
+}
+
+TEST(ReportJsonTest, DumpParseDumpIsByteStable) {
+  SimConfig config = testing::ScaledPaperConfig(20.0);
+  config.duration = SecondsToSim(300.0);
+  config.workload = WorkloadKind::kRegional;
+  const RunReport report = HostingSimulation(config).Run();
+  const std::string first = ReportJson(report).Dump(2);
+  std::string error;
+  const auto parsed = ParseJson(first, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Dump(2), first);
+  // Serializing the same report twice is also byte-identical (no wall
+  // clock, locale, or pointer state leaks into the text).
+  EXPECT_EQ(ReportJson(report).Dump(2), first);
+}
+
+}  // namespace
+}  // namespace radar::driver

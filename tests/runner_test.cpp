@@ -1,0 +1,226 @@
+// Experiment-engine tests: ThreadPool semantics and SweepRunner's
+// determinism contract — sweep output is a pure function of the plan and
+// root seed, independent of thread count and completion order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "runner/experiment_plan.h"
+#include "runner/sweep_runner.h"
+#include "runner/thread_pool.h"
+#include "test_config.h"
+
+namespace radar::runner {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  EXPECT_EQ(ThreadPool(0).size(), 1);
+  EXPECT_EQ(ThreadPool(-3).size(), 1);
+  EXPECT_EQ(ThreadPool(2).size(), 2);
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently) {
+  // Each task blocks until all three are in flight at once; if the pool
+  // serialized them this rendezvous could never complete. The generous
+  // timeout only bounds a failure, it never slows a pass.
+  constexpr int kTasks = 3;
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  int saw_all = 0;
+  ThreadPool pool(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ++started;
+      cv.notify_all();
+      if (cv.wait_for(lock, std::chrono::seconds(30),
+                      [&] { return started == kTasks; })) {
+        ++saw_all;
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(saw_all, kTasks);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The failure does not poison the pool: the healthy tasks completed and
+  // later batches run normally.
+  EXPECT_EQ(count.load(), 2);
+  pool.Submit([&count] { count.fetch_add(1); });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): destruction itself must drain the queue.
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ExperimentPlanTest, DeriveRunSeedMatchesForkDraw) {
+  for (std::uint64_t root : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    for (std::uint64_t i : {0ULL, 1ULL, 7ULL, 1000ULL}) {
+      Rng rng(root);
+      EXPECT_EQ(DeriveRunSeed(root, i), rng.Fork(i).NextU64());
+    }
+  }
+  // One golden pin (the full set lives in property_test.cpp): drift in
+  // the derivation scheme silently reseeds every sweep, so fail loudly.
+  EXPECT_EQ(DeriveRunSeed(1, 0), 11242100090092791929ULL);
+}
+
+TEST(ExperimentPlanTest, DeriveRunSeedDistinctAcrossIndices) {
+  std::unordered_set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seeds.insert(DeriveRunSeed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(ExperimentPlanTest, SeedForFollowsPolicy) {
+  driver::SimConfig config;
+  ExperimentPlan forked("forked", 42, SeedPolicy::kForkPerRun);
+  ExperimentPlan shared("shared", 42, SeedPolicy::kSharedRoot);
+  for (int i = 0; i < 3; ++i) {
+    forked.Add("run", config);
+    shared.Add("run", config);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(forked.SeedFor(i), DeriveRunSeed(42, i));
+    EXPECT_EQ(shared.SeedFor(i), 42u);
+  }
+}
+
+TEST(ExperimentPlanTest, SeedPolicyNames) {
+  EXPECT_STREQ(SeedPolicyName(SeedPolicy::kForkPerRun), "fork-per-run");
+  EXPECT_STREQ(SeedPolicyName(SeedPolicy::kSharedRoot), "shared-root");
+}
+
+// A fast real-simulation plan: small scaled configs across distinct
+// workloads so runs genuinely differ.
+ExperimentPlan SmallPlan(std::uint64_t root_seed,
+                         SeedPolicy policy = SeedPolicy::kForkPerRun) {
+  ExperimentPlan plan("runner_test", root_seed, policy);
+  driver::SimConfig config = driver::testing::ScaledPaperConfig(20.0);
+  config.duration = SecondsToSim(300.0);
+  for (const driver::WorkloadKind workload :
+       {driver::WorkloadKind::kZipf, driver::WorkloadKind::kUniform,
+        driver::WorkloadKind::kRegional}) {
+    config.workload = workload;
+    plan.Add(driver::WorkloadKindName(workload), config);
+  }
+  return plan;
+}
+
+std::string SweepBytes(const ExperimentPlan& plan, int jobs) {
+  return SweepJson(SweepRunner(jobs).Run(plan)).Dump(2);
+}
+
+TEST(SweepRunnerTest, ByteIdenticalAcrossJobCounts) {
+  const ExperimentPlan plan = SmallPlan(1);
+  const std::string serial = SweepBytes(plan, 1);
+  EXPECT_EQ(serial, SweepBytes(plan, 2));
+  // jobs=0 selects hardware concurrency, whatever this machine has.
+  EXPECT_EQ(serial, SweepBytes(plan, 0));
+}
+
+TEST(SweepRunnerTest, SameRootSeedReproducesBytes) {
+  EXPECT_EQ(SweepBytes(SmallPlan(7), 2), SweepBytes(SmallPlan(7), 2));
+}
+
+TEST(SweepRunnerTest, DifferentRootSeedChangesResults) {
+  EXPECT_NE(SweepBytes(SmallPlan(1), 2), SweepBytes(SmallPlan(2), 2));
+}
+
+TEST(SweepRunnerTest, ResultsArriveInPlanOrder) {
+  const ExperimentPlan plan = SmallPlan(1);
+  const SweepResult sweep = SweepRunner(2).Run(plan);
+  ASSERT_EQ(sweep.runs.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(sweep.runs[i].name, plan.runs()[i].name);
+    EXPECT_EQ(sweep.runs[i].seed, plan.SeedFor(i));
+  }
+}
+
+TEST(SweepRunnerTest, SharedRootGivesEveryRunTheRootSeed) {
+  const ExperimentPlan plan = SmallPlan(99, SeedPolicy::kSharedRoot);
+  const SweepResult sweep = SweepRunner(2).Run(plan);
+  for (const RunResult& run : sweep.runs) {
+    EXPECT_EQ(run.seed, 99u);
+  }
+}
+
+TEST(SweepRunnerTest, CustomExecutorReceivesDerivedSeed) {
+  ExperimentPlan plan("custom", 5, SeedPolicy::kForkPerRun);
+  driver::SimConfig config = driver::testing::ScaledPaperConfig(20.0);
+  std::vector<std::uint64_t> seen(2, 0);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    plan.AddCustom("probe" + std::to_string(i), config,
+                   [&seen, i](const driver::SimConfig& c) {
+                     seen[i] = c.seed;
+                     driver::RunReport report(c.metric_bucket);
+                     report.workload_name = "custom";
+                     return report;
+                   });
+  }
+  const SweepResult sweep = SweepRunner(2).Run(plan);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], DeriveRunSeed(5, i));
+    EXPECT_EQ(sweep.runs[i].report.workload_name, "custom");
+  }
+}
+
+TEST(SweepRunnerTest, SweepJsonCarriesIdentityAndSchema) {
+  const ExperimentPlan plan = SmallPlan(3, SeedPolicy::kForkPerRun);
+  const SweepResult sweep = SweepRunner(2).Run(plan);
+  const driver::JsonValue json = SweepJson(sweep);
+  ASSERT_NE(json.Find("schema"), nullptr);
+  EXPECT_EQ(json.Find("schema")->string_value(), kSweepSchema);
+  EXPECT_EQ(json.Find("plan")->string_value(), "runner_test");
+  EXPECT_EQ(json.Find("root_seed")->string_value(), "3");
+  EXPECT_EQ(json.Find("seed_policy")->string_value(), "fork-per-run");
+  EXPECT_EQ(json.Find("num_runs")->int_value(), 3);
+  const auto& runs = json.Find("runs")->array();
+  ASSERT_EQ(runs.size(), 3u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].Find("seed")->string_value(),
+              std::to_string(plan.SeedFor(i)));
+    EXPECT_EQ(runs[i].Find("report")->Find("schema")->string_value(),
+              driver::kReportSchema);
+  }
+}
+
+}  // namespace
+}  // namespace radar::runner

@@ -78,6 +78,14 @@ void CheckLine(const std::string& path_label, int line_no,
                     "`using namespace` in a header leaks into every "
                     "includer; qualify names instead"});
   }
+  if (!kind.allow_threads &&
+      (ContainsToken(line, "std::thread") ||
+       ContainsToken(line, "std::jthread") || ContainsCall(line, "detach"))) {
+    out->push_back({path_label, line_no, "thread-confinement",
+                    "thread creation/detach is confined to src/runner/; "
+                    "run concurrent work through runner::ThreadPool so the "
+                    "rest of the tree stays single-threaded"});
+  }
   if (!kind.allow_protocol_literals) {
     const std::string line_str(line);
     if (std::regex_search(line_str, ProtocolLiteralRegex())) {
@@ -222,6 +230,7 @@ std::vector<Violation> LintTree(const std::filesystem::path& src_root) {
     FileKind kind;
     kind.is_header = file.extension() == ".h";
     kind.allow_protocol_literals = rel == "core/params.h";
+    kind.allow_threads = rel.rfind("runner/", 0) == 0;
     auto file_violations = LintSource("src/" + rel, buf.str(), kind);
     violations.insert(violations.end(), file_violations.begin(),
                       file_violations.end());

@@ -10,6 +10,9 @@
 //   - every header starts with #pragma once
 //   - protocol threshold constants (0.6, 1/6, 6u-style multiples, the
 //     default u/m thresholds) must live in core/params.h only
+//   - std::thread / std::jthread / detach() only in src/runner/ — all
+//     concurrency goes through the experiment engine's ThreadPool so the
+//     rest of the tree stays single-threaded by construction
 //
 // The logic is a library so tests can feed it sources directly; the
 // radar_lint binary is a thin filesystem walker around it.
@@ -33,6 +36,8 @@ struct FileKind {
   bool is_header = false;
   /// core/params.h (and only it) may define protocol constants.
   bool allow_protocol_literals = false;
+  /// src/runner/ (and only it) may create or detach threads.
+  bool allow_threads = false;
 };
 
 /// Returns `content` with comments and string/char literal bodies blanked

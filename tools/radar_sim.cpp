@@ -2,13 +2,23 @@
 //
 //   radar_sim --workload=regional --duration=1800 --series
 //   radar_sim --topology=my_backbone.txt --trace=requests.trace
+//   radar_sim --workload=zipf --json=report.json
+//
+// Execution goes through the experiment engine (src/runner): the run is a
+// one-entry ExperimentPlan rooted at --seed, so the CLI shares the bench
+// binaries' machinery (and their --jobs/--json semantics) and its JSON
+// artefact is the same schema-versioned ReportJson document.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "driver/cli.h"
 #include "driver/hosting_simulation.h"
+#include "driver/report_json.h"
 #include "net/topology_io.h"
+#include "runner/experiment_plan.h"
+#include "runner/sweep_runner.h"
 
 int main(int argc, char** argv) {
   using namespace radar;
@@ -25,7 +35,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::optional<net::Topology> topology;
+  std::shared_ptr<net::Topology> topology;
   if (!options->topology_file.empty()) {
     std::ifstream in(options->topology_file);
     if (!in) {
@@ -34,19 +44,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::string parse_error;
-    topology = net::ReadTopology(in, &parse_error);
-    if (!topology) {
+    auto parsed = net::ReadTopology(in, &parse_error);
+    if (!parsed) {
       std::cerr << "error: " << options->topology_file << ": "
                 << parse_error << "\n";
       return 2;
     }
+    topology = std::make_shared<net::Topology>(*std::move(parsed));
   }
 
-  driver::HostingSimulation sim =
-      topology.has_value()
-          ? driver::HostingSimulation(options->config, *std::move(topology))
-          : driver::HostingSimulation(options->config);
-
+  std::shared_ptr<workload::RequestTrace> trace;
   if (!options->trace_file.empty()) {
     std::ifstream in(options->trace_file);
     if (!in) {
@@ -55,20 +62,44 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::string parse_error;
-    auto trace = workload::RequestTrace::Load(in, &parse_error);
-    if (!trace) {
+    auto parsed = workload::RequestTrace::Load(in, &parse_error);
+    if (!parsed) {
       std::cerr << "error: " << options->trace_file << ": " << parse_error
                 << "\n";
       return 2;
     }
-    sim.SetTrace(*std::move(trace));
+    trace = std::make_shared<workload::RequestTrace>(*std::move(parsed));
   }
 
-  const driver::RunReport report = sim.Run();
+  runner::ExperimentPlan plan("radar_sim", options->config.seed,
+                              runner::SeedPolicy::kSharedRoot);
+  plan.AddCustom(
+      driver::WorkloadKindName(options->config.workload), options->config,
+      [topology, trace](const driver::SimConfig& config) {
+        driver::HostingSimulation sim =
+            topology != nullptr
+                ? driver::HostingSimulation(config, *topology)
+                : driver::HostingSimulation(config);
+        if (trace != nullptr) sim.SetTrace(*trace);
+        return sim.Run();
+      });
+
+  const runner::SweepResult sweep =
+      runner::SweepRunner(options->jobs).Run(plan);
+  const driver::RunReport& report = sweep.runs[0].report;
+
   report.PrintSummary(std::cout);
   if (options->print_series) {
     std::cout << "\n";
     report.PrintSeries(std::cout);
+  }
+  if (!options->json_file.empty()) {
+    std::string write_error;
+    if (!driver::WriteJsonFile(options->json_file,
+                               driver::ReportJson(report), &write_error)) {
+      std::cerr << "error: " << write_error << "\n";
+      return 1;
+    }
   }
   return 0;
 }
