@@ -1,15 +1,20 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the library:
 // request distribution, routing-table construction, workload sampling,
-// the event queue, and host-side access counting.
+// path-latency lookup, the event queue, host-side access counting, and a
+// DispatchRequest-loop macro case over the full driver.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "core/cluster.h"
 #include "core/redirector.h"
+#include "driver/config.h"
+#include "driver/hosting_simulation.h"
+#include "net/path_latency.h"
 #include "net/routing.h"
 #include "net/uunet.h"
 #include "sim/event_queue.h"
+#include "sim/transfer.h"
 #include "workload/workload.h"
 
 namespace {
@@ -72,6 +77,55 @@ void BM_ExactZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactZipfSample);
 
+// The per-request latency computation as it existed before the
+// precomputed matrices: walk the canonical path and scan each hop's
+// adjacency list for the connecting link. Kept as the baseline half of a
+// before/after pair with BM_PathLatencyMatrix.
+SimTime WalkTransferLatency(const net::RoutingTable& routing,
+                            const net::Graph& graph, NodeId a, NodeId b,
+                            std::int64_t object_bytes) {
+  const std::vector<NodeId>& path = routing.Path(a, b);
+  SimTime total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    for (const net::Edge& e : graph.Neighbors(path[i - 1])) {
+      if (e.to != path[i]) continue;
+      total += e.delay + sim::SerializationTime(object_bytes, e.bandwidth_bps);
+      break;
+    }
+  }
+  return total;
+}
+
+void BM_PathLatencyWalk(benchmark::State& state) {
+  const net::Topology topology = net::MakeUunetBackbone();
+  const net::RoutingTable routing(topology.graph());
+  Rng rng(5);
+  const auto n = topology.graph().num_nodes();
+  for (auto _ : state) {
+    const auto a = static_cast<NodeId>(rng.NextBounded(n));
+    const auto b = static_cast<NodeId>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(
+        WalkTransferLatency(routing, topology.graph(), a, b, 100'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathLatencyWalk);
+
+void BM_PathLatencyMatrix(benchmark::State& state) {
+  const net::Topology topology = net::MakeUunetBackbone();
+  const net::RoutingTable routing(topology.graph());
+  const net::PathLatencyMatrix matrix(routing, topology.graph(), 100'000);
+  Rng rng(5);
+  const auto n = topology.graph().num_nodes();
+  for (auto _ : state) {
+    const auto a = static_cast<NodeId>(rng.NextBounded(n));
+    const auto b = static_cast<NodeId>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(matrix.Transfer(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathLatencyMatrix);
+
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto depth = static_cast<std::size_t>(state.range(0));
   sim::EventQueue queue;
@@ -124,6 +178,28 @@ void BM_PlacementRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlacementRound)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_DispatchRequestLoop(benchmark::State& state) {
+  // Macro case: the full engine (dispatch -> arrive -> complete, periodic
+  // ticks included) over the UUNET + Zipf configuration, measured as
+  // simulated requests per wall second. The per-item rate here should
+  // track bench/throughput's large scale.
+  const double kSimSeconds = 10.0;
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    driver::SimConfig config;
+    config.duration = SecondsToSim(kSimSeconds);
+    config.workload = driver::WorkloadKind::kZipf;
+    driver::HostingSimulation sim(config);
+    state.ResumeTiming();
+    const driver::RunReport report = sim.Run();
+    requests += report.total_requests;
+    benchmark::DoNotOptimize(report.total_requests);
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_DispatchRequestLoop)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

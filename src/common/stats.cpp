@@ -51,15 +51,15 @@ BucketedSeries::BucketedSeries(SimTime bucket_width)
   RADAR_CHECK_GT(bucket_width, 0);
 }
 
-void BucketedSeries::Add(SimTime t, double value) {
-  RADAR_CHECK_GE(t, 0);
+void BucketedSeries::AdvanceCursor(SimTime t) {
   const auto idx = static_cast<std::size_t>(t / bucket_width_);
   if (idx >= sums_.size()) {
     sums_.resize(idx + 1, 0.0);
     counts_.resize(idx + 1, 0);
   }
-  sums_[idx] += value;
-  ++counts_[idx];
+  cursor_idx_ = idx;
+  cursor_start_ = static_cast<SimTime>(idx) * bucket_width_;
+  cursor_end_ = cursor_start_ + bucket_width_;
 }
 
 SimTime BucketedSeries::BucketStart(std::size_t i) const {

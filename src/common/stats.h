@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace radar {
@@ -43,8 +44,17 @@ class BucketedSeries {
   /// bucket_width must be positive.
   explicit BucketedSeries(SimTime bucket_width);
 
-  /// Adds a sample at the given simulated time.
-  void Add(SimTime t, double value);
+  /// Adds a sample at the given simulated time. Samples normally arrive in
+  /// non-decreasing time order (simulation time is monotone), so the
+  /// common case resolves the bucket with two comparisons against a cached
+  /// cursor instead of a 64-bit division per sample; out-of-order times
+  /// still work through the slow path.
+  void Add(SimTime t, double value) {
+    RADAR_CHECK_GE(t, 0);
+    if (t < cursor_start_ || t >= cursor_end_) AdvanceCursor(t);
+    sums_[cursor_idx_] += value;
+    ++counts_[cursor_idx_];
+  }
 
   SimTime bucket_width() const { return bucket_width_; }
   std::size_t num_buckets() const { return sums_.size(); }
@@ -66,9 +76,18 @@ class BucketedSeries {
   const std::vector<double>& sums() const { return sums_; }
 
  private:
+  /// Repositions the cursor on the bucket containing `t`, growing the
+  /// bucket vectors as needed.
+  void AdvanceCursor(SimTime t);
+
   SimTime bucket_width_;
   std::vector<double> sums_;
   std::vector<std::int64_t> counts_;
+  // Cursor over the bucket the last sample fell into. cursor_end_ starts
+  // at 0 so the first Add always takes the slow path.
+  std::size_t cursor_idx_ = 0;
+  SimTime cursor_start_ = 0;
+  SimTime cursor_end_ = 0;
 };
 
 /// Exact percentile over a retained sample vector. Intended for offline

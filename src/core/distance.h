@@ -19,6 +19,17 @@ class DistanceOracle {
 
   /// Network distance (hops) between two nodes; 0 iff from == to.
   virtual std::int32_t Distance(NodeId from, NodeId to) const = 0;
+
+  /// Dense-row fast path: a contiguous span of num-nodes distances from
+  /// `from` (entry [to] == Distance(from, to)), or nullptr when this
+  /// oracle has no dense storage. Hot loops (one gateway against many
+  /// replicas) hoist the row once instead of paying a virtual call per
+  /// candidate. The span must stay valid and constant while the oracle is
+  /// alive and unmodified.
+  virtual const std::int32_t* DistanceRow(NodeId from) const {
+    (void)from;
+    return nullptr;
+  }
 };
 
 /// A dense symmetric distance matrix; handy in tests.
@@ -40,6 +51,10 @@ class MatrixDistanceOracle final : public DistanceOracle {
 
   std::int32_t Distance(NodeId from, NodeId to) const override {
     return matrix_[Index(from, to)];
+  }
+
+  const std::int32_t* DistanceRow(NodeId from) const override {
+    return &matrix_[Index(from, 0)];
   }
 
  private:

@@ -20,11 +20,27 @@ void HostAgent::AddInitialReplica(ObjectId x) {
   RADAR_CHECK_MSG(!HasObject(x), "initial replica already present");
   ReplicaRecord rec;
   rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
-  records_.emplace(x, std::move(rec));
+  const auto it = records_.emplace(x, std::move(rec)).first;
+  IndexRecord(x, &it->second);
 }
 
-bool HostAgent::HasObject(ObjectId x) const {
-  return records_.find(x) != records_.end();
+void HostAgent::IndexRecord(ObjectId x, ReplicaRecord* rec) {
+  const auto i = static_cast<std::size_t>(x);
+  if (i >= index_.size()) index_.resize(i + 1, nullptr);
+  index_[i] = rec;
+  rec->active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(rec);
+}
+
+void HostAgent::UnindexRecord(ObjectId x) {
+  const auto i = static_cast<std::size_t>(x);
+  ReplicaRecord* rec = index_[i];
+  RADAR_CHECK(rec != nullptr);
+  const std::uint32_t pos = rec->active_pos;
+  active_[pos] = active_.back();
+  active_[pos]->active_pos = pos;
+  active_.pop_back();
+  index_[i] = nullptr;
 }
 
 int HostAgent::Affinity(ObjectId x) const {
@@ -33,22 +49,24 @@ int HostAgent::Affinity(ObjectId x) const {
 }
 
 std::vector<ObjectId> HostAgent::Objects() const {
+  // The dense index enumerates hosted objects in ascending id order for
+  // free — no hash-map traversal, no sort.
   std::vector<ObjectId> out;
   out.reserve(records_.size());
-  for (const auto& [x, rec] : records_) out.push_back(x);
-  std::sort(out.begin(), out.end());
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    if (index_[i] != nullptr) out.push_back(static_cast<ObjectId>(i));
+  }
   return out;
 }
 
 HostAgent::ReplicaRecord& HostAgent::RecordOf(ObjectId x) {
-  const auto it = records_.find(x);
-  RADAR_CHECK_MSG(it != records_.end(), "object not hosted");
-  return it->second;
+  ReplicaRecord* rec = Lookup(x);
+  RADAR_CHECK_MSG(rec != nullptr, "object not hosted");
+  return *rec;
 }
 
 const HostAgent::ReplicaRecord* HostAgent::FindRecord(ObjectId x) const {
-  const auto it = records_.find(x);
-  return it != records_.end() ? &it->second : nullptr;
+  return Lookup(x);
 }
 
 void HostAgent::RecordServiced(ObjectId x,
@@ -60,6 +78,7 @@ void HostAgent::RecordServiced(ObjectId x,
   for (const NodeId p : preference_path) {
     ++rec.path_counts[static_cast<std::size_t>(p)];
   }
+  rec.counts_dirty = true;
   ++rec.serviced_interval;
   ++serviced_interval_total_;
 }
@@ -71,9 +90,17 @@ void HostAgent::OnMeasurementTick(SimTime now) {
   if (seconds <= 0.0) return;
   measured_load_ = static_cast<double>(serviced_interval_total_) / seconds;
   serviced_interval_total_ = 0;
-  for (auto& [x, rec] : records_) {
-    rec.measured_load = static_cast<double>(rec.serviced_interval) / seconds;
-    rec.serviced_interval = 0;
+  // Per-record updates are independent, so the compact active list
+  // replaces the hash-map traversal. Records that saw no requests and
+  // already carry a zero load would be rewritten with the same values —
+  // skipping them keeps the (mostly cold, Zipf-tailed) object
+  // population's cache lines clean.
+  for (ReplicaRecord* rec : active_) {
+    if (rec->serviced_interval == 0 && rec->measured_load == 0.0) {
+      continue;
+    }
+    rec->measured_load = static_cast<double>(rec->serviced_interval) / seconds;
+    rec->serviced_interval = 0;
   }
   // Sec. 2.1: an estimate stands in for measurements only until an
   // interval that started after the relocation completes — the new
@@ -112,25 +139,26 @@ CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
           params_->high_watermark) {
     return {};
   }
-  const auto it = records_.find(x);
+  ReplicaRecord* existing = Lookup(x);
   // Storage component of the vector load metric (Sec. 2.1): a full host
   // cannot take a new physical copy; raising the affinity of a replica it
   // already stores is fine.
-  if (it == records_.end() && StorageFull()) return {};
+  if (existing == nullptr && StorageFull()) return {};
 
   CreateObjResponse resp;
   resp.accepted = true;
-  if (it == records_.end()) {
+  if (existing == nullptr) {
     ReplicaRecord rec;
     rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
     rec.acquired_at = now;
     // Best available per-object load estimate until a full measurement
     // interval passes: the advertised unit load of the source replica.
     rec.measured_load = unit_load;
-    records_.emplace(x, std::move(rec));
+    const auto it = records_.emplace(x, std::move(rec)).first;
+    IndexRecord(x, &it->second);
     resp.created_new_copy = true;
   } else {
-    ++it->second.aff;
+    ++existing->aff;
   }
   upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
   return resp;
@@ -166,6 +194,7 @@ HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
     return ReduceOutcome::kReduced;
   }
   if (redirector.RequestDrop(x, self_)) {
+    UnindexRecord(x);
     records_.erase(x);
     return ReduceOutcome::kDropped;
   }
@@ -174,20 +203,30 @@ HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
 
 std::vector<NodeId> HostAgent::CandidatesByFarthest(
     const ReplicaRecord& rec, const PlacementContext& ctx) const {
-  std::vector<NodeId> candidates;
+  // Distances are fetched once per candidate, not once per comparison: a
+  // sort comparator that calls a virtual oracle is the dominant cost of a
+  // placement round on large runs. The (distance desc, id asc) key is a
+  // total order, so the result is identical to sorting with the oracle in
+  // the comparator.
+  struct Cand {
+    std::int32_t dist;
+    NodeId p;
+  };
+  std::vector<Cand> candidates;
   for (NodeId p = 0; p < num_nodes_; ++p) {
     if (p != self_ && rec.path_counts[static_cast<std::size_t>(p)] > 0) {
-      candidates.push_back(p);
+      candidates.push_back(Cand{ctx.Distance(self_, p), p});
     }
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](NodeId a, NodeId b) {
-                     const auto da = ctx.Distance(self_, a);
-                     const auto db = ctx.Distance(self_, b);
-                     if (da != db) return da > db;
-                     return a < b;
-                   });
-  return candidates;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cand& a, const Cand& b) {
+              if (a.dist != b.dist) return a.dist > b.dist;
+              return a.p < b.p;
+            });
+  std::vector<NodeId> out;
+  out.reserve(candidates.size());
+  for (const Cand& c : candidates) out.push_back(c.p);
+  return out;
 }
 
 PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
@@ -205,9 +244,9 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
   const double m = params_->replication_threshold_m;
 
   for (const ObjectId x : Objects()) {
-    const auto it = records_.find(x);
-    if (it == records_.end()) continue;
-    ReplicaRecord& rec = it->second;
+    ReplicaRecord* recp = Lookup(x);
+    if (recp == nullptr) continue;
+    ReplicaRecord& rec = *recp;
     const double seconds = EpochSeconds(rec, now);
     if (seconds <= 0.0) continue;
     const auto total = static_cast<double>(
@@ -278,9 +317,12 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     Offload(ctx, stats, now);
   }
 
-  // Start a new access-count epoch.
-  for (auto& [x, rec] : records_) {
-    std::fill(rec.path_counts.begin(), rec.path_counts.end(), 0);
+  // Start a new access-count epoch. Only records whose counts were
+  // actually touched this epoch need zeroing.
+  for (ReplicaRecord* rec : active_) {
+    if (!rec->counts_dirty) continue;
+    std::fill(rec->path_counts.begin(), rec->path_counts.end(), 0);
+    rec->counts_dirty = false;
   }
   epoch_start_ = now;
   return stats;

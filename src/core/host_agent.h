@@ -59,7 +59,7 @@ class HostAgent {
   /// count as an acquisition for load-estimate purposes).
   void AddInitialReplica(ObjectId x);
 
-  bool HasObject(ObjectId x) const;
+  bool HasObject(ObjectId x) const { return Lookup(x) != nullptr; }
   int Affinity(ObjectId x) const;
   /// Hosted object ids in ascending order.
   std::vector<ObjectId> Objects() const;
@@ -140,18 +140,31 @@ class HostAgent {
     int aff = 1;
     /// cnt(p, x): per-node preference-path appearances this epoch.
     std::vector<std::uint32_t> path_counts;
+    /// True when path_counts holds any non-zero entry; lets the epoch
+    /// reset skip the (mostly untouched) cold objects.
+    bool counts_dirty = false;
     /// Requests serviced this measurement interval.
     std::uint32_t serviced_interval = 0;
     /// load(x_s) from the last completed interval (requests/sec).
     double measured_load = 0.0;
     /// When this replica appeared on the host (bounds its epoch length).
     SimTime acquired_at = 0;
+    /// This record's position in active_ (maintained on add/drop).
+    std::uint32_t active_pos = 0;
   };
 
   enum class ReduceOutcome { kReduced, kDropped, kDenied };
 
   ReplicaRecord& RecordOf(ObjectId x);
   const ReplicaRecord* FindRecord(ObjectId x) const;
+
+  /// O(1) record lookup through the dense index (nullptr if not hosted).
+  ReplicaRecord* Lookup(ObjectId x) const {
+    const auto i = static_cast<std::size_t>(x);
+    return i < index_.size() ? index_[i] : nullptr;
+  }
+  void IndexRecord(ObjectId x, ReplicaRecord* rec);
+  void UnindexRecord(ObjectId x);
 
   /// Fig. 3's ReduceAffinity: decrements affinity (notifying the
   /// redirector) or, at affinity 1, asks the redirector for permission to
@@ -175,6 +188,17 @@ class HostAgent {
   const ProtocolParams* params_;
 
   std::unordered_map<ObjectId, ReplicaRecord> records_;
+  /// Dense-by-object-id pointers into records_ (value references in an
+  /// unordered_map stay valid until erasure). The request hot path resolves
+  /// records through this index instead of hashing; records_ itself is kept
+  /// as the owner because its iteration order feeds the measurement and
+  /// placement passes and must stay exactly as it has always been.
+  std::vector<ReplicaRecord*> index_;
+  /// Every hosted record, unordered (swap-with-last removal). The
+  /// measurement tick and the epoch reset sweep this compact list —
+  /// proportional to hosted objects, not to the object-id space — and
+  /// both treat records independently, so the order is free to vary.
+  std::vector<ReplicaRecord*> active_;
 
   // Load measurement state. Estimate adjustments live in a two-slot
   // window: `cur` collects bounds for relocations in the running interval,

@@ -14,6 +14,40 @@ Redirector::Redirector(const DistanceOracle& distance,
   RADAR_CHECK_GT(distribution_constant, 0.0);
 }
 
+void Redirector::Entry::Insert(std::size_t pos, const Replica& r) {
+  RADAR_CHECK_LE(pos, count);
+  if (count < kInlineReplicas) {
+    for (std::size_t i = count; i > pos; --i) {
+      inline_storage[i] = inline_storage[i - 1];
+    }
+    inline_storage[pos] = r;
+  } else {
+    if (count == kInlineReplicas) {
+      overflow.assign(inline_storage, inline_storage + kInlineReplicas);
+    }
+    overflow.insert(overflow.begin() + static_cast<std::ptrdiff_t>(pos), r);
+  }
+  ++count;
+}
+
+void Redirector::Entry::Erase(std::size_t pos) {
+  RADAR_CHECK_LT(pos, count);
+  if (count <= kInlineReplicas) {
+    for (std::size_t i = pos + 1; i < count; ++i) {
+      inline_storage[i - 1] = inline_storage[i];
+    }
+  } else {
+    overflow.erase(overflow.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (overflow.size() == kInlineReplicas) {
+      // Shrunk back to the inline capacity: move the replicas home and
+      // release the heap block so the hot path is one cache line again.
+      std::copy(overflow.begin(), overflow.end(), inline_storage);
+      overflow = {};
+    }
+  }
+  --count;
+}
+
 Redirector::Entry& Redirector::EntryOf(ObjectId x) {
   RADAR_CHECK_GE(x, 0);
   if (static_cast<std::size_t>(x) >= table_.size()) {
@@ -29,7 +63,7 @@ const Redirector::Entry& Redirector::EntryOf(ObjectId x) const {
 }
 
 Redirector::Replica* Redirector::FindReplica(Entry& e, NodeId host) {
-  for (auto& r : e.replicas) {
+  for (auto& r : e) {
     if (r.host == host) return &r;
   }
   return nullptr;
@@ -38,36 +72,52 @@ Redirector::Replica* Redirector::FindReplica(Entry& e, NodeId host) {
 void Redirector::ResetCounts(Entry& e) {
   // "The redirector resets all request counts to 1 whenever it is notified
   // of any changes to the replica set" (Sec. 3).
-  for (auto& r : e.replicas) r.rcnt = 1;
+  for (auto& r : e) r.rcnt = 1;
   ++replica_set_changes_;
 }
 
 void Redirector::RegisterObject(ObjectId x, NodeId initial_host) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(e.replicas.empty(), "object already registered");
-  e.replicas.push_back(Replica{initial_host, 1, 1});
+  RADAR_CHECK_MSG(e.empty(), "object already registered");
+  e.Insert(0, Replica{initial_host, 1, 1});
 }
 
 bool Redirector::KnowsObject(ObjectId x) const {
   return x >= 0 && static_cast<std::size_t>(x) < table_.size() &&
-         !table_[static_cast<std::size_t>(x)].replicas.empty();
+         !table_[static_cast<std::size_t>(x)].empty();
 }
 
 NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(!e.replicas.empty(), "ChooseReplica on unknown object");
+  RADAR_CHECK_MSG(!e.empty(), "ChooseReplica on unknown object");
   ++requests_distributed_;
+
+  // A sole replica is both the closest and the least-counted: take it
+  // without consulting the distance oracle. Most objects sit in this case
+  // for most of a run, so the request path rarely pays for Fig. 2 at all.
+  if (e.size() == 1) {
+    Replica& only = e.front();
+    ++only.rcnt;
+    return only.host;
+  }
 
   // p: the replica closest to the requesting gateway (ties: replicas are
   // sorted by host id, so the lowest id wins deterministically).
   // q: the replica with the smallest unit request count rcnt/aff.
-  Replica* closest = &e.replicas.front();
-  Replica* least = &e.replicas.front();
-  std::int32_t closest_distance = distance_.Distance(gateway, closest->host);
+  // The gateway's distance row is hoisted out of the loop: one virtual
+  // call per request instead of one per replica, and a dense-row oracle
+  // (the routing adapter, the test matrices) is read with plain indexing.
+  const std::int32_t* row = distance_.DistanceRow(gateway);
+  Replica* closest = &e.front();
+  Replica* least = &e.front();
+  std::int32_t closest_distance =
+      row != nullptr ? row[closest->host]
+                     : distance_.Distance(gateway, closest->host);
   double least_unit = static_cast<double>(least->rcnt) / least->aff;
-  for (std::size_t i = 1; i < e.replicas.size(); ++i) {
-    Replica& r = e.replicas[i];
-    const std::int32_t d = distance_.Distance(gateway, r.host);
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    Replica& r = e.begin()[i];
+    const std::int32_t d =
+        row != nullptr ? row[r.host] : distance_.Distance(gateway, r.host);
     if (d < closest_distance) {
       closest_distance = d;
       closest = &r;
@@ -89,14 +139,14 @@ NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
 
 void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(!e.replicas.empty(), "creation notice for unknown object");
+  RADAR_CHECK_MSG(!e.empty(), "creation notice for unknown object");
   if (Replica* r = FindReplica(e, host)) {
     ++r->aff;
   } else {
-    const auto pos = std::lower_bound(
-        e.replicas.begin(), e.replicas.end(), host,
+    const Replica* pos = std::lower_bound(
+        e.begin(), e.end(), host,
         [](const Replica& lhs, NodeId h) { return lhs.host < h; });
-    e.replicas.insert(pos, Replica{host, 1, 1});
+    e.Insert(static_cast<std::size_t>(pos - e.begin()), Replica{host, 1, 1});
     if (listener_ != nullptr) listener_->OnReplicaAdded(x, host);
   }
   ResetCounts(e);
@@ -117,12 +167,12 @@ bool Redirector::RequestDrop(ObjectId x, NodeId host) {
   Replica* r = FindReplica(e, host);
   RADAR_CHECK_MSG(r != nullptr, "drop request for unknown replica");
   RADAR_CHECK_MSG(r->aff == 1, "drop request with affinity > 1");
-  if (e.replicas.size() <= 1) {
+  if (e.size() <= 1) {
     return false;  // never delete the last replica (Sec. 4.2.1)
   }
   // Remove before granting: the recorded set stays a subset of physical
   // replicas, so requests are never routed to a vanishing copy.
-  e.replicas.erase(e.replicas.begin() + (r - e.replicas.data()));
+  e.Erase(static_cast<std::size_t>(r - e.begin()));
   if (listener_ != nullptr) listener_->OnReplicaRemoved(x, host);
   ResetCounts(e);
   return true;
@@ -131,30 +181,30 @@ bool Redirector::RequestDrop(ObjectId x, NodeId host) {
 std::vector<NodeId> Redirector::ReplicaHosts(ObjectId x) const {
   const Entry& e = EntryOf(x);
   std::vector<NodeId> hosts;
-  hosts.reserve(e.replicas.size());
-  for (const auto& r : e.replicas) hosts.push_back(r.host);
+  hosts.reserve(e.size());
+  for (const auto& r : e) hosts.push_back(r.host);
   return hosts;
 }
 
 int Redirector::ReplicaCount(ObjectId x) const {
-  return static_cast<int>(EntryOf(x).replicas.size());
+  return static_cast<int>(EntryOf(x).size());
 }
 
 int Redirector::TotalAffinity(ObjectId x) const {
   int total = 0;
-  for (const auto& r : EntryOf(x).replicas) total += r.aff;
+  for (const auto& r : EntryOf(x)) total += r.aff;
   return total;
 }
 
 int Redirector::AffinityOf(ObjectId x, NodeId host) const {
-  for (const auto& r : EntryOf(x).replicas) {
+  for (const auto& r : EntryOf(x)) {
     if (r.host == host) return r.aff;
   }
   return 0;
 }
 
 std::int64_t Redirector::RequestCountOf(ObjectId x, NodeId host) const {
-  for (const auto& r : EntryOf(x).replicas) {
+  for (const auto& r : EntryOf(x)) {
     if (r.host == host) return r.rcnt;
   }
   return 0;
@@ -163,9 +213,21 @@ std::int64_t Redirector::RequestCountOf(ObjectId x, NodeId host) const {
 std::vector<ObjectId> Redirector::Objects() const {
   std::vector<ObjectId> out;
   for (std::size_t i = 0; i < table_.size(); ++i) {
-    if (!table_[i].replicas.empty()) out.push_back(static_cast<ObjectId>(i));
+    if (!table_[i].empty()) out.push_back(static_cast<ObjectId>(i));
   }
   return out;
+}
+
+std::pair<std::int64_t, std::int64_t> Redirector::ReplicaAndObjectTotals()
+    const {
+  std::int64_t replicas = 0;
+  std::int64_t objects = 0;
+  for (const Entry& e : table_) {
+    if (e.empty()) continue;
+    replicas += static_cast<std::int64_t>(e.size());
+    ++objects;
+  }
+  return {replicas, objects};
 }
 
 RedirectorGroup::RedirectorGroup(const DistanceOracle& distance,
@@ -180,6 +242,9 @@ RedirectorGroup::RedirectorGroup(const DistanceOracle& distance,
 
 Redirector& RedirectorGroup::For(ObjectId x) {
   RADAR_CHECK_GE(x, 0);
+  // The paper's default deployment runs one redirector; skip the partition
+  // arithmetic (a hardware divide) entirely in that case.
+  if (redirectors_.size() == 1) return redirectors_.front();
   // Fibonacci-hash the object id for an even partition even when ids are
   // assigned contiguously.
   const auto h = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
@@ -199,13 +264,14 @@ Redirector& RedirectorGroup::At(int index) {
 
 std::pair<std::int64_t, std::int64_t> RedirectorGroup::TotalReplicasAndObjects()
     const {
+  // One pass over each redirector's table: no materialized Objects()
+  // vector, no per-object table lookups.
   std::int64_t replicas = 0;
   std::int64_t objects = 0;
   for (const auto& r : redirectors_) {
-    for (const ObjectId x : r.Objects()) {
-      replicas += r.ReplicaCount(x);
-      ++objects;
-    }
+    const auto [rep, obj] = r.ReplicaAndObjectTotals();
+    replicas += rep;
+    objects += obj;
   }
   return {replicas, objects};
 }

@@ -93,6 +93,10 @@ class Redirector {
   /// Objects registered with this redirector.
   std::vector<ObjectId> Objects() const;
 
+  /// {sum of replica counts, number of registered objects} in one pass
+  /// over the table — no per-object lookups, no allocation.
+  std::pair<std::int64_t, std::int64_t> ReplicaAndObjectTotals() const;
+
   /// Registers a change listener (nullptr to clear); not owned.
   void set_change_listener(ChangeListener* listener) {
     listener_ = listener;
@@ -110,8 +114,33 @@ class Redirector {
     std::int64_t rcnt = 1;
     int aff = 1;
   };
+  /// Replica set of one object, kept sorted by host id. The first
+  /// kInlineReplicas live in an inline array so the per-request lookup
+  /// touches a single cache line; larger sets (rare — the mean replica
+  /// count stays near 1) spill wholesale into `overflow`, and shrink back
+  /// inline when deletions allow, so iteration is always one contiguous
+  /// span either way.
   struct Entry {
-    std::vector<Replica> replicas;  // kept sorted by host id
+    static constexpr std::size_t kInlineReplicas = 2;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    Replica* begin() {
+      return count <= kInlineReplicas ? inline_storage : overflow.data();
+    }
+    Replica* end() { return begin() + count; }
+    const Replica* begin() const {
+      return count <= kInlineReplicas ? inline_storage : overflow.data();
+    }
+    const Replica* end() const { return begin() + count; }
+    Replica& front() { return *begin(); }
+
+    void Insert(std::size_t pos, const Replica& r);
+    void Erase(std::size_t pos);
+
+    std::size_t count = 0;
+    Replica inline_storage[kInlineReplicas];
+    std::vector<Replica> overflow;
   };
 
   Entry& EntryOf(ObjectId x);

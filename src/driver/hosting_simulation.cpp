@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/check.h"
-#include "sim/transfer.h"
 
 namespace radar::driver {
 namespace {
@@ -31,6 +30,7 @@ HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
     : config_(std::move(config)),
       topology_(std::move(topology)),
       routing_(topology_.graph()),
+      latency_(routing_, topology_.graph(), config_.object_bytes),
       distance_(routing_),
       link_stats_(topology_.num_nodes()),
       closest_(distance_) {
@@ -122,35 +122,16 @@ void HostingSimulation::PlaceInitialObjects() {
 }
 
 SimTime HostingSimulation::ControlPathLatency(NodeId a, NodeId b) const {
-  const auto& path = routing_.Path(a, b);
-  SimTime total = 0;
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    // Per-link propagation delay; control payloads are negligible.
-    const auto& edges = topology_.graph().Neighbors(path[i - 1]);
-    for (const auto& e : edges) {
-      if (e.to == path[i]) {
-        total += e.delay;
-        break;
-      }
-    }
-  }
-  return total;
+  // Per-link propagation delay; control payloads are negligible. The sum
+  // over the canonical path is precomputed (net/path_latency.h).
+  return latency_.Control(a, b);
 }
 
-SimTime HostingSimulation::TransferPathLatency(NodeId a, NodeId b,
-                                               std::int64_t bytes) const {
-  const auto& path = routing_.Path(a, b);
-  SimTime total = 0;
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    const auto& edges = topology_.graph().Neighbors(path[i - 1]);
-    for (const auto& e : edges) {
-      if (e.to == path[i]) {
-        total += e.delay + sim::SerializationTime(bytes, e.bandwidth_bps);
-        break;
-      }
-    }
-  }
-  return total;
+SimTime HostingSimulation::TransferPathLatency(NodeId a, NodeId b) const {
+  // Per-link propagation + serialization of one fixed-size object,
+  // precomputed with the same per-link arithmetic as the path walk it
+  // replaced (bit-identical events; see the golden determinism test).
+  return latency_.Transfer(a, b);
 }
 
 void HostingSimulation::SetTrace(workload::RequestTrace trace) {
@@ -198,7 +179,7 @@ void HostingSimulation::ScheduleArrivals() {
       // Self-rescheduling Poisson process. The closure lives in
       // arrival_ticks_; capturing a shared self-handle instead would form
       // a reference cycle and leak (caught by the asan-ubsan preset).
-      arrival_ticks_.push_back(std::make_unique<std::function<void()>>());
+      arrival_ticks_.push_back(std::make_unique<sim::EventFn>());
       auto* tick = arrival_ticks_.back().get();
       *tick = [this, g, rate, tick] {
         GenerateRequest(g, sim_.Now());
@@ -319,8 +300,9 @@ void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
 void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
                                         NodeId host, SimTime t0) {
   core::HostAgent& agent = cluster_->host(host);
+  const std::vector<NodeId>& path = routing_.Path(host, gateway);
   if (agent.HasObject(x)) {
-    agent.RecordServiced(x, routing_.Path(host, gateway));
+    agent.RecordServiced(x, path);
   } else {
     agent.RecordServicedUntracked();  // dropped while queued; still served
   }
@@ -329,9 +311,8 @@ void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
       config_.object_bytes *
       static_cast<std::int64_t>(routing_.HopDistance(host, gateway));
   report_->traffic.AddPayload(now, byte_hops);
-  link_stats_.RecordPath(routing_.Path(host, gateway), config_.object_bytes);
-  const SimTime response =
-      TransferPathLatency(host, gateway, config_.object_bytes);
+  link_stats_.RecordPath(path, config_.object_bytes);
+  const SimTime response = TransferPathLatency(host, gateway);
   const double total_latency = SimToSeconds(now - t0 + response);
   report_->latency.Add(now, total_latency);
   report_->latency_stats.Add(total_latency);

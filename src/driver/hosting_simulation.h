@@ -16,7 +16,6 @@
 //      object_bytes per hop to the backbone-bandwidth metric.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "driver/config.h"
 #include "driver/report.h"
 #include "net/link_stats.h"
+#include "net/path_latency.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "net/uunet.h"
@@ -37,13 +37,18 @@
 
 namespace radar::driver {
 
-/// Adapts the routing table to the protocol's proximity oracle.
+/// Adapts the routing table to the protocol's proximity oracle. Exposes
+/// the table's dense hop-distance rows so hot loops (ChooseReplica) read
+/// distances with plain indexing instead of a virtual call per candidate.
 class RoutingDistance final : public core::DistanceOracle {
  public:
   explicit RoutingDistance(const net::RoutingTable& routing)
       : routing_(routing) {}
   std::int32_t Distance(NodeId from, NodeId to) const override {
     return routing_.HopDistance(from, to);
+  }
+  const std::int32_t* DistanceRow(NodeId from) const override {
+    return routing_.HopRow(from);
   }
 
  private:
@@ -98,6 +103,9 @@ class HostingSimulation {
   /// Current simulated time.
   SimTime Now() const { return sim_.Now(); }
 
+  /// Discrete events executed so far (throughput benchmarking).
+  std::uint64_t events_executed() const { return sim_.events_executed(); }
+
  private:
   void BuildWorkloadFromConfig();
   void PlaceInitialObjects();
@@ -114,14 +122,19 @@ class HostingSimulation {
                     int redirects);
   void CompleteService(ObjectId x, NodeId gateway, NodeId host, SimTime t0);
 
-  /// Propagation-only latency along the canonical path a -> b.
+  /// Propagation-only latency along the canonical path a -> b (O(1):
+  /// precomputed matrix lookup).
   SimTime ControlPathLatency(NodeId a, NodeId b) const;
-  /// Store-and-forward latency of `bytes` along the path a -> b.
-  SimTime TransferPathLatency(NodeId a, NodeId b, std::int64_t bytes) const;
+  /// Store-and-forward latency of one object along the path a -> b (O(1):
+  /// the object size is fixed per run, so the matrix is exact).
+  SimTime TransferPathLatency(NodeId a, NodeId b) const;
 
   SimConfig config_;
   net::Topology topology_;
   net::RoutingTable routing_;
+  /// Per-pair control/transfer latencies, precomputed at construction for
+  /// the run's fixed object size (see net/path_latency.h).
+  net::PathLatencyMatrix latency_;
   RoutingDistance distance_;
   std::vector<NodeId> redirector_homes_;
   std::unique_ptr<core::Cluster> cluster_;
@@ -134,7 +147,7 @@ class HostingSimulation {
   /// Poisson-arrival tick closures; owned here (not by the event queue) so
   /// the self-rescheduling lambdas capture a raw pointer to a stable slot
   /// instead of a shared self-handle, which would be a reference cycle.
-  std::vector<std::unique_ptr<std::function<void()>>> arrival_ticks_;
+  std::vector<std::unique_ptr<sim::EventFn>> arrival_ticks_;
   baselines::RoundRobinSelector round_robin_;
   baselines::ClosestSelector closest_;
   std::unique_ptr<RunReport> report_;

@@ -1,0 +1,48 @@
+#include "net/path_latency.h"
+
+#include "common/check.h"
+#include "sim/transfer.h"
+
+namespace radar::net {
+
+PathLatencyMatrix::PathLatencyMatrix(const RoutingTable& routing,
+                                     const Graph& graph,
+                                     std::int64_t object_bytes)
+    : num_nodes_(routing.num_nodes()), object_bytes_(object_bytes) {
+  RADAR_CHECK_EQ(num_nodes_, graph.num_nodes());
+  RADAR_CHECK_GE(object_bytes_, 0);
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  control_.assign(n * n, 0);
+  transfer_.assign(n * n, 0);
+
+  // Dense link lookup so path walks need no adjacency scans even here.
+  std::vector<std::int32_t> link_of(n * n, -1);
+  for (std::size_t i = 0; i < graph.num_links(); ++i) {
+    const Link& link = graph.links()[i];
+    const auto ab = Index(link.a, link.b);
+    const auto ba = Index(link.b, link.a);
+    link_of[ab] = static_cast<std::int32_t>(i);
+    link_of[ba] = static_cast<std::int32_t>(i);
+  }
+
+  for (NodeId a = 0; a < num_nodes_; ++a) {
+    for (NodeId b = 0; b < num_nodes_; ++b) {
+      const std::vector<NodeId>& path = routing.Path(a, b);
+      SimTime control = 0;
+      SimTime transfer = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const std::int32_t li = link_of[Index(path[i - 1], path[i])];
+        RADAR_CHECK_GE(li, 0);
+        const Link& link = graph.link(li);
+        control += link.delay;
+        // Per-link truncation, matching the per-hop walk this replaces.
+        transfer += link.delay +
+                    sim::SerializationTime(object_bytes_, link.bandwidth_bps);
+      }
+      control_[Index(a, b)] = control;
+      transfer_[Index(a, b)] = transfer;
+    }
+  }
+}
+
+}  // namespace radar::net

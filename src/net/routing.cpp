@@ -113,6 +113,10 @@ std::int32_t RoutingTable::HopDistance(NodeId from, NodeId to) const {
   return hop_distance_[PairIndex(from, to)];
 }
 
+const std::int32_t* RoutingTable::HopRow(NodeId from) const {
+  return &hop_distance_[PairIndex(from, 0)];
+}
+
 std::int64_t RoutingTable::Cost(NodeId from, NodeId to) const {
   return cost_[PairIndex(from, to)];
 }
@@ -133,13 +137,20 @@ double RoutingTable::MeanHopDistance(NodeId from) const {
   return static_cast<double>(total) / static_cast<double>(num_nodes_ - 1);
 }
 
+std::vector<double> RoutingTable::AllMeanHopDistances() const {
+  std::vector<double> mean(static_cast<std::size_t>(num_nodes_));
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    mean[static_cast<std::size_t>(n)] = MeanHopDistance(n);
+  }
+  return mean;
+}
+
 NodeId RoutingTable::MostCentralNode() const {
+  const std::vector<double> mean = AllMeanHopDistances();
   NodeId best = 0;
-  double best_mean = MeanHopDistance(0);
   for (NodeId n = 1; n < num_nodes_; ++n) {
-    const double mean = MeanHopDistance(n);
-    if (mean < best_mean) {
-      best_mean = mean;
+    if (mean[static_cast<std::size_t>(n)] <
+        mean[static_cast<std::size_t>(best)]) {
       best = n;
     }
   }
@@ -149,10 +160,7 @@ NodeId RoutingTable::MostCentralNode() const {
 std::vector<NodeId> RoutingTable::NodesByCentrality() const {
   std::vector<NodeId> nodes(static_cast<std::size_t>(num_nodes_));
   for (NodeId n = 0; n < num_nodes_; ++n) nodes[static_cast<std::size_t>(n)] = n;
-  std::vector<double> mean(static_cast<std::size_t>(num_nodes_));
-  for (NodeId n = 0; n < num_nodes_; ++n) {
-    mean[static_cast<std::size_t>(n)] = MeanHopDistance(n);
-  }
+  const std::vector<double> mean = AllMeanHopDistances();
   std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
     const double ma = mean[static_cast<std::size_t>(a)];
     const double mb = mean[static_cast<std::size_t>(b)];

@@ -36,6 +36,10 @@ class RoutingTable {
   /// from == to).
   std::int32_t HopDistance(NodeId from, NodeId to) const;
 
+  /// Contiguous row of hop distances from `from` to every node (entry
+  /// [to] == HopDistance(from, to)); backs DistanceOracle::DistanceRow.
+  const std::int32_t* HopRow(NodeId from) const;
+
   /// Total metric cost of the canonical path (hops or summed delay).
   std::int64_t Cost(NodeId from, NodeId to) const;
 
@@ -59,6 +63,10 @@ class RoutingTable {
 
  private:
   std::size_t PairIndex(NodeId from, NodeId to) const;
+
+  /// Mean hop distance of every node, computed in one pass; shared by
+  /// MostCentralNode and NodesByCentrality so neither recomputes per node.
+  std::vector<double> AllMeanHopDistances() const;
 
   std::int32_t num_nodes_ = 0;
   std::vector<std::int32_t> hop_distance_;   // dense num_nodes^2

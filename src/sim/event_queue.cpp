@@ -1,28 +1,158 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 
 namespace radar::sim {
 
-void EventQueue::Push(SimTime when, EventFn fn) {
-  RADAR_CHECK_GE(when, 0);
-  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+EventQueue::EventQueue() : buckets_(kWheelBuckets) {}
+
+void EventQueue::PushEntry(const Entry& e) {
+  ++size_;
+  if (wheel_count_ == 0 && !InWheelRange(e.when)) {
+    // The wheel is empty, so it can be re-anchored freely: park it on this
+    // event's bucket instead of sending near-term traffic to the heap
+    // forever after an idle stretch moved the clock past the old span.
+    buckets_[CurIdx()].clear();
+    cursor_ = 0;
+    wheel_time_ = e.when & ~(kBucketWidth - 1);
+  }
+  if (InWheelRange(e.when)) {
+    ++wheel_count_;
+    Bucket& b = buckets_[BucketIdx(e.when)];
+    if (BucketIdx(e.when) == CurIdx()) {
+      // The current bucket is sorted and partially consumed; splice the
+      // entry into the unconsumed tail to keep it that way. (A fresh
+      // entry's seq exceeds every pending one, so ties sort after.)
+      b.insert(std::upper_bound(b.begin() +
+                                    static_cast<std::ptrdiff_t>(cursor_),
+                                b.end(), e, Earlier),
+               e);
+    } else {
+      b.push_back(e);  // sorted later, when the bucket becomes current
+    }
+  } else {
+    // Beyond the horizon — or behind a wheel that has already advanced
+    // (possible when NextTime() skipped idle buckets before this push).
+    // Either way the heap keeps it, and pops compare both sources.
+    far_.push_back(e);
+    SiftUp(far_.size() - 1);
+  }
 }
 
-SimTime EventQueue::NextTime() const {
-  RADAR_CHECK(!heap_.empty());
-  return heap_.top().when;
+EventQueue::Bucket* EventQueue::SettleWheel() {
+  if (wheel_count_ == 0) return nullptr;
+  Bucket* cur = &buckets_[CurIdx()];
+  while (cursor_ >= cur->size()) {
+    cur->clear();
+    cursor_ = 0;
+    wheel_time_ += kBucketWidth;
+    cur = &buckets_[CurIdx()];
+    if (cur->size() > 1) std::sort(cur->begin(), cur->end(), Earlier);
+  }
+  return cur;
+}
+
+void EventQueue::SiftUp(std::size_t i) {
+  const Entry e = far_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!Earlier(e, far_[parent])) break;
+    far_[i] = far_[parent];
+    i = parent;
+  }
+  far_[i] = e;
+}
+
+// Bottom-up variant: the element being sifted comes from the heap's back,
+// i.e. a leaf, and is almost always later than everything on its path; the
+// classic top-down sift would compare it at every level only to keep
+// descending. Instead, pull the min-child chain up unconditionally to the
+// bottom, then bubble the element the (usually zero) levels back up. Both
+// variants produce valid heaps over the same elements, and the pop order
+// depends only on the (when, seq) total order — never on layout — so this
+// is invisible to simulation results.
+void EventQueue::SiftDown(std::size_t i) {
+  const Entry e = far_[i];
+  const std::size_t n = far_.size();
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (Earlier(far_[c], far_[best])) best = c;
+    }
+    far_[i] = far_[best];
+    i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!Earlier(e, far_[parent])) break;
+    far_[i] = far_[parent];
+    i = parent;
+  }
+  far_[i] = e;
+}
+
+std::uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  RADAR_CHECK_LT(num_slots_, kSlotMask);
+  if ((num_slots_ >> kChunkShift) ==
+      static_cast<std::uint32_t>(chunks_.size())) {
+    chunks_.push_back(std::make_unique<EventFn[]>(kChunkSize));
+  }
+  return num_slots_++;
+}
+
+SimTime EventQueue::NextTime() {
+  RADAR_CHECK_GT(size_, 0u);
+  const Bucket* cur = SettleWheel();
+  if (cur == nullptr) return far_.front().when;
+  const Entry& w = (*cur)[cursor_];
+  if (!far_.empty() && Earlier(far_.front(), w)) return far_.front().when;
+  return w.when;
+}
+
+std::pair<SimTime, std::uint32_t> EventQueue::PopEntry() {
+  RADAR_CHECK_GT(size_, 0u);
+  Entry top;
+  Bucket* cur = SettleWheel();
+  if (cur != nullptr &&
+      (far_.empty() || Earlier((*cur)[cursor_], far_.front()))) {
+    top = (*cur)[cursor_++];
+    --wheel_count_;
+    if (cursor_ == cur->size()) {
+      // Eager clear: the bucket stays current (new same-bucket pushes may
+      // still arrive) but its storage — and capacity — are reusable now.
+      cur->clear();
+      cursor_ = 0;
+    }
+  } else {
+    top = far_.front();
+    far_.front() = far_.back();
+    far_.pop_back();
+    if (!far_.empty()) SiftDown(0);
+  }
+  --size_;
+  return {top.when, static_cast<std::uint32_t>(top.seq_slot & kSlotMask)};
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) {
+  SlotRef(slot).Reset();
+  free_slots_.push_back(slot);
 }
 
 std::pair<SimTime, EventFn> EventQueue::Pop() {
-  RADAR_CHECK(!heap_.empty());
-  // priority_queue::top() returns const&; the const_cast move is safe
-  // because we pop immediately afterwards.
-  auto& top = const_cast<Entry&>(heap_.top());
-  std::pair<SimTime, EventFn> out{top.when, std::move(top.fn)};
-  heap_.pop();
+  const auto [when, slot] = PopEntry();
+  std::pair<SimTime, EventFn> out{when, std::move(SlotRef(slot))};
+  free_slots_.push_back(slot);
   return out;
 }
 

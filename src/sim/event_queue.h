@@ -1,47 +1,162 @@
 // A stable-order discrete-event queue.
 //
 // Events with equal timestamps fire in insertion order (FIFO), which keeps
-// runs bit-for-bit reproducible regardless of heap internals.
+// runs bit-for-bit reproducible regardless of the queue's internals.
+//
+// Layout: tiny trivially-copyable {when, seq, slot} entries are ordered by
+// a calendar wheel backed by a small min-heap; the closures themselves
+// (InplaceFunction, no heap allocation) live in a chunked slab of reusable
+// slots referenced by index, so ordering moves 16-byte PODs — never a
+// closure.
+//
+//   - The wheel covers the near horizon (1024 buckets of 256 us, ~262 ms):
+//     an event lands in the bucket of its timestamp, the bucket is sorted
+//     by (when, seq) when it becomes current, and pops just advance a
+//     cursor — amortized O(1) against the O(log n) sift of a pure heap.
+//     Request traffic (inter-event gaps of ~100 us) lives entirely here.
+//   - Events beyond the horizon — and events scheduled behind a wheel
+//     that has already advanced — go to a 4-ary min-heap of the same
+//     entries. The front of the wheel and the top of the heap are compared
+//     on every pop, so the queue always yields the global (when, seq)
+//     minimum: the pop sequence is identical to any conforming heap's.
+//     Long-period ticks (measurement, placement, census) idle here instead
+//     of adding depth to every request-event sift.
+//
+// Slab chunks never move once allocated, so a closure can be *invoked in
+// place* (PopEntry / InvokeSlot / ReleaseSlot) even while it pushes new
+// events: the simulation's run loop executes each event with zero closure
+// moves. Steady-state operation performs no allocation at all — released
+// slots are recycled through a free list, bucket vectors keep their
+// capacity across laps, and the slab stops growing once the run's peak
+// event population is reached.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
+#include "sim/inplace_function.h"
 
 namespace radar::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InplaceFunction<void(), 64>;
 
 class EventQueue {
  public:
-  /// Enqueues an event at absolute time `when` (must be >= 0).
-  void Push(SimTime when, EventFn fn);
+  EventQueue();
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Enqueues an event at absolute time `when` (must be >= 0). The callable
+  /// is constructed directly in its slab slot (EventFn's converting
+  /// assignment), so a lambda passed here is moved exactly once.
+  template <class F>
+  void Push(SimTime when, F&& fn) {
+    RADAR_CHECK_GE(when, 0);
+    const std::uint32_t slot = AcquireSlot();
+    SlotRef(slot) = std::forward<F>(fn);
+    PushEntry(Entry{when, (next_seq_++ << kSlotBits) | slot});
+  }
 
-  /// Time of the earliest pending event. Requires !empty().
-  SimTime NextTime() const;
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Time of the earliest pending event. Requires !empty(). May advance
+  /// the wheel over empty buckets (never past a pending event).
+  SimTime NextTime();
 
   /// Removes and returns the earliest event. Requires !empty().
   std::pair<SimTime, EventFn> Pop();
 
+  // -- In-place execution (the simulation run loop) --
+  //
+  // PopEntry removes the earliest entry but leaves its closure in the
+  // slab; the caller invokes it in place and then releases the slot:
+  //
+  //   const auto [when, slot] = q.PopEntry();
+  //   q.InvokeSlot(slot);    // may Push further events; the slab is stable
+  //   q.ReleaseSlot(slot);   // destroys the closure, recycles the slot
+  //
+  // This skips the move-out + moved-from destruction that Pop() pays.
+
+  /// Removes the earliest entry, returning {when, slot}. Requires !empty().
+  std::pair<SimTime, std::uint32_t> PopEntry();
+
+  /// Runs the closure held in `slot` (which must come from PopEntry).
+  void InvokeSlot(std::uint32_t slot) { SlotRef(slot)(); }
+
+  /// Destroys the closure in `slot` and returns the slot to the free list.
+  void ReleaseSlot(std::uint32_t slot);
+
  private:
+  // A 16-byte entry: the insertion sequence number lives in the high 40
+  // bits of seq_slot and the slab slot index in the low 24 (>= 16M
+  // simultaneously pending events). Comparing seq_slot compares seq first;
+  // the slot bits can never decide an ordering because sequence numbers
+  // are unique — (when, seq) is a total order.
   struct Entry {
     SimTime when;
-    std::uint64_t seq;
-    EventFn fn;
+    std::uint64_t seq_slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  // Calendar wheel: kWheelBuckets buckets of kBucketWidth microseconds.
+  // wheel_time_ is the (aligned) start of the current bucket; cursor_ is
+  // the consumed prefix of that bucket. The current bucket is always
+  // sorted; future buckets accumulate unsorted and are sorted once, when
+  // they become current. wheel_count_ counts unconsumed wheel entries.
+  static constexpr int kBucketShift = 8;  // 256 us per bucket
+  static constexpr int kWheelBits = 10;   // 1024 buckets, ~262 ms span
+  static constexpr std::size_t kWheelBuckets = std::size_t{1} << kWheelBits;
+  static constexpr SimTime kBucketWidth = SimTime{1} << kBucketShift;
+  static constexpr SimTime kWheelSpan =
+      kBucketWidth * static_cast<SimTime>(kWheelBuckets);
+  using Bucket = std::vector<Entry>;
+
+  std::size_t BucketIdx(SimTime when) const {
+    return static_cast<std::size_t>(when >> kBucketShift) &
+           (kWheelBuckets - 1);
+  }
+  std::size_t CurIdx() const { return BucketIdx(wheel_time_); }
+  bool InWheelRange(SimTime when) const {
+    return when >= wheel_time_ && when < wheel_time_ + kWheelSpan;
+  }
+
+  void PushEntry(const Entry& e);
+  /// Advances the wheel to its earliest unconsumed entry and returns its
+  /// bucket, or nullptr if the wheel is empty.
+  Bucket* SettleWheel();
+
+  // Far heap (4-ary) for entries outside the wheel's range.
+  static constexpr std::size_t kArity = 4;
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  // Slot slab: fixed-size chunks that never relocate, so closures have
+  // stable addresses for in-place invocation.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  EventFn& SlotRef(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  /// Returns an empty slot (recycled or freshly carved from a chunk).
+  std::uint32_t AcquireSlot();
+
+  std::vector<Bucket> buckets_;
+  SimTime wheel_time_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t wheel_count_ = 0;
+  std::vector<Entry> far_;
+  std::size_t size_ = 0;
+
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;
+  std::uint32_t num_slots_ = 0;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -7,43 +7,35 @@
 
 namespace radar::sim {
 
-void Simulator::Schedule(SimTime delay, EventFn fn) {
-  RADAR_CHECK_GE(delay, 0);
-  queue_.Push(now_ + delay, std::move(fn));
-}
-
-void Simulator::ScheduleAt(SimTime when, EventFn fn) {
-  RADAR_CHECK_GE(when, now_);
-  queue_.Push(when, std::move(fn));
+void Simulator::PeriodicTask::Fire(SimTime at) {
+  fn(at);
+  const SimTime next = at + period;
+  sim->queue_.Push(next, [this, next] { Fire(next); });
 }
 
 void Simulator::SchedulePeriodic(SimTime first_at, SimTime period,
-                                 std::function<void(SimTime)> fn) {
+                                 PeriodicFn fn) {
   RADAR_CHECK_GT(period, 0);
   RADAR_CHECK_GE(first_at, now_);
-  // Self-rescheduling wrapper. The next firing is always enqueued, so a
-  // periodic task survives successive RunUntil() horizons; it simply waits
-  // in the queue past the last horizon. The closure is owned by
-  // periodic_tasks_ (capturing a shared self-handle instead would form a
-  // reference cycle and leak — ASan's leak checker catches exactly that).
-  periodic_tasks_.push_back(
-      std::make_unique<std::function<void(SimTime)>>());
-  auto* tick = periodic_tasks_.back().get();
-  *tick = [this, period, fn = std::move(fn), tick](SimTime at) {
-    fn(at);
-    const SimTime next = at + period;
-    queue_.Push(next, [tick, next] { (*tick)(next); });
-  };
-  queue_.Push(first_at, [tick, first_at] { (*tick)(first_at); });
+  // The next firing is always enqueued, so a periodic task survives
+  // successive RunUntil() horizons; it simply waits in the queue past the
+  // last horizon.
+  periodic_tasks_.push_back(std::make_unique<PeriodicTask>(
+      PeriodicTask{this, period, std::move(fn)}));
+  PeriodicTask* task = periodic_tasks_.back().get();
+  queue_.Push(first_at, [task, first_at] { task->Fire(first_at); });
 }
 
 void Simulator::RunUntil(SimTime until) {
   RADAR_CHECK_GE(until, now_);
   while (!queue_.empty() && queue_.NextTime() <= until) {
-    auto [when, fn] = queue_.Pop();
+    // In-place execution: the closure runs inside the queue's slot slab
+    // (stable storage), so the hot loop never moves a closure.
+    const auto [when, slot] = queue_.PopEntry();
     RADAR_CHECK_GE(when, now_);
     now_ = when;
-    fn();
+    queue_.InvokeSlot(slot);
+    queue_.ReleaseSlot(slot);
     ++events_executed_;
   }
   if (now_ < until) now_ = until;
@@ -51,10 +43,11 @@ void Simulator::RunUntil(SimTime until) {
 
 void Simulator::RunAll() {
   while (!queue_.empty()) {
-    auto [when, fn] = queue_.Pop();
+    const auto [when, slot] = queue_.PopEntry();
     RADAR_CHECK_GE(when, now_);
     now_ = when;
-    fn();
+    queue_.InvokeSlot(slot);
+    queue_.ReleaseSlot(slot);
     ++events_executed_;
   }
 }

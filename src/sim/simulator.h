@@ -2,30 +2,44 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/inplace_function.h"
 
 namespace radar::sim {
+
+/// Periodic tick callback; receives the firing time. Like EventFn, the
+/// capture must fit the inline buffer — scheduling never allocates.
+using PeriodicFn = InplaceFunction<void(SimTime), 64>;
 
 class Simulator {
  public:
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
-  void Schedule(SimTime delay, EventFn fn);
+  /// Forwards straight into the queue's slab, so the callable is moved
+  /// exactly once (lambda -> slot).
+  template <class F>
+  void Schedule(SimTime delay, F&& fn) {
+    RADAR_CHECK_GE(delay, 0);
+    queue_.Push(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute time `when` (must not be in the past).
-  void ScheduleAt(SimTime when, EventFn fn);
+  template <class F>
+  void ScheduleAt(SimTime when, F&& fn) {
+    RADAR_CHECK_GE(when, now_);
+    queue_.Push(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run every `period` starting at `first_at`; `fn`
   /// receives the firing time. Fires indefinitely (RunAll never returns
   /// while a periodic task is registered; use RunUntil).
-  void SchedulePeriodic(SimTime first_at, SimTime period,
-                        std::function<void(SimTime)> fn);
+  void SchedulePeriodic(SimTime first_at, SimTime period, PeriodicFn fn);
 
   /// Runs events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` are executed.
@@ -38,14 +52,22 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  /// A periodic task owns its tick closure in a stable heap slot; the
+  /// queued continuation captures just {task pointer, firing time}, so it
+  /// fits EventFn's inline buffer regardless of the user capture's size
+  /// (up to PeriodicFn's own capacity) and the closure dies with the
+  /// simulator — no shared_ptr self-handle, no reference cycle.
+  struct PeriodicTask {
+    Simulator* sim;
+    SimTime period;
+    PeriodicFn fn;
+    void Fire(SimTime at);
+  };
+
   SimTime now_ = 0;
   EventQueue queue_;
   std::uint64_t events_executed_ = 0;
-  /// Periodic tick closures live here, not in the event queue: the queued
-  /// continuations capture a raw pointer to the stable heap slot, so there
-  /// is no shared_ptr cycle and the closures die with the simulator.
-  /// (Queued events already require the simulator alive — they use queue_.)
-  std::vector<std::unique_ptr<std::function<void(SimTime)>>> periodic_tasks_;
+  std::vector<std::unique_ptr<PeriodicTask>> periodic_tasks_;
 };
 
 }  // namespace radar::sim

@@ -1,0 +1,83 @@
+// Golden determinism pin for the request engine.
+//
+// The hot-path machinery (precomputed latency matrices, allocation-free
+// events, dense distance rows) is pure mechanism: it must not move a
+// single bit of simulation output. This test runs a short fig6-style
+// simulation and compares the full ReportJson dump byte-for-byte against
+// a committed golden produced by the pre-optimization engine, so any
+// change to event ordering, latency arithmetic, or replica choice fails
+// loudly with a diff.
+//
+// Regenerate (only for an *intentional* semantic change, with a DESIGN.md
+// note):  RADAR_UPDATE_GOLDEN=1 ./determinism_test
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/config.h"
+#include "driver/hosting_simulation.h"
+#include "driver/report_json.h"
+
+namespace radar {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(RADAR_GOLDEN_DIR) + "/fig6_short_report.json";
+}
+
+// A scaled-down Fig. 6 run: default Table 1 rates on the UUNET backbone
+// under Zipf, long enough to cross placement rounds so the replication /
+// migration / transfer-hook paths all execute.
+driver::SimConfig GoldenConfig() {
+  driver::SimConfig config;
+  config.duration = SecondsToSim(200.0);
+  config.num_objects = 1'000;
+  config.seed = 1;
+  config.workload = driver::WorkloadKind::kZipf;
+  return config;
+}
+
+TEST(GoldenDeterminismTest, Fig6ShortRunReportIsByteIdentical) {
+  driver::HostingSimulation sim(GoldenConfig());
+  const driver::RunReport report = sim.Run();
+  const std::string dump = driver::ReportJson(report).Dump(2) + "\n";
+
+  // The run must actually exercise the paths the engine optimizes.
+  ASSERT_GT(report.total_requests, 0);
+  ASSERT_GT(report.object_copies, 0);
+
+  if (std::getenv("RADAR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << GoldenPath();
+    out << dump;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden updated: " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden " << GoldenPath()
+      << " (generate with RADAR_UPDATE_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  EXPECT_EQ(dump, golden)
+      << "engine output drifted from the committed golden; if the change "
+         "is intentional, regenerate with RADAR_UPDATE_GOLDEN=1 and "
+         "document why in DESIGN.md";
+}
+
+TEST(GoldenDeterminismTest, RepeatRunsAreByteIdentical) {
+  driver::HostingSimulation a(GoldenConfig());
+  driver::HostingSimulation b(GoldenConfig());
+  const std::string dump_a = driver::ReportJson(a.Run()).Dump(2);
+  const std::string dump_b = driver::ReportJson(b.Run()).Dump(2);
+  EXPECT_EQ(dump_a, dump_b);
+}
+
+}  // namespace
+}  // namespace radar

@@ -1,0 +1,10 @@
+// Fixture: std::function inside src/sim/ must trip sim-no-std-function.
+#include <functional>
+
+namespace radar::sim {
+
+struct BadScheduler {
+  std::function<void()> callback;
+};
+
+}  // namespace radar::sim

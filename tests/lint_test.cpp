@@ -161,6 +161,43 @@ TEST(LintSourceTest, RunnerFilesMayCreateThreads) {
 }
 
 // ---------------------------------------------------------------------
+// std::function ban in simulation code
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsStdFunctionInSimCode) {
+  FileKind sim_kind;
+  sim_kind.forbid_std_function = true;
+  EXPECT_TRUE(HasRule(
+      LintSource("src/sim/event_queue.h",
+                 "std::function<void()> fn_;\n", sim_kind),
+      "sim-no-std-function"));
+}
+
+TEST(LintSourceTest, StdFunctionAllowedOutsideSim) {
+  // Driver config callbacks are cold-path; the ban is scoped to src/sim/.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/driver/config.h",
+                 "#pragma once\nstd::function<int(int)> hook;\n", Header()),
+      "sim-no-std-function"));
+}
+
+TEST(LintSourceTest, StdFunctionBanQuietOnLookalikes) {
+  FileKind sim_kind;
+  sim_kind.forbid_std_function = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/sim/simulator.h",
+                 "using PeriodicFn = InplaceFunction<void(SimTime), 64>;\n",
+                 sim_kind),
+      "sim-no-std-function"));
+  // Mentions inside comments are stripped before token checks.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/sim/inplace_function.h",
+                 "#pragma once\n// replaces std::function on the hot path\n",
+                 sim_kind),
+      "sim-no-std-function"));
+}
+
+// ---------------------------------------------------------------------
 // Protocol-literal audit
 // ---------------------------------------------------------------------
 
@@ -235,6 +272,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "using-namespace-in-header"));
   EXPECT_TRUE(HasRule(violations, "missing-pragma-once"));
   EXPECT_TRUE(HasRule(violations, "thread-confinement"));
+  EXPECT_TRUE(HasRule(violations, "sim-no-std-function"));
   for (const auto& v : violations) {
     EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
   }

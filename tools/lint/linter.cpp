@@ -86,6 +86,12 @@ void CheckLine(const std::string& path_label, int line_no,
                     "run concurrent work through runner::ThreadPool so the "
                     "rest of the tree stays single-threaded"});
   }
+  if (kind.forbid_std_function && ContainsToken(line, "std::function")) {
+    out->push_back({path_label, line_no, "sim-no-std-function",
+                    "std::function heap-allocates per capture; simulation "
+                    "event code schedules millions of closures per run and "
+                    "must use sim::InplaceFunction (sim/inplace_function.h)"});
+  }
   if (!kind.allow_protocol_literals) {
     const std::string line_str(line);
     if (std::regex_search(line_str, ProtocolLiteralRegex())) {
@@ -231,6 +237,7 @@ std::vector<Violation> LintTree(const std::filesystem::path& src_root) {
     kind.is_header = file.extension() == ".h";
     kind.allow_protocol_literals = rel == "core/params.h";
     kind.allow_threads = rel.rfind("runner/", 0) == 0;
+    kind.forbid_std_function = rel.rfind("sim/", 0) == 0;
     auto file_violations = LintSource("src/" + rel, buf.str(), kind);
     violations.insert(violations.end(), file_violations.begin(),
                       file_violations.end());

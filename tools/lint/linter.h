@@ -13,6 +13,9 @@
 //   - std::thread / std::jthread / detach() only in src/runner/ — all
 //     concurrency goes through the experiment engine's ThreadPool so the
 //     rest of the tree stays single-threaded by construction
+//   - no std::function in src/sim/ — the simulation hot path schedules
+//     millions of closures per run and must stay allocation-free; event
+//     code uses sim::InplaceFunction (sim/inplace_function.h)
 //
 // The logic is a library so tests can feed it sources directly; the
 // radar_lint binary is a thin filesystem walker around it.
@@ -38,6 +41,8 @@ struct FileKind {
   bool allow_protocol_literals = false;
   /// src/runner/ (and only it) may create or detach threads.
   bool allow_threads = false;
+  /// src/sim/ must not use std::function (hot path stays allocation-free).
+  bool forbid_std_function = false;
 };
 
 /// Returns `content` with comments and string/char literal bodies blanked
