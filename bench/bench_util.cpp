@@ -4,16 +4,22 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "fault/fault_plan.h"
+
 namespace radar::bench {
 namespace {
 
 [[noreturn]] void UsageAndExit(const char* argv0, int code) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--json PATH]\n"
-               "  --jobs N     worker threads (0 = hardware concurrency;\n"
-               "               default $RADAR_BENCH_JOBS, else 1)\n"
-               "  --json PATH  write the sweep as a SweepJson document\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--jobs N] [--json PATH] [--fault-plan FILE]"
+      " [--replica-floor K]\n"
+      "  --jobs N           worker threads (0 = hardware concurrency;\n"
+      "                     default $RADAR_BENCH_JOBS, else 1)\n"
+      "  --json PATH        write the sweep as a SweepJson document\n"
+      "  --fault-plan FILE  inject faults (see fault/fault_plan.h)\n"
+      "  --replica-floor K  re-replicate objects below K live copies\n",
+      argv0);
   std::exit(code);
 }
 
@@ -82,6 +88,24 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
         UsageAndExit(argv[0], 2);
       }
+    } else if (arg == "--fault-plan" || arg.rfind("--fault-plan=", 0) == 0) {
+      options.fault_plan_file = value_of(&i, arg, "--fault-plan");
+      if (options.fault_plan_file.empty()) {
+        std::fprintf(stderr, "%s: --fault-plan needs a path\n", argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+    } else if (arg == "--replica-floor" ||
+               arg.rfind("--replica-floor=", 0) == 0) {
+      const std::string value = value_of(&i, arg, "--replica-floor");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "%s: --replica-floor must be a non-negative integer\n",
+                     argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+      options.replica_floor = static_cast<int>(parsed);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());
@@ -89,6 +113,20 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     }
   }
   return options;
+}
+
+void ApplyFaultOptions(const BenchOptions& options,
+                       driver::SimConfig* config) {
+  config->replica_floor = options.replica_floor;
+  if (options.fault_plan_file.empty()) return;
+  std::string error;
+  auto plan = fault::ParseFaultPlanFile(options.fault_plan_file, &error);
+  if (!plan) {
+    std::fprintf(stderr, "error: %s: %s\n", options.fault_plan_file.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+  config->faults = *std::move(plan);
 }
 
 runner::SweepResult RunSweep(const runner::ExperimentPlan& plan,

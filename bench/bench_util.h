@@ -50,12 +50,21 @@ runner::ExperimentPlan PaperPlan(const std::string& name);
 struct BenchOptions {
   int jobs = 1;           ///< worker threads; 0 = hardware concurrency
   std::string json_path;  ///< empty = no JSON artefact
+  std::string fault_plan_file;  ///< empty = perfect world
+  int replica_floor = 0;        ///< 0 = no self-healing floor
 };
 
-/// Parses --jobs/--json (either "--flag value" or "--flag=value") plus
-/// --help. jobs defaults to $RADAR_BENCH_JOBS, else 1. Prints usage and
-/// exits(2) on a malformed command line, exits(0) on --help.
+/// Parses --jobs/--json/--fault-plan/--replica-floor (either "--flag
+/// value" or "--flag=value") plus --help. jobs defaults to
+/// $RADAR_BENCH_JOBS, else 1. Prints usage and exits(2) on a malformed
+/// command line, exits(0) on --help.
 BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// Loads options.fault_plan_file (when set) and copies the plan plus
+/// options.replica_floor into the config. Exits(2) on a parse failure so
+/// bench binaries share radar_sim's failure behaviour.
+void ApplyFaultOptions(const BenchOptions& options,
+                       driver::SimConfig* config);
 
 /// Executes the plan with options.jobs threads; writes SweepJson to
 /// options.json_path when set (exits(1) on I/O failure). Progress and

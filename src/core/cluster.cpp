@@ -55,6 +55,13 @@ CreateObjResponse Cluster::CreateObjRpc(NodeId from, NodeId to,
                                         CreateObjMethod method, ObjectId x,
                                         double unit_load) {
   RADAR_CHECK_NE(from, to);
+  const RpcFate fate =
+      rpc_filter_ ? rpc_filter_(from, to, method, x) : RpcFate::kDeliver;
+  if (fate == RpcFate::kLost) {
+    // The request (or all its resends) never reached the candidate; the
+    // source sees a refusal and keeps its copy — nothing moved.
+    return {};
+  }
   if (method == CreateObjMethod::kReplicate && replica_cap_) {
     const int cap = replica_cap_(x);
     if (cap > 0 && redirectors_.For(x).ReplicaCount(x) >= cap &&
@@ -74,7 +81,46 @@ CreateObjResponse Cluster::CreateObjRpc(NodeId from, NodeId to,
       transfer_hook_(from, to, x, method, resp.created_new_copy);
     }
   }
+  if (fate == RpcFate::kAcceptedAckLost) {
+    // The candidate accepted — its copy and the redirector notice are real
+    // and stay — but the ack never made it back. The source must treat
+    // the exchange as refused (a migration keeps its replica: an extra
+    // copy, never a lost object).
+    return {};
+  }
   return resp;
+}
+
+bool Cluster::HostLive(NodeId n) const {
+  return !liveness_ || liveness_(n);
+}
+
+bool Cluster::RepairReplicate(NodeId from, NodeId to, ObjectId x,
+                              SimTime now) {
+  RADAR_CHECK_NE(from, to);
+  RADAR_CHECK_MSG(host(from).HasObject(x), "repair source lost the object");
+  if (!HostLive(to) || host(to).HasObject(x) || host(to).StorageFull()) {
+    return false;
+  }
+  const double unit_load = host(from).UnitLoad(x);
+  if (rpc_filter_ &&
+      rpc_filter_(from, to, CreateObjMethod::kReplicate, x) ==
+          RpcFate::kLost) {
+    // Repair traffic rides the same lossy control plane; a lost repair
+    // just waits for the next pass. (A lost *ack* is immaterial here: the
+    // floor repairer learns the outcome from the redirector, not from the
+    // source host.)
+    return false;
+  }
+  now_ = now;
+  host(to).AcceptRepairReplica(x, unit_load, now);
+  redirectors_.For(x).OnReplicaCreated(x, to);
+  ++total_transfers_;
+  ++total_copies_;
+  if (transfer_hook_) {
+    transfer_hook_(from, to, x, CreateObjMethod::kReplicate, true);
+  }
+  return true;
 }
 
 Redirector& Cluster::RedirectorFor(ObjectId x) { return redirectors_.For(x); }
@@ -91,7 +137,7 @@ NodeId Cluster::FindOffloadRecipient(NodeId self) {
   NodeId best = kInvalidNode;
   double best_load = params_.low_watermark;
   for (NodeId n = 0; n < num_nodes(); ++n) {
-    if (n == self) continue;
+    if (n == self || !HostLive(n)) continue;
     const double load = ReportedLoad(n);
     if (load < best_load) {
       best_load = load;
@@ -122,6 +168,8 @@ void Cluster::CheckRedirectorSubsetInvariant() const {
       for (const NodeId h : r.ReplicaHosts(x)) {
         RADAR_CHECK_MSG(host(h).HasObject(x),
                         "redirector records a replica that does not exist");
+        RADAR_CHECK_MSG(HostLive(h),
+                        "redirector records a replica on a crashed host");
       }
     }
   }

@@ -32,6 +32,14 @@ class Cluster : public PlacementContext {
   /// for "unlimited".
   using ReplicaCapFn = std::function<int(ObjectId)>;
 
+  /// Decides the network-level fate of a CreateObj exchange (fault
+  /// injection); unset means every exchange delivers.
+  using RpcFilter = std::function<RpcFate(NodeId from, NodeId to,
+                                          CreateObjMethod method, ObjectId x)>;
+
+  /// Host liveness oracle (fault injection); unset means always up.
+  using LivenessFn = std::function<bool(NodeId)>;
+
   Cluster(std::int32_t num_nodes, const DistanceOracle& distance,
           const ProtocolParams& params, std::vector<NodeId> redirector_homes);
 
@@ -45,6 +53,20 @@ class Cluster : public PlacementContext {
 
   void set_transfer_hook(TransferHook hook) { transfer_hook_ = std::move(hook); }
   void set_replica_cap(ReplicaCapFn fn) { replica_cap_ = std::move(fn); }
+  void set_rpc_filter(RpcFilter filter) { rpc_filter_ = std::move(filter); }
+  void set_liveness(LivenessFn fn) { liveness_ = std::move(fn); }
+
+  /// True when `n` is up (always true without a liveness oracle).
+  bool HostLive(NodeId n) const;
+
+  /// Availability repair: copies x from `from` (which must hold it) to
+  /// `to`, bypassing the Fig. 4 admission watermarks — the floor outranks
+  /// load balancing. The exchange still passes the fault filter as a
+  /// REPLICATE transfer, so repair traffic is itself lossy under faults;
+  /// returns false when the transfer was lost, `to` is down or full, or
+  /// `to` already holds x. On success the redirector learns of the copy
+  /// and the transfer hook is charged as usual.
+  bool RepairReplicate(NodeId from, NodeId to, ObjectId x, SimTime now);
 
   /// Bootstrap: installs the initial sole copy of x on `home` and
   /// registers it with x's redirector.
@@ -89,6 +111,8 @@ class Cluster : public PlacementContext {
   std::vector<HostAgent> agents_;
   TransferHook transfer_hook_;
   ReplicaCapFn replica_cap_;
+  RpcFilter rpc_filter_;
+  LivenessFn liveness_;
   SimTime now_ = 0;  // time of the in-progress placement round
   std::int64_t total_transfers_ = 0;
   std::int64_t total_copies_ = 0;

@@ -164,6 +164,40 @@ CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
   return resp;
 }
 
+void HostAgent::ResetAfterCrash(SimTime now) {
+  serviced_interval_total_ = 0;
+  measured_load_ = 0.0;
+  upper_adjust_cur_ = 0.0;
+  upper_adjust_prev_ = 0.0;
+  lower_adjust_cur_ = 0.0;
+  lower_adjust_prev_ = 0.0;
+  offloading_ = false;
+  interval_start_ = now;
+  epoch_start_ = now;
+  for (ReplicaRecord* rec : active_) {
+    rec->serviced_interval = 0;
+    rec->measured_load = 0.0;
+    if (rec->counts_dirty) {
+      std::fill(rec->path_counts.begin(), rec->path_counts.end(), 0u);
+      rec->counts_dirty = false;
+    }
+    rec->acquired_at = now;
+  }
+}
+
+void HostAgent::AcceptRepairReplica(ObjectId x, double unit_load, SimTime now) {
+  RADAR_CHECK_GE(unit_load, 0.0);
+  RADAR_CHECK_MSG(Lookup(x) == nullptr, "repair replica already hosted");
+  RADAR_CHECK_MSG(!StorageFull(), "repair replica pushed to a full host");
+  ReplicaRecord rec;
+  rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
+  rec.acquired_at = now;
+  rec.measured_load = unit_load;
+  const auto it = records_.emplace(x, std::move(rec)).first;
+  IndexRecord(x, &it->second);
+  upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
+}
+
 double HostAgent::EpochSeconds(const ReplicaRecord& rec, SimTime now) const {
   return SimToSeconds(now - std::max(epoch_start_, rec.acquired_at));
 }

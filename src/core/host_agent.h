@@ -126,6 +126,22 @@ class HostAgent {
   /// Resets the per-object access counts afterwards.
   PlacementStats RunPlacement(PlacementContext& ctx, SimTime now);
 
+  // ---- Fault reaction (src/fault drives these) ----
+
+  /// The host's process just restarted after a crash at `now`. Its disk —
+  /// the replica set and affinities — survived, but every in-memory
+  /// counter did not: measured loads, access counts, interval totals, and
+  /// the Theorem 1-4 estimate adjustments all restart from zero, exactly
+  /// as a freshly booted server would.
+  void ResetAfterCrash(SimTime now);
+
+  /// Installs a replica pushed by the replica-floor repairer. Unlike
+  /// HandleCreateObj this bypasses the Fig. 4 watermark admission test —
+  /// availability repair must not be refusable by a busy host — but still
+  /// charges the Theorem 2/4 upper bound so the load estimate stays sound.
+  /// Requires the object not hosted and storage not full.
+  void AcceptRepairReplica(ObjectId x, double unit_load, SimTime now);
+
   // ---- Introspection (tests, metrics) ----
 
   /// Access count cnt(p, x) accumulated since the last placement run.

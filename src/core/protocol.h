@@ -19,6 +19,19 @@ inline const char* MethodName(CreateObjMethod m) {
   return m == CreateObjMethod::kMigrate ? "MIGRATE" : "REPLICATE";
 }
 
+/// Network-level fate of one CreateObj exchange, decided by the fault
+/// layer (always kDeliver in a perfect world). kLost means the request
+/// never reached the candidate (dead host, or every bounded resend was
+/// dropped): the source sees a refusal and keeps its copy.
+/// kAcceptedAckLost means the candidate accepted and created its copy but
+/// the acceptance ack was lost: the source *also* sees a refusal and keeps
+/// its copy — a relocation can duplicate an object, never lose one.
+enum class RpcFate : std::uint8_t {
+  kDeliver,
+  kLost,
+  kAcceptedAckLost,
+};
+
 /// Outcome of a CreateObj request at the candidate host.
 struct CreateObjResponse {
   bool accepted = false;

@@ -78,18 +78,22 @@ void Redirector::ResetCounts(Entry& e) {
 
 void Redirector::RegisterObject(ObjectId x, NodeId initial_host) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(e.empty(), "object already registered");
+  RADAR_CHECK_MSG(!e.registered, "object already registered");
+  e.registered = true;
   e.Insert(0, Replica{initial_host, 1, 1});
 }
 
 bool Redirector::KnowsObject(ObjectId x) const {
   return x >= 0 && static_cast<std::size_t>(x) < table_.size() &&
-         !table_[static_cast<std::size_t>(x)].empty();
+         table_[static_cast<std::size_t>(x)].registered;
 }
 
 NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(!e.empty(), "ChooseReplica on unknown object");
+  RADAR_CHECK_MSG(e.registered, "ChooseReplica on unknown object");
+  if (e.empty()) {
+    return kInvalidNode;  // every live replica was pruned by a fault
+  }
   ++requests_distributed_;
 
   // A sole replica is both the closest and the least-counted: take it
@@ -139,7 +143,7 @@ NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
 
 void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
   Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(!e.empty(), "creation notice for unknown object");
+  RADAR_CHECK_MSG(e.registered, "creation notice for unknown object");
   if (Replica* r = FindReplica(e, host)) {
     ++r->aff;
   } else {
@@ -167,8 +171,10 @@ bool Redirector::RequestDrop(ObjectId x, NodeId host) {
   Replica* r = FindReplica(e, host);
   RADAR_CHECK_MSG(r != nullptr, "drop request for unknown replica");
   RADAR_CHECK_MSG(r->aff == 1, "drop request with affinity > 1");
-  if (e.size() <= 1) {
-    return false;  // never delete the last replica (Sec. 4.2.1)
+  if (e.size() <= static_cast<std::size_t>(min_replicas_)) {
+    // Never delete the last replica (Sec. 4.2.1); with a replica floor,
+    // never delete below it.
+    return false;
   }
   // Remove before granting: the recorded set stays a subset of physical
   // replicas, so requests are never routed to a vanishing copy.
@@ -176,6 +182,43 @@ bool Redirector::RequestDrop(ObjectId x, NodeId host) {
   if (listener_ != nullptr) listener_->OnReplicaRemoved(x, host);
   ResetCounts(e);
   return true;
+}
+
+int Redirector::PruneHost(NodeId host) {
+  int pruned = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    Entry& e = table_[i];
+    if (!e.registered) continue;
+    Replica* r = FindReplica(e, host);
+    if (r == nullptr) continue;
+    e.Erase(static_cast<std::size_t>(r - e.begin()));
+    if (listener_ != nullptr) {
+      listener_->OnReplicaRemoved(static_cast<ObjectId>(i), host);
+    }
+    ResetCounts(e);
+    ++pruned;
+  }
+  return pruned;
+}
+
+void Redirector::RestoreReplica(ObjectId x, NodeId host, int affinity) {
+  RADAR_CHECK_GE(affinity, 1);
+  Entry& e = EntryOf(x);
+  RADAR_CHECK_MSG(e.registered, "restore notice for unknown object");
+  RADAR_CHECK_MSG(FindReplica(e, host) == nullptr,
+                  "restore notice for a replica already recorded");
+  const Replica* pos = std::lower_bound(
+      e.begin(), e.end(), host,
+      [](const Replica& lhs, NodeId h) { return lhs.host < h; });
+  e.Insert(static_cast<std::size_t>(pos - e.begin()),
+           Replica{host, 1, affinity});
+  if (listener_ != nullptr) listener_->OnReplicaAdded(x, host);
+  ResetCounts(e);
+}
+
+void Redirector::set_min_replicas(int k) {
+  RADAR_CHECK_GE(k, 1);
+  min_replicas_ = k;
 }
 
 std::vector<NodeId> Redirector::ReplicaHosts(ObjectId x) const {
@@ -213,7 +256,7 @@ std::int64_t Redirector::RequestCountOf(ObjectId x, NodeId host) const {
 std::vector<ObjectId> Redirector::Objects() const {
   std::vector<ObjectId> out;
   for (std::size_t i = 0; i < table_.size(); ++i) {
-    if (!table_[i].empty()) out.push_back(static_cast<ObjectId>(i));
+    if (table_[i].registered) out.push_back(static_cast<ObjectId>(i));
   }
   return out;
 }
@@ -223,7 +266,7 @@ std::pair<std::int64_t, std::int64_t> Redirector::ReplicaAndObjectTotals()
   std::int64_t replicas = 0;
   std::int64_t objects = 0;
   for (const Entry& e : table_) {
-    if (e.empty()) continue;
+    if (!e.registered) continue;
     replicas += static_cast<std::int64_t>(e.size());
     ++objects;
   }

@@ -60,7 +60,8 @@ class Redirector {
 
   /// Fig. 2: picks the servicing replica for a request entering at
   /// `gateway` and increments its request count. Requires the object to
-  /// be registered with at least one replica.
+  /// be registered. Returns kInvalidNode when every replica is gone
+  /// (faults pruned the whole live set) — the request has nowhere to go.
   NodeId ChooseReplica(ObjectId x, NodeId gateway);
 
   /// Notification that `host` created a new replica (affinity 1) or, if it
@@ -71,10 +72,33 @@ class Redirector {
   /// `new_affinity` (>= 1). Resets request counts.
   void OnAffinityReduced(ObjectId x, NodeId host, int new_affinity);
 
-  /// A host asks to drop its (affinity-1) replica. Grants unless it is the
-  /// last replica; on grant the replica is removed from the table
-  /// immediately, keeping the recorded set a subset of physical replicas.
+  /// A host asks to drop its (affinity-1) replica. Grants unless doing so
+  /// would leave fewer than min_replicas() copies (1 by default — the
+  /// paper's never-delete-the-last-replica rule); on grant the replica is
+  /// removed from the table immediately, keeping the recorded set a subset
+  /// of physical replicas.
   bool RequestDrop(ObjectId x, NodeId host);
+
+  // -- Fault reaction (src/fault drives these; no-ops in a perfect world) --
+
+  /// Removes every replica recorded on `host` (it crashed). Fires
+  /// OnReplicaRemoved per pruned replica and resets request counts of the
+  /// affected objects. Returns the number of replicas pruned. Objects
+  /// whose whole replica set is pruned stay registered with zero live
+  /// replicas until a recovery or repair re-adds one.
+  int PruneHost(NodeId host);
+
+  /// Re-registers a replica of x on `host` (the host recovered with its
+  /// disk intact, or a floor repair copied the object there). The replica
+  /// keeps its pre-crash affinity; request counts reset as for any other
+  /// replica-set change. The replica must not already be recorded.
+  void RestoreReplica(ObjectId x, NodeId host, int affinity);
+
+  /// Raises the drop-refusal threshold from the paper's 1 to `k` (the
+  /// replica floor): RequestDrop refuses whenever it would leave fewer
+  /// than k copies.
+  void set_min_replicas(int k);
+  int min_replicas() const { return min_replicas_; }
 
   // -- Introspection (metrics, tests) --
 
@@ -123,6 +147,11 @@ class Redirector {
   struct Entry {
     static constexpr std::size_t kInlineReplicas = 2;
 
+    /// Set once by RegisterObject. Faults can empty a registered entry
+    /// (every live replica pruned), so emptiness no longer implies
+    /// "unknown object".
+    bool registered = false;
+
     std::size_t size() const { return count; }
     bool empty() const { return count == 0; }
     Replica* begin() {
@@ -151,6 +180,7 @@ class Redirector {
   const DistanceOracle& distance_;
   double distribution_constant_;
   NodeId home_node_;
+  int min_replicas_ = 1;
   ChangeListener* listener_ = nullptr;
   // Dense by object id; entries with no replicas are unregistered objects.
   std::vector<Entry> table_;

@@ -72,6 +72,8 @@ usage: radar_sim [flags]
   --trace=FILE                replay a request trace (see trace.h)
   --series                    print the per-bucket series table
   --json=FILE                 write the report as schema-versioned JSON
+  --fault-plan=FILE           inject faults (see fault/fault_plan.h)
+  --replica-floor=K           re-replicate objects below K live copies
   --jobs=N                    experiment-engine threads (0 = hardware)
   --help                      this text
 )";
@@ -174,6 +176,13 @@ std::optional<CliOptions> ParseCli(const std::vector<std::string>& args,
       options.trace_file = value;
     } else if (key == "json") {
       options.json_file = value;
+    } else if (key == "fault-plan") {
+      options.fault_plan_file = value;
+    } else if (key == "replica-floor") {
+      if (!ParseInt(value, &i) || i < 0) {
+        return fail("--replica-floor must be a non-negative integer");
+      }
+      options.config.replica_floor = static_cast<int>(i);
     } else if (key == "jobs") {
       if (!ParseInt(value, &i) || i < 0) {
         return fail("--jobs must be a non-negative integer");

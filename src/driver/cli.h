@@ -18,6 +18,9 @@ struct CliOptions {
   std::string topology_file;  ///< empty = built-in UUNET backbone
   std::string trace_file;     ///< empty = workload-generated requests
   std::string json_file;      ///< empty = no JSON report artefact
+  /// Fault plan file (fault/fault_plan.h text format); empty = perfect
+  /// world. Loaded by the tool, not the parser, so ParseCli stays pure.
+  std::string fault_plan_file;
   /// Experiment-engine worker threads (0 = hardware concurrency). One run
   /// uses one thread; the flag exists so scripted multi-seed sweeps share
   /// the bench binaries' interface.

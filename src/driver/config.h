@@ -8,6 +8,7 @@
 #include "baselines/selectors.h"
 #include "common/types.h"
 #include "core/params.h"
+#include "fault/fault_plan.h"
 
 namespace radar::driver {
 
@@ -70,6 +71,21 @@ struct SimConfig {
   /// Storage capacity per host in objects (0 = unlimited); the storage
   /// component of the Sec. 2.1 vector load metric. Null = unlimited.
   std::function<std::int64_t(NodeId)> host_storage;
+
+  // ---- Fault injection (DESIGN.md §11) ----
+
+  /// What goes wrong during the run; an empty plan (the default) is the
+  /// perfect world and perturbs nothing — the fault layer is not even
+  /// constructed, so fault-free runs stay byte-identical to the golden.
+  fault::FaultPlan faults;
+
+  /// Minimum live replicas per object (0 = no floor). When > 0, the
+  /// redirectors refuse drops below the floor and a repair pass at the
+  /// placement cadence re-replicates objects that faults pushed under it.
+  int replica_floor = 0;
+
+  /// True when any fault machinery must be active this run.
+  bool FaultsEnabled() const { return replica_floor > 0 || !faults.Empty(); }
 
   // ---- Metrics ----
   SimTime metric_bucket = SecondsToSim(60.0);

@@ -55,6 +55,23 @@ HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
     }
     servers_.emplace_back(config_.server_capacity * weight);
   }
+
+  if (!config_.faults.Empty()) {
+    fault::FaultInjector::Hooks hooks;
+    hooks.on_host_crash = [this](NodeId h, SimTime t) { OnHostCrash(h, t); };
+    hooks.on_host_recover = [this](NodeId h, SimTime t) {
+      OnHostRecover(h, t);
+    };
+    hooks.on_topology_change = [this](SimTime t) { RebuildRouting(t); };
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config_.faults, topology_.graph(), &sim_, config_.seed,
+        std::move(hooks));
+    cluster_->set_liveness([this](NodeId n) { return injector_->HostUp(n); });
+    cluster_->set_rpc_filter(
+        [this](NodeId, NodeId to, core::CreateObjMethod method, ObjectId) {
+          return injector_->FateForCreateObj(to, method);
+        });
+  }
 }
 
 NodeId HostingSimulation::redirector_home(int index) const {
@@ -198,10 +215,12 @@ void HostingSimulation::ScheduleMeasurement() {
   const SimTime interval = config_.protocol.measurement_interval;
   sim_.SchedulePeriodic(interval, interval, [this](SimTime t) {
     for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+      if (!HostUpNow(n)) continue;  // a crashed process ticks nothing
       cluster_->TickMeasurement(n, t);
       report_->max_load.Add(t, cluster_->host(n).measured_load());
     }
-    if (config_.tracked_host != kInvalidNode) {
+    if (config_.tracked_host != kInvalidNode &&
+        HostUpNow(config_.tracked_host)) {
       const core::HostAgent& agent = cluster_->host(config_.tracked_host);
       report_->tracked_host_loads.push_back(metrics::TrackedLoadSample{
           t, agent.measured_load(), agent.AdmissionLoad(),
@@ -220,6 +239,7 @@ void HostingSimulation::SchedulePlacement() {
                   static_cast<SimTime>(topology_.num_nodes() + 1)
             : 0;
     sim_.SchedulePeriodic(interval + offset, interval, [this, n](SimTime t) {
+      if (!HostUpNow(n)) return;  // a crashed process runs no placement
       const core::PlacementStats stats = cluster_->RunPlacement(n, t);
       report_->geo_migrations += stats.geo_migrations;
       report_->geo_replications += stats.geo_replications;
@@ -238,15 +258,21 @@ void HostingSimulation::ScheduleCensus() {
 }
 
 NodeId HostingSimulation::ChooseHost(ObjectId x, NodeId gateway) {
+  // Every branch reports kInvalidNode when faults emptied the live replica
+  // set — the request has nowhere to go and fails.
   switch (config_.distribution) {
     case baselines::DistributionPolicy::kRadar:
       return cluster_->RouteRequest(x, gateway);
-    case baselines::DistributionPolicy::kRoundRobin:
-      return round_robin_.Choose(
-          x, cluster_->redirectors().For(x).ReplicaHosts(x));
-    case baselines::DistributionPolicy::kClosest:
-      return closest_.Choose(gateway,
-                             cluster_->redirectors().For(x).ReplicaHosts(x));
+    case baselines::DistributionPolicy::kRoundRobin: {
+      const std::vector<NodeId> hosts =
+          cluster_->redirectors().For(x).ReplicaHosts(x);
+      return hosts.empty() ? kInvalidNode : round_robin_.Choose(x, hosts);
+    }
+    case baselines::DistributionPolicy::kClosest: {
+      const std::vector<NodeId> hosts =
+          cluster_->redirectors().For(x).ReplicaHosts(x);
+      return hosts.empty() ? kInvalidNode : closest_.Choose(gateway, hosts);
+    }
   }
   RADAR_CHECK(false);
   return kInvalidNode;
@@ -262,10 +288,23 @@ void HostingSimulation::GenerateRequest(NodeId gateway, SimTime now) {
 void HostingSimulation::DispatchRequest(ObjectId x, NodeId gateway,
                                         SimTime now) {
   const NodeId host = ChooseHost(x, gateway);
+  if (host == kInvalidNode) {
+    ++report_->availability.failed_requests;  // no live replica anywhere
+    return;
+  }
   // Control legs: gateway -> redirector -> host (propagation only).
   const NodeId redirector = cluster_->redirectors().For(x).home_node();
-  const SimTime control = ControlPathLatency(gateway, redirector) +
-                          ControlPathLatency(redirector, host);
+  SimTime control = ControlPathLatency(gateway, redirector) +
+                    ControlPathLatency(redirector, host);
+  if (injector_ != nullptr) {
+    const fault::FaultInjector::RequestFate fate =
+        injector_->FateForRequestLeg();
+    if (fate.dropped) {
+      ++report_->availability.failed_requests;
+      return;
+    }
+    control += fate.delay;
+  }
   sim_.Schedule(control, [this, x, gateway, host, now] {
     ArriveAtHost(x, gateway, host, now, 0);
   });
@@ -273,16 +312,21 @@ void HostingSimulation::DispatchRequest(ObjectId x, NodeId gateway,
 
 void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
                                      SimTime t0, int redirects) {
-  if (!cluster_->host(host).HasObject(x)) {
-    // The replica vanished while the request was in flight (the redirector
-    // removes replicas before they are dropped, so this is only a race
-    // with messages already underway). Re-route through the redirector.
+  if (!HostUpNow(host) || !cluster_->host(host).HasObject(x)) {
+    // The replica vanished while the request was in flight — a drop race
+    // (the redirector removes replicas before they are dropped, so only
+    // messages already underway see it) or, under faults, a host that
+    // crashed with the request on the wire. Re-route via the redirector.
     if (redirects >= kMaxRedirects) {
       ++report_->dropped_requests;
       return;
     }
     const NodeId redirector = cluster_->redirectors().For(x).home_node();
     const NodeId retry = ChooseHost(x, gateway);
+    if (retry == kInvalidNode) {
+      ++report_->availability.failed_requests;  // no live replica anywhere
+      return;
+    }
     const SimTime control = ControlPathLatency(host, redirector) +
                             ControlPathLatency(redirector, retry);
     sim_.Schedule(control, [this, x, gateway, retry, t0, redirects] {
@@ -292,9 +336,20 @@ void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
   }
   const SimTime completion =
       servers_[static_cast<std::size_t>(host)].Admit(sim_.Now());
-  sim_.Schedule(completion - sim_.Now(), [this, x, gateway, host, t0] {
-    CompleteService(x, gateway, host, t0);
-  });
+  // If the host crashes while the request is queued or in service, the
+  // response never leaves: the completion compares crash epochs and gives
+  // up instead of crediting a dead server.
+  const std::uint32_t epoch =
+      injector_ != nullptr ? injector_->crash_epoch(host) : 0;
+  sim_.Schedule(completion - sim_.Now(),
+                [this, x, gateway, host, t0, epoch] {
+                  if (injector_ != nullptr &&
+                      injector_->crash_epoch(host) != epoch) {
+                    ++report_->availability.failed_requests;
+                    return;
+                  }
+                  CompleteService(x, gateway, host, t0);
+                });
 }
 
 void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
@@ -347,8 +402,71 @@ void HostingSimulation::StepUntil(SimTime until) {
     ScheduleMeasurement();
     SchedulePlacement();
     ScheduleCensus();
+    // Installed after every fault-free schedule so that enabling faults
+    // never reorders the events a perfect-world run would execute.
+    if (config_.FaultsEnabled()) SetupFaultLayer();
   }
   sim_.RunUntil(std::min(until, config_.duration));
+}
+
+void HostingSimulation::SetupFaultLayer() {
+  availability_ =
+      std::make_unique<fault::AvailabilityTracker>(&sim_, config_.num_objects);
+  for (ObjectId x = 0; x < config_.num_objects; ++x) {
+    availability_->InitObject(
+        x, cluster_->redirectors().For(x).ReplicaCount(x));
+  }
+  for (int i = 0; i < cluster_->redirectors().size(); ++i) {
+    cluster_->redirectors().At(i).set_change_listener(availability_.get());
+  }
+  if (injector_ != nullptr) injector_->Start();
+  if (config_.replica_floor > 0) {
+    for (int i = 0; i < cluster_->redirectors().size(); ++i) {
+      cluster_->redirectors().At(i).set_min_replicas(config_.replica_floor);
+    }
+    repairer_ = std::make_unique<fault::ReplicaRepairer>(
+        cluster_.get(), config_.num_objects, config_.replica_floor,
+        [this](NodeId n) { return cluster_->HostLive(n); });
+    const SimTime interval = config_.protocol.placement_interval;
+    sim_.SchedulePeriodic(interval, interval, [this](SimTime t) {
+      const fault::RepairStats stats = repairer_->RunPass(t);
+      report_->availability.replicas_restored += stats.replicas_restored;
+      report_->availability.floor_violations += stats.floor_violations;
+    });
+  }
+}
+
+void HostingSimulation::OnHostCrash(NodeId h, SimTime t) {
+  (void)t;
+  // The process died; its disk did not. The redirectors stop routing to it
+  // (firing the availability tracker per pruned replica) and the FCFS
+  // queue is wiped — queued requests die with the process, which their
+  // completion events discover through the crash epoch.
+  for (int i = 0; i < cluster_->redirectors().size(); ++i) {
+    cluster_->redirectors().At(i).PruneHost(h);
+  }
+  servers_[static_cast<std::size_t>(h)].Reset();
+}
+
+void HostingSimulation::OnHostRecover(NodeId h, SimTime t) {
+  // The process restarts with empty counters but finds its replica set on
+  // disk; every surviving replica re-registers with its redirector at its
+  // pre-crash affinity.
+  core::HostAgent& agent = cluster_->host(h);
+  agent.ResetAfterCrash(t);
+  for (const ObjectId x : agent.Objects()) {
+    cluster_->redirectors().For(x).RestoreReplica(x, h, agent.Affinity(x));
+  }
+}
+
+void HostingSimulation::RebuildRouting(SimTime t) {
+  (void)t;
+  // A link fault epoch: recompute shortest paths and the per-pair latency
+  // matrix over the surviving backbone. The distance oracle reads through
+  // routing_, so placement and distribution see the new paths immediately.
+  const net::Graph live = injector_->LiveGraph();
+  routing_ = net::RoutingTable(live);
+  latency_ = net::PathLatencyMatrix(routing_, live, config_.object_bytes);
 }
 
 RunReport HostingSimulation::Run() {
@@ -369,6 +487,49 @@ RunReport HostingSimulation::Finalize() {
   report_->placement_name = baselines::PlacementPolicyName(config_.placement);
   report_->duration = config_.duration;
   report_->final_avg_replicas = cluster_->AverageReplicasPerObject();
+
+  report_->faults_enabled = config_.FaultsEnabled();
+  if (report_->faults_enabled) {
+    AvailabilityReport& a = report_->availability;
+    if (injector_ != nullptr) {
+      const fault::FaultCounters& c = injector_->counters();
+      a.host_crashes = c.host_crashes;
+      a.host_recoveries = c.host_recoveries;
+      a.link_downs = c.link_downs;
+      a.link_ups = c.link_ups;
+      a.suppressed_link_faults = c.suppressed_link_faults;
+      a.request_messages_dropped = c.requests_dropped;
+      a.request_messages_delayed = c.requests_delayed;
+      a.transfer_messages_lost = c.transfer_messages_lost;
+      a.transfer_retries = c.transfer_retries;
+      a.acks_lost = c.acks_lost;
+      a.aborted_relocations = c.aborted_relocations;
+      a.rpcs_to_dead_hosts = c.rpcs_to_dead_hosts;
+    }
+    if (availability_ != nullptr) {
+      availability_->FinishAt(sim_.Now());
+      a.unavailability_windows = availability_->windows();
+      a.objects_unavailable_at_end =
+          availability_->objects_unavailable_at_end();
+      a.unavailable_object_seconds =
+          availability_->unavailable_object_seconds();
+      a.mean_time_to_repair_s = availability_->mean_time_to_repair_s();
+      a.max_time_to_repair_s = availability_->max_time_to_repair_s();
+    }
+    // Conservation: crash-recovery semantics (disks survive) and the
+    // ack-loss asymmetry (source keeps its copy on any ambiguous outcome)
+    // guarantee no fault schedule can destroy the last copy of an object.
+    std::int64_t lost = 0;
+    for (ObjectId x = 0; x < config_.num_objects; ++x) {
+      bool found = false;
+      for (NodeId n = 0; n < topology_.num_nodes() && !found; ++n) {
+        found = cluster_->host(n).HasObject(x);
+      }
+      if (!found) ++lost;
+    }
+    a.objects_lost = lost;
+    RADAR_CHECK_EQ(lost, 0);
+  }
   return std::move(*report_);
 }
 

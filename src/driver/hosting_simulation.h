@@ -25,6 +25,9 @@
 #include "core/distance.h"
 #include "driver/config.h"
 #include "driver/report.h"
+#include "fault/availability.h"
+#include "fault/fault_injector.h"
+#include "fault/repair.h"
 #include "net/link_stats.h"
 #include "net/path_latency.h"
 #include "net/routing.h"
@@ -90,6 +93,13 @@ class HostingSimulation {
   // Post-run (or pre-run) inspection.
   const net::Topology& topology() const { return topology_; }
   const net::RoutingTable& routing() const { return routing_; }
+  /// The per-pair latency matrix in force right now (rebuilt at every
+  /// applied link fault epoch; see DESIGN.md §11).
+  const net::PathLatencyMatrix& latency() const { return latency_; }
+  /// The fault layer, or nullptr when the run's FaultPlan is empty.
+  const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
   const core::Cluster& cluster() const { return *cluster_; }
   core::Cluster& cluster() { return *cluster_; }
   NodeId redirector_home(int index = 0) const;
@@ -113,6 +123,15 @@ class HostingSimulation {
   void ScheduleMeasurement();
   void SchedulePlacement();
   void ScheduleCensus();
+
+  // Fault layer (only active when config_.FaultsEnabled()).
+  void SetupFaultLayer();
+  void OnHostCrash(NodeId h, SimTime t);
+  void OnHostRecover(NodeId h, SimTime t);
+  void RebuildRouting(SimTime t);
+  bool HostUpNow(NodeId n) const {
+    return injector_ == nullptr || injector_->HostUp(n);
+  }
 
   void GenerateRequest(NodeId gateway, SimTime now);
   void DispatchRequest(ObjectId x, NodeId gateway, SimTime now);
@@ -150,6 +169,11 @@ class HostingSimulation {
   std::vector<std::unique_ptr<sim::EventFn>> arrival_ticks_;
   baselines::RoundRobinSelector round_robin_;
   baselines::ClosestSelector closest_;
+  /// Fault machinery; all null in a perfect world so fault-free runs pay
+  /// nothing and schedule nothing extra (golden determinism guarantee).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::AvailabilityTracker> availability_;
+  std::unique_ptr<fault::ReplicaRepairer> repairer_;
   std::unique_ptr<RunReport> report_;
   bool started_ = false;
   bool finalized_ = false;

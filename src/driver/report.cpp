@@ -108,6 +108,29 @@ void RunReport::PrintSummary(std::ostream& os) const {
   } else {
     os << "  adjustment time: did not settle\n";
   }
+  if (faults_enabled) {
+    const AvailabilityReport& a = availability;
+    os << "  faults: crashes=" << a.host_crashes
+       << " recoveries=" << a.host_recoveries
+       << " link-downs=" << a.link_downs << " link-ups=" << a.link_ups
+       << " suppressed=" << a.suppressed_link_faults << "\n";
+    os << "  message faults: req-drop=" << a.request_messages_dropped
+       << " req-delay=" << a.request_messages_delayed
+       << " xfer-lost=" << a.transfer_messages_lost
+       << " retries=" << a.transfer_retries << " ack-lost=" << a.acks_lost
+       << " aborted=" << a.aborted_relocations
+       << " dead-rpc=" << a.rpcs_to_dead_hosts << "\n";
+    os << std::setprecision(2);
+    os << "  availability: failed-requests=" << a.failed_requests
+       << " windows=" << a.unavailability_windows
+       << " unavailable-object-s=" << a.unavailable_object_seconds
+       << " mean-ttr=" << a.mean_time_to_repair_s << "s"
+       << " max-ttr=" << a.max_time_to_repair_s << "s\n";
+    os << "  repair: restored=" << a.replicas_restored
+       << " floor-violations=" << a.floor_violations
+       << " unavailable-at-end=" << a.objects_unavailable_at_end
+       << " objects-lost=" << a.objects_lost << "\n";
+  }
 }
 
 void RunReport::PrintSeries(std::ostream& os) const {

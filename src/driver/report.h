@@ -12,6 +12,34 @@
 
 namespace radar::driver {
 
+/// Availability accounting for faulty runs (DESIGN.md §11). Filled only
+/// when the run had fault machinery active; a fault-free run's report
+/// never mentions it (summary and JSON output are byte-identical to the
+/// pre-fault-layer format).
+struct AvailabilityReport {
+  std::int64_t failed_requests = 0;  ///< no live replica / dropped leg
+  std::int64_t host_crashes = 0;
+  std::int64_t host_recoveries = 0;
+  std::int64_t link_downs = 0;
+  std::int64_t link_ups = 0;
+  std::int64_t suppressed_link_faults = 0;
+  std::int64_t request_messages_dropped = 0;
+  std::int64_t request_messages_delayed = 0;
+  std::int64_t transfer_messages_lost = 0;
+  std::int64_t transfer_retries = 0;
+  std::int64_t acks_lost = 0;
+  std::int64_t aborted_relocations = 0;
+  std::int64_t rpcs_to_dead_hosts = 0;
+  std::int64_t replicas_restored = 0;   ///< floor-repair copies made
+  std::int64_t floor_violations = 0;    ///< object-passes still under floor
+  std::int64_t unavailability_windows = 0;
+  std::int64_t objects_unavailable_at_end = 0;
+  std::int64_t objects_lost = 0;  ///< conservation check; always 0
+  double unavailable_object_seconds = 0.0;
+  double mean_time_to_repair_s = 0.0;
+  double max_time_to_repair_s = 0.0;
+};
+
 struct RunReport {
   explicit RunReport(SimTime bucket_width);
 
@@ -39,6 +67,10 @@ struct RunReport {
   std::int64_t affinity_drops = 0;
   std::int64_t object_copies = 0;  ///< physical transfers (overhead source)
   double final_avg_replicas = 0.0;
+
+  // ---- Availability (faulty runs only) ----
+  bool faults_enabled = false;
+  AvailabilityReport availability;
 
   // ---- Derived figures ----
 

@@ -473,6 +473,35 @@ JsonValue ReportJson(const RunReport& report) {
       .Set("latency", std::move(latency_stats));
   doc.Set("totals", std::move(totals));
 
+  // Emitted only for faulty runs so fault-free JSON stays byte-identical
+  // to the committed golden (DESIGN.md §11).
+  if (report.faults_enabled) {
+    const AvailabilityReport& a = report.availability;
+    JsonValue availability = JsonValue::MakeObject();
+    availability.Set("failed_requests", a.failed_requests)
+        .Set("host_crashes", a.host_crashes)
+        .Set("host_recoveries", a.host_recoveries)
+        .Set("link_downs", a.link_downs)
+        .Set("link_ups", a.link_ups)
+        .Set("suppressed_link_faults", a.suppressed_link_faults)
+        .Set("request_messages_dropped", a.request_messages_dropped)
+        .Set("request_messages_delayed", a.request_messages_delayed)
+        .Set("transfer_messages_lost", a.transfer_messages_lost)
+        .Set("transfer_retries", a.transfer_retries)
+        .Set("acks_lost", a.acks_lost)
+        .Set("aborted_relocations", a.aborted_relocations)
+        .Set("rpcs_to_dead_hosts", a.rpcs_to_dead_hosts)
+        .Set("replicas_restored", a.replicas_restored)
+        .Set("floor_violations", a.floor_violations)
+        .Set("unavailability_windows", a.unavailability_windows)
+        .Set("objects_unavailable_at_end", a.objects_unavailable_at_end)
+        .Set("objects_lost", a.objects_lost)
+        .Set("unavailable_object_seconds", a.unavailable_object_seconds)
+        .Set("mean_time_to_repair_s", a.mean_time_to_repair_s)
+        .Set("max_time_to_repair_s", a.max_time_to_repair_s);
+    doc.Set("availability", std::move(availability));
+  }
+
   JsonValue derived = JsonValue::MakeObject();
   derived.Set("initial_bandwidth_rate", report.InitialBandwidthRate())
       .Set("equilibrium_bandwidth_rate", report.EquilibriumBandwidthRate())

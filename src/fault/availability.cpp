@@ -1,0 +1,79 @@
+#include "fault/availability.h"
+
+#include "common/check.h"
+
+namespace radar::fault {
+namespace {
+
+constexpr SimTime kNoWindow = -1;
+
+}  // namespace
+
+AvailabilityTracker::AvailabilityTracker(const sim::Simulator* sim,
+                                         ObjectId num_objects)
+    : sim_(sim),
+      live_(static_cast<std::size_t>(num_objects), 0),
+      window_start_(static_cast<std::size_t>(num_objects), kNoWindow) {
+  RADAR_CHECK(sim_ != nullptr);
+}
+
+void AvailabilityTracker::InitObject(ObjectId x, int live_replicas) {
+  RADAR_CHECK_GE(live_replicas, 0);
+  live_[static_cast<std::size_t>(x)] = live_replicas;
+  if (live_replicas == 0) {
+    window_start_[static_cast<std::size_t>(x)] = sim_->Now();
+  }
+}
+
+void AvailabilityTracker::OnReplicaAdded(ObjectId x, NodeId host) {
+  (void)host;
+  const auto i = static_cast<std::size_t>(x);
+  if (live_[i]++ == 0 && window_start_[i] != kNoWindow) {
+    CloseWindow(x, sim_->Now());
+  }
+}
+
+void AvailabilityTracker::OnReplicaRemoved(ObjectId x, NodeId host) {
+  (void)host;
+  const auto i = static_cast<std::size_t>(x);
+  RADAR_CHECK_GT(live_[i], 0);
+  if (--live_[i] == 0) {
+    window_start_[i] = sim_->Now();
+  }
+}
+
+void AvailabilityTracker::FinishAt(SimTime end) {
+  RADAR_CHECK_MSG(!finished_, "AvailabilityTracker::FinishAt called twice");
+  finished_ = true;
+  for (std::size_t i = 0; i < window_start_.size(); ++i) {
+    if (window_start_[i] == kNoWindow) continue;
+    ++objects_unavailable_at_end_;
+    CloseWindow(static_cast<ObjectId>(i), end);
+  }
+}
+
+double AvailabilityTracker::unavailable_object_seconds() const {
+  return SimToSeconds(total_unavailable_);
+}
+
+double AvailabilityTracker::mean_time_to_repair_s() const {
+  if (windows_ == 0) return 0.0;
+  return SimToSeconds(total_unavailable_) / static_cast<double>(windows_);
+}
+
+double AvailabilityTracker::max_time_to_repair_s() const {
+  return SimToSeconds(max_window_);
+}
+
+void AvailabilityTracker::CloseWindow(ObjectId x, SimTime at) {
+  const auto i = static_cast<std::size_t>(x);
+  const SimTime start = window_start_[i];
+  RADAR_CHECK_GE(at, start);
+  window_start_[i] = kNoWindow;
+  const SimTime width = at - start;
+  ++windows_;
+  total_unavailable_ += width;
+  if (width > max_window_) max_window_ = width;
+}
+
+}  // namespace radar::fault

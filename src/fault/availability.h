@@ -1,0 +1,64 @@
+// Per-object availability accounting for faulty runs.
+//
+// The tracker listens to every redirector's replica-set changes and keeps
+// a live-replica count per object. An object becomes *unavailable* when
+// its last live replica disappears (crash pruning or a granted drop) and
+// becomes available again when any replica re-appears (recovery
+// re-registration or floor repair); each such excursion is one
+// unavailability window, and its length is that object's time-to-repair.
+// Windows still open at the end of the run are closed at the final clock
+// so unavailable-seconds never under-counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/redirector.h"
+#include "sim/simulator.h"
+
+namespace radar::fault {
+
+class AvailabilityTracker final : public core::Redirector::ChangeListener {
+ public:
+  /// `sim` must outlive the tracker; objects are the dense id range
+  /// [0, num_objects).
+  AvailabilityTracker(const sim::Simulator* sim, ObjectId num_objects);
+
+  /// Records the replica count an object starts the run with (after
+  /// initial placement, before any fault fires).
+  void InitObject(ObjectId x, int live_replicas);
+
+  // core::Redirector::ChangeListener
+  void OnReplicaAdded(ObjectId x, NodeId host) override;
+  void OnReplicaRemoved(ObjectId x, NodeId host) override;
+
+  /// Closes windows still open at `end`. Call exactly once, at Finalize.
+  void FinishAt(SimTime end);
+
+  int live_count(ObjectId x) const {
+    return live_[static_cast<std::size_t>(x)];
+  }
+  std::int64_t windows() const { return windows_; }
+  double unavailable_object_seconds() const;
+  double mean_time_to_repair_s() const;
+  double max_time_to_repair_s() const;
+  /// Objects whose final window had to be force-closed by FinishAt.
+  std::int64_t objects_unavailable_at_end() const {
+    return objects_unavailable_at_end_;
+  }
+
+ private:
+  void CloseWindow(ObjectId x, SimTime at);
+
+  const sim::Simulator* sim_;
+  std::vector<int> live_;
+  std::vector<SimTime> window_start_;  ///< kNoWindow when available
+  std::int64_t windows_ = 0;
+  std::int64_t objects_unavailable_at_end_ = 0;
+  SimTime total_unavailable_ = 0;
+  SimTime max_window_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace radar::fault

@@ -1,0 +1,201 @@
+#include "fault/fault_plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace radar::fault {
+namespace {
+
+bool AllZero(const double (&probs)[kNumMessageClasses]) {
+  for (const double p : probs) {
+    if (p != 0.0) return false;
+  }
+  return true;
+}
+
+std::optional<MessageClass> ParseClass(const std::string& word) {
+  if (word == "request") return MessageClass::kRequest;
+  if (word == "replicate") return MessageClass::kReplicate;
+  if (word == "migrate") return MessageClass::kMigrate;
+  if (word == "ack") return MessageClass::kAck;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kHostCrash: return "crash";
+    case FaultKind::kHostRecover: return "recover";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+  }
+  return "?";
+}
+
+const char* MessageClassName(MessageClass c) {
+  switch (c) {
+    case MessageClass::kRequest: return "request";
+    case MessageClass::kReplicate: return "replicate";
+    case MessageClass::kMigrate: return "migrate";
+    case MessageClass::kAck: return "ack";
+  }
+  return "?";
+}
+
+bool FaultPlan::Empty() const {
+  return scripted.empty() && !host_faults.enabled() &&
+         !link_faults.enabled() && AllZero(drop_prob) &&
+         request_delay_prob == 0.0;
+}
+
+void FaultPlan::Check() const {
+  for (const ScriptedEvent& ev : scripted) {
+    RADAR_CHECK_GE(ev.at, 0);
+    if (ev.kind == FaultKind::kHostCrash ||
+        ev.kind == FaultKind::kHostRecover) {
+      RADAR_CHECK_GE(ev.host, 0);
+    } else {
+      RADAR_CHECK_GE(ev.link_a, 0);
+      RADAR_CHECK_GE(ev.link_b, 0);
+      RADAR_CHECK_NE(ev.link_a, ev.link_b);
+    }
+  }
+  for (const StochasticProcess* proc : {&host_faults, &link_faults}) {
+    RADAR_CHECK_GE(proc->mtbf_s, 0.0);
+    RADAR_CHECK_GE(proc->mttr_s, 0.0);
+    if (proc->enabled()) {
+      RADAR_CHECK_MSG(proc->mttr_s > 0.0,
+                      "a stochastic fault process needs a repair time");
+    }
+  }
+  for (const double p : drop_prob) {
+    RADAR_CHECK_GE(p, 0.0);
+    RADAR_CHECK_LE(p, 1.0);
+  }
+  RADAR_CHECK_GE(request_delay_prob, 0.0);
+  RADAR_CHECK_LE(request_delay_prob, 1.0);
+  RADAR_CHECK_GE(request_delay, 0);
+  RADAR_CHECK_GE(quiesce_at, 0);
+}
+
+std::optional<FaultPlan> ParseFaultPlan(std::istream& in,
+                                        std::string* error) {
+  FaultPlan plan;
+  const auto fail = [&](int line_no,
+                        const std::string& message) -> std::optional<FaultPlan> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank or comment-only line
+
+    const auto want_node = [&](NodeId* out) {
+      long long v = 0;
+      if (!(fields >> v) || v < 0) return false;
+      *out = static_cast<NodeId>(v);
+      return true;
+    };
+    const auto want_seconds = [&](SimTime* out) {
+      double v = 0.0;
+      if (!(fields >> v) || v < 0.0) return false;
+      *out = SecondsToSim(v);
+      return true;
+    };
+    const auto want_prob = [&](double* out) {
+      double v = 0.0;
+      if (!(fields >> v) || v < 0.0 || v > 1.0) return false;
+      *out = v;
+      return true;
+    };
+
+    if (directive == "crash" || directive == "recover") {
+      ScriptedEvent ev;
+      ev.kind = directive == "crash" ? FaultKind::kHostCrash
+                                     : FaultKind::kHostRecover;
+      if (!want_node(&ev.host) || !want_seconds(&ev.at)) {
+        return fail(line_no, directive + " needs: HOST T_SEC");
+      }
+      plan.scripted.push_back(ev);
+    } else if (directive == "link-down" || directive == "link-up") {
+      ScriptedEvent ev;
+      ev.kind = directive == "link-down" ? FaultKind::kLinkDown
+                                         : FaultKind::kLinkUp;
+      if (!want_node(&ev.link_a) || !want_node(&ev.link_b) ||
+          !want_seconds(&ev.at) || ev.link_a == ev.link_b) {
+        return fail(line_no, directive + " needs: A B T_SEC (A != B)");
+      }
+      plan.scripted.push_back(ev);
+    } else if (directive == "host-faults" || directive == "link-faults") {
+      StochasticProcess& proc = directive == "host-faults"
+                                    ? plan.host_faults
+                                    : plan.link_faults;
+      if (!(fields >> proc.mtbf_s >> proc.mttr_s) || proc.mtbf_s <= 0.0 ||
+          proc.mttr_s <= 0.0) {
+        return fail(line_no, directive + " needs: MTBF_S MTTR_S (both > 0)");
+      }
+    } else if (directive == "loss") {
+      std::string cls_word;
+      double p = 0.0;
+      if (!(fields >> cls_word)) {
+        return fail(line_no, "loss needs: CLASS P");
+      }
+      const auto cls = ParseClass(cls_word);
+      if (!cls) {
+        return fail(line_no, "unknown message class '" + cls_word +
+                                 "' (request|replicate|migrate|ack)");
+      }
+      if (!want_prob(&p)) {
+        return fail(line_no, "loss probability must be in [0, 1]");
+      }
+      plan.SetDropProb(*cls, p);
+    } else if (directive == "delay") {
+      std::string cls_word;
+      double ms = 0.0;
+      if (!(fields >> cls_word) || cls_word != "request") {
+        return fail(line_no, "delay supports only the request class");
+      }
+      if (!want_prob(&plan.request_delay_prob) || !(fields >> ms) ||
+          ms < 0.0) {
+        return fail(line_no, "delay request needs: P DELAY_MS");
+      }
+      plan.request_delay = MillisToSim(ms);
+    } else if (directive == "quiesce") {
+      if (!want_seconds(&plan.quiesce_at) || plan.quiesce_at <= 0) {
+        return fail(line_no, "quiesce needs: T_SEC (> 0)");
+      }
+    } else {
+      return fail(line_no, "unknown directive '" + directive + "'");
+    }
+
+    std::string extra;
+    if (fields >> extra) {
+      return fail(line_no, "trailing token '" + extra + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> ParseFaultPlanFile(const std::string& path,
+                                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open fault plan '" + path + "'";
+    return std::nullopt;
+  }
+  return ParseFaultPlan(in, error);
+}
+
+}  // namespace radar::fault

@@ -1,0 +1,122 @@
+// Fault plans: a declarative description of what goes wrong, and when.
+//
+// A FaultPlan combines
+//   - scripted events (crash/recover a host, take a link down/up at a
+//     fixed simulated time),
+//   - optional stochastic processes (per-host crash/recovery and per-link
+//     down/up cycles with exponential mean-time-between-failures and
+//     mean-time-to-repair, seeded through the Rng::Fork discipline), and
+//   - per-class control-message loss/delay probabilities (request legs,
+//     replicate transfers, migrate transfers, acks),
+// plus an optional quiesce time after which the platform heals: all faults
+// recover and the stochastic processes stop, so end-of-run invariants
+// (every object back at its replica floor) are checkable.
+//
+// The plan is pure data; src/fault's FaultInjector binds it to a concrete
+// topology and simulator clock. An empty plan is the perfect world the
+// rest of the tree has always simulated — the driver guarantees that an
+// empty plan perturbs nothing (see the golden determinism pin).
+//
+// Text format (ParseFaultPlan), one directive per line, '#' comments:
+//   crash HOST T_SEC            recover HOST T_SEC
+//   link-down A B T_SEC         link-up A B T_SEC
+//   host-faults MTBF_S MTTR_S   link-faults MTBF_S MTTR_S
+//   loss CLASS P                CLASS: request|replicate|migrate|ack
+//   delay request P DELAY_MS
+//   quiesce T_SEC
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace radar::fault {
+
+/// What a scripted event does.
+enum class FaultKind : std::uint8_t {
+  kHostCrash,
+  kHostRecover,
+  kLinkDown,
+  kLinkUp,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted fault at a fixed simulated time. Host events use `host`;
+/// link events use the endpoint pair {link_a, link_b}.
+struct ScriptedEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kHostCrash;
+  NodeId host = kInvalidNode;
+  NodeId link_a = kInvalidNode;
+  NodeId link_b = kInvalidNode;
+};
+
+/// Control-plane message classes the fault layer can perturb.
+enum class MessageClass : std::uint8_t {
+  kRequest,    ///< gateway -> redirector -> host request legs
+  kReplicate,  ///< CreateObj(REPLICATE) transfers
+  kMigrate,    ///< CreateObj(MIGRATE) transfers
+  kAck,        ///< CreateObj acceptance acks back to the source
+};
+
+inline constexpr std::size_t kNumMessageClasses = 4;
+
+const char* MessageClassName(MessageClass c);
+
+/// An exponential up/down cycle: mean seconds between failures while up,
+/// mean seconds to repair while down. mtbf_s == 0 disables the process.
+struct StochasticProcess {
+  double mtbf_s = 0.0;
+  double mttr_s = 0.0;
+
+  bool enabled() const { return mtbf_s > 0.0; }
+};
+
+struct FaultPlan {
+  std::vector<ScriptedEvent> scripted;
+  StochasticProcess host_faults;
+  StochasticProcess link_faults;
+
+  /// Per-class probability that one control message is lost.
+  double drop_prob[kNumMessageClasses] = {0.0, 0.0, 0.0, 0.0};
+
+  /// Probability that a (delivered) request leg is delayed by
+  /// `request_delay` extra microseconds.
+  double request_delay_prob = 0.0;
+  SimTime request_delay = 0;
+
+  /// When > 0: at this time every outstanding fault recovers and the
+  /// stochastic processes stop firing, letting the platform heal before
+  /// the run ends. 0 = never quiesce.
+  SimTime quiesce_at = 0;
+
+  double DropProb(MessageClass c) const {
+    return drop_prob[static_cast<std::size_t>(c)];
+  }
+  void SetDropProb(MessageClass c, double p) {
+    drop_prob[static_cast<std::size_t>(c)] = p;
+  }
+
+  /// True when the plan perturbs nothing: no scripted events, no
+  /// stochastic processes, and all message probabilities zero.
+  bool Empty() const;
+
+  /// Aborts on structurally invalid values (probabilities outside [0, 1],
+  /// negative times, repair-free stochastic processes).
+  void Check() const;
+};
+
+/// Parses the text format above. Returns nullopt and fills `error`
+/// ("line N: message") on the first malformed directive.
+std::optional<FaultPlan> ParseFaultPlan(std::istream& in, std::string* error);
+
+/// Convenience wrapper: opens and parses `path`.
+std::optional<FaultPlan> ParseFaultPlanFile(const std::string& path,
+                                            std::string* error);
+
+}  // namespace radar::fault

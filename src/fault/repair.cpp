@@ -1,0 +1,63 @@
+#include "fault/repair.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace radar::fault {
+
+ReplicaRepairer::ReplicaRepairer(core::Cluster* cluster, ObjectId num_objects,
+                                 int floor,
+                                 std::function<bool(NodeId)> host_live)
+    : cluster_(cluster),
+      num_objects_(num_objects),
+      floor_(floor),
+      host_live_(std::move(host_live)) {
+  RADAR_CHECK(cluster_ != nullptr);
+  RADAR_CHECK_GE(floor_, 1);
+  RADAR_CHECK(host_live_ != nullptr);
+}
+
+RepairStats ReplicaRepairer::RunPass(SimTime now) {
+  RepairStats stats;
+  const std::int32_t num_nodes = cluster_->num_nodes();
+  std::vector<NodeId> candidates;
+  for (ObjectId x = 0; x < num_objects_; ++x) {
+    const core::Redirector& redirector = cluster_->redirectors().For(x);
+    int live = redirector.ReplicaCount(x);
+    if (live >= floor_) continue;
+    if (live == 0) {
+      // No live replica to copy from; the object heals only when a
+      // crashed holder recovers.
+      ++stats.floor_violations;
+      continue;
+    }
+    const std::vector<NodeId> holders = redirector.ReplicaHosts(x);
+    const NodeId source = holders.front();
+    candidates.clear();
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (!host_live_(n) || cluster_->host(n).HasObject(x)) continue;
+      candidates.push_back(n);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](NodeId lhs, NodeId rhs) {
+                const std::int32_t dl = cluster_->Distance(source, lhs);
+                const std::int32_t dr = cluster_->Distance(source, rhs);
+                if (dl != dr) return dl < dr;
+                return lhs < rhs;
+              });
+    for (const NodeId to : candidates) {
+      if (live >= floor_) break;
+      if (cluster_->RepairReplicate(source, to, x, now)) {
+        ++stats.replicas_restored;
+        ++live;
+      }
+    }
+    if (live < floor_) ++stats.floor_violations;
+  }
+  return stats;
+}
+
+}  // namespace radar::fault

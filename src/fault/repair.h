@@ -1,0 +1,48 @@
+// The replica-floor repairer: keeps every object at >= k live copies.
+//
+// Faults can erode an object's replica set below the availability target
+// the operator asked for (the paper's placement protocol only grows
+// replicas where demand justifies it). The repairer runs at the placement
+// cadence: for each object below its floor it replicates from a live
+// holder to the nearest live host not yet holding the object, via the
+// cluster's normal repair path so redirector bookkeeping, transfer
+// accounting, and the network-charging hook all see the copies. Repair
+// traffic is itself subject to message faults — a lost repair just waits
+// for the next pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "core/cluster.h"
+
+namespace radar::fault {
+
+struct RepairStats {
+  std::int64_t replicas_restored = 0;
+  /// Objects still below floor after a pass (no live replica to copy
+  /// from, no live host with room, or the repair transfer was lost).
+  std::int64_t floor_violations = 0;
+};
+
+class ReplicaRepairer {
+ public:
+  /// `cluster` must outlive the repairer; `host_live` says whether a host
+  /// is currently up. `floor` >= 1.
+  ReplicaRepairer(core::Cluster* cluster, ObjectId num_objects, int floor,
+                  std::function<bool(NodeId)> host_live);
+
+  /// One repair pass over every object; returns what it did.
+  RepairStats RunPass(SimTime now);
+
+  int floor() const { return floor_; }
+
+ private:
+  core::Cluster* cluster_;
+  ObjectId num_objects_;
+  int floor_;
+  std::function<bool(NodeId)> host_live_;
+};
+
+}  // namespace radar::fault

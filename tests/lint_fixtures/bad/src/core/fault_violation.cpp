@@ -1,0 +1,13 @@
+// Fixture: fault-model parameters spelled outside src/fault/. Values are
+// chosen to dodge the protocol-literal regex so only fault-confinement
+// fires here.
+namespace radar::core {
+
+struct HomegrownChaos {
+  double mtbf_s = 600.0;
+  double mttr_s = 45.0;
+  double drop_prob = 0.25;
+  double request_delay_prob = 0.1;
+};
+
+}  // namespace radar::core

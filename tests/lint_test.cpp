@@ -198,6 +198,54 @@ TEST(LintSourceTest, StdFunctionBanQuietOnLookalikes) {
 }
 
 // ---------------------------------------------------------------------
+// Fault-model confinement
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsFaultParametersOutsideFaultModule) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "double mtbf_s = 600.0;\n", Source()),
+      "fault-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/driver/x.cpp", "config.mttr = 45.0;\n", Source()),
+      "fault-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/net/x.h", "#pragma once\ndouble drop_prob[4];\n",
+                 Header()),
+      "fault-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "double request_delay_prob = 0.5;\n",
+                 Source()),
+      "fault-confinement"));
+}
+
+TEST(LintSourceTest, FaultModuleMayNameFaultParameters) {
+  FileKind fault_kind;
+  fault_kind.allow_fault_injection = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/fault/fault_plan.h",
+                 "#pragma once\ndouble mtbf_s = 0.0; double mttr_s = 0.0;\n"
+                 "double drop_prob[4] = {};\n",
+                 fault_kind),
+      "fault-confinement"));
+}
+
+TEST(LintSourceTest, FaultConfinementQuietOnLookalikes) {
+  // Identifier-boundary matching: these merely contain the tokens.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.cpp", "double mtbf_scaled = Scale();\n",
+                 Source()),
+      "fault-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.cpp", "int backdrop_probe = 1;\n", Source()),
+      "fault-confinement"));
+  // Prose mentions are stripped with the comments.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/driver/x.cpp", "// tune mtbf via the fault plan\n",
+                 Source()),
+      "fault-confinement"));
+}
+
+// ---------------------------------------------------------------------
 // Protocol-literal audit
 // ---------------------------------------------------------------------
 
@@ -273,6 +321,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "missing-pragma-once"));
   EXPECT_TRUE(HasRule(violations, "thread-confinement"));
   EXPECT_TRUE(HasRule(violations, "sim-no-std-function"));
+  EXPECT_TRUE(HasRule(violations, "fault-confinement"));
   for (const auto& v : violations) {
     EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
   }

@@ -212,6 +212,67 @@ TEST_F(RedirectorTest, ClosestTieBreaksTowardLowestHost) {
   EXPECT_EQ(redirector_.ChooseReplica(1, 2), 1);
 }
 
+TEST_F(RedirectorTest, PruneHostRemovesReplicasAcrossObjects) {
+  redirector_.RegisterObject(1, 2);
+  redirector_.RegisterObject(4, 0);
+  redirector_.OnReplicaCreated(4, 2);
+  EXPECT_EQ(redirector_.PruneHost(2), 2);
+  EXPECT_EQ(redirector_.ReplicaCount(1), 0);
+  EXPECT_EQ(redirector_.ReplicaCount(4), 1);
+  EXPECT_EQ(redirector_.PruneHost(2), 0);  // idempotent
+}
+
+TEST_F(RedirectorTest, PruneShrinksSpilledEntryBackToFastPath) {
+  // Three replicas spill past the inline two-replica fast path; pruning
+  // one must shrink the entry back so the fast path stays coherent (the
+  // latent dead-host bug: spill vectors kept stale lengths).
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 2);
+  redirector_.OnReplicaCreated(1, 3);
+  for (int i = 0; i < 30; ++i) redirector_.ChooseReplica(1, 0);
+  EXPECT_EQ(redirector_.PruneHost(2), 1);
+  EXPECT_EQ(redirector_.ReplicaCount(1), 2);
+  // Counts reset to 1 on the replica-set change, exactly as for creation.
+  EXPECT_EQ(redirector_.RequestCountOf(1, 0), 1);
+  EXPECT_EQ(redirector_.RequestCountOf(1, 3), 1);
+  // The surviving pair still splits traffic per the Fig. 2 algorithm.
+  for (int i = 0; i < 20; ++i) {
+    const NodeId chosen = redirector_.ChooseReplica(1, 0);
+    EXPECT_TRUE(chosen == 0 || chosen == 3);
+  }
+}
+
+TEST_F(RedirectorTest, ChooseOnFullyPrunedObjectReturnsInvalid) {
+  redirector_.RegisterObject(1, 2);
+  const std::int64_t distributed_before = redirector_.requests_distributed();
+  EXPECT_EQ(redirector_.PruneHost(2), 1);
+  EXPECT_TRUE(redirector_.KnowsObject(1));
+  EXPECT_EQ(redirector_.ChooseReplica(1, 0), kInvalidNode);
+  // A failed choice is not a distributed request.
+  EXPECT_EQ(redirector_.requests_distributed(), distributed_before);
+}
+
+TEST_F(RedirectorTest, RestoreReplicaPreservesAffinity) {
+  redirector_.RegisterObject(1, 2);
+  redirector_.OnReplicaCreated(1, 2);  // affinity 2
+  EXPECT_EQ(redirector_.PruneHost(2), 1);
+  redirector_.RestoreReplica(1, 2, /*affinity=*/2);
+  EXPECT_EQ(redirector_.ReplicaCount(1), 1);
+  EXPECT_EQ(redirector_.AffinityOf(1, 2), 2);
+  EXPECT_EQ(redirector_.ChooseReplica(1, 3), 2);
+}
+
+TEST_F(RedirectorTest, MinReplicasGuardsRequestDrop) {
+  redirector_.set_min_replicas(2);
+  redirector_.RegisterObject(1, 0);
+  redirector_.OnReplicaCreated(1, 3);
+  // With a floor of two, dropping down to one replica is refused.
+  EXPECT_FALSE(redirector_.RequestDrop(1, 0));
+  redirector_.OnReplicaCreated(1, 2);
+  EXPECT_TRUE(redirector_.RequestDrop(1, 0));
+  EXPECT_EQ(redirector_.ReplicaCount(1), 2);
+}
+
 TEST(RedirectorGroupTest, PartitionIsStable) {
   MatrixDistanceOracle oracle(4);
   RedirectorGroup group(oracle, 2.0, {0, 1, 2});

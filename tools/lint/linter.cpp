@@ -92,6 +92,17 @@ void CheckLine(const std::string& path_label, int line_no,
                     "event code schedules millions of closures per run and "
                     "must use sim::InplaceFunction (sim/inplace_function.h)"});
   }
+  if (!kind.allow_fault_injection &&
+      (ContainsToken(line, "mtbf") || ContainsToken(line, "mttr") ||
+       ContainsToken(line, "mtbf_s") || ContainsToken(line, "mttr_s") ||
+       ContainsToken(line, "drop_prob") ||
+       ContainsToken(line, "request_delay_prob"))) {
+    out->push_back({path_label, line_no, "fault-confinement",
+                    "fault-model parameters (MTBF/MTTR, message "
+                    "drop/delay probabilities) are confined to src/fault/; "
+                    "pass a fault::FaultPlan instead of spelling rates "
+                    "elsewhere"});
+  }
   if (!kind.allow_protocol_literals) {
     const std::string line_str(line);
     if (std::regex_search(line_str, ProtocolLiteralRegex())) {
@@ -238,6 +249,7 @@ std::vector<Violation> LintTree(const std::filesystem::path& src_root) {
     kind.allow_protocol_literals = rel == "core/params.h";
     kind.allow_threads = rel.rfind("runner/", 0) == 0;
     kind.forbid_std_function = rel.rfind("sim/", 0) == 0;
+    kind.allow_fault_injection = rel.rfind("fault/", 0) == 0;
     auto file_violations = LintSource("src/" + rel, buf.str(), kind);
     violations.insert(violations.end(), file_violations.begin(),
                       file_violations.end());

@@ -16,6 +16,10 @@
 //   - no std::function in src/sim/ — the simulation hot path schedules
 //     millions of closures per run and must stay allocation-free; event
 //     code uses sim::InplaceFunction (sim/inplace_function.h)
+//   - fault-model parameters (MTBF/MTTR, message drop/delay
+//     probabilities) only in src/fault/ — the failure model stays in one
+//     module so no subsystem grows its own notion of "how often things
+//     break", mirroring the protocol-constant rule
 //
 // The logic is a library so tests can feed it sources directly; the
 // radar_lint binary is a thin filesystem walker around it.
@@ -43,6 +47,10 @@ struct FileKind {
   bool allow_threads = false;
   /// src/sim/ must not use std::function (hot path stays allocation-free).
   bool forbid_std_function = false;
+  /// src/fault/ (and only it) may name fault-model parameters — MTBF,
+  /// MTTR, message drop/delay probabilities. Appended last so positional
+  /// FileKind initializers elsewhere keep their meaning.
+  bool allow_fault_injection = false;
 };
 
 /// Returns `content` with comments and string/char literal bodies blanked

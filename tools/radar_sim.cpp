@@ -16,6 +16,7 @@
 #include "driver/cli.h"
 #include "driver/hosting_simulation.h"
 #include "driver/report_json.h"
+#include "fault/fault_plan.h"
 #include "net/topology_io.h"
 #include "runner/experiment_plan.h"
 #include "runner/sweep_runner.h"
@@ -71,10 +72,23 @@ int main(int argc, char** argv) {
     trace = std::make_shared<workload::RequestTrace>(*std::move(parsed));
   }
 
-  runner::ExperimentPlan plan("radar_sim", options->config.seed,
+  driver::SimConfig run_config = options->config;
+  if (!options->fault_plan_file.empty()) {
+    std::string parse_error;
+    auto parsed = fault::ParseFaultPlanFile(options->fault_plan_file,
+                                            &parse_error);
+    if (!parsed) {
+      std::cerr << "error: " << options->fault_plan_file << ": "
+                << parse_error << "\n";
+      return 2;
+    }
+    run_config.faults = *std::move(parsed);
+  }
+
+  runner::ExperimentPlan plan("radar_sim", run_config.seed,
                               runner::SeedPolicy::kSharedRoot);
   plan.AddCustom(
-      driver::WorkloadKindName(options->config.workload), options->config,
+      driver::WorkloadKindName(run_config.workload), run_config,
       [topology, trace](const driver::SimConfig& config) {
         driver::HostingSimulation sim =
             topology != nullptr
