@@ -1,0 +1,154 @@
+// SlabMap: a dense-integer-key map with never-relocating storage.
+//
+// The protocol's per-object tables (host replica records, redirector
+// entries, consistency state) are keyed by small non-negative integers —
+// ObjectIds handed out contiguously from zero. A general hash map pays
+// for that simplicity three times over: a hash + probe per lookup, a heap
+// node per entry, and a pointer chase per iteration step. SlabMap spends
+// one vector index instead:
+//
+//   - values live in fixed-size chunks that never move once allocated, so
+//     a reference (or a parallel-array row keyed by the same handle) stays
+//     valid for the value's whole lifetime, across any number of inserts;
+//   - a dense index vector maps key -> handle for O(1) lookup with zero
+//     hashing (and enumerates live keys in ascending order for free);
+//   - an active list of handles supports compact iteration over live
+//     entries; erasure is swap-with-last, so erase is O(1) and iteration
+//     cost tracks the live population, not the key-space size;
+//   - erased slots are recycled through a free list, so steady-state
+//     churn performs no allocation and capacity is bounded by the peak
+//     population, never by cumulative inserts.
+//
+// Handles are 32-bit slot indices, stable until the key is erased. Callers
+// that hang per-entry data off handles (structure-of-arrays layouts) size
+// their arrays to slot_capacity(), which only ever grows.
+//
+// T must be default-constructible and move-assignable; Erase resets the
+// slot to T{} so recycled slots never leak prior state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace radar {
+
+template <class T, std::uint32_t ChunkShift = 8>
+class SlabMap {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNoHandle = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kChunkShift = ChunkShift;
+  static constexpr std::uint32_t kChunkSize = 1u << ChunkShift;
+
+  std::size_t size() const { return active_.size(); }
+  bool empty() const { return active_.empty(); }
+
+  /// Total slots ever carved (== the high-water population). Parallel
+  /// arrays keyed by handle are sized to this.
+  std::uint32_t slot_capacity() const { return num_slots_; }
+
+  /// O(1): handle of `key`, or kNoHandle when absent.
+  Handle HandleOf(std::int64_t key) const {
+    const auto i = static_cast<std::size_t>(key);
+    return i < index_.size() ? index_[i] : kNoHandle;
+  }
+
+  bool Contains(std::int64_t key) const { return HandleOf(key) != kNoHandle; }
+
+  T& At(Handle h) { return SlotRef(h); }
+  const T& At(Handle h) const { return SlotRef(h); }
+
+  /// Key stored in slot `h` (h must be live).
+  std::int64_t KeyAt(Handle h) const {
+    return keys_[static_cast<std::size_t>(h)];
+  }
+
+  T* Find(std::int64_t key) {
+    const Handle h = HandleOf(key);
+    return h == kNoHandle ? nullptr : &SlotRef(h);
+  }
+  const T* Find(std::int64_t key) const {
+    const Handle h = HandleOf(key);
+    return h == kNoHandle ? nullptr : &SlotRef(h);
+  }
+
+  /// Inserts `key` (>= 0, must not be present); returns the handle of a
+  /// slot holding a default-constructed T. The handle stays valid — and
+  /// the value's address stays fixed — until Erase(key).
+  Handle Insert(std::int64_t key) {
+    RADAR_CHECK_GE(key, 0);
+    const auto i = static_cast<std::size_t>(key);
+    if (i >= index_.size()) index_.resize(i + 1, kNoHandle);
+    RADAR_CHECK_MSG(index_[i] == kNoHandle, "SlabMap key already present");
+    Handle h;
+    if (!free_slots_.empty()) {
+      h = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      if ((num_slots_ & (kChunkSize - 1)) == 0) {
+        chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+        keys_.resize(keys_.size() + kChunkSize, -1);
+        active_pos_.resize(active_pos_.size() + kChunkSize, 0);
+      }
+      h = num_slots_++;
+    }
+    index_[i] = h;
+    keys_[static_cast<std::size_t>(h)] = key;
+    active_pos_[static_cast<std::size_t>(h)] =
+        static_cast<std::uint32_t>(active_.size());
+    active_.push_back(h);
+    return h;
+  }
+
+  /// Erases `key` (must be present): swap-with-last on the active list,
+  /// slot reset to T{} and recycled. O(1).
+  void Erase(std::int64_t key) {
+    const Handle h = HandleOf(key);
+    RADAR_CHECK_MSG(h != kNoHandle, "SlabMap key not present");
+    index_[static_cast<std::size_t>(key)] = kNoHandle;
+    const std::uint32_t pos = active_pos_[static_cast<std::size_t>(h)];
+    active_[pos] = active_.back();
+    active_pos_[static_cast<std::size_t>(active_[pos])] = pos;
+    active_.pop_back();
+    keys_[static_cast<std::size_t>(h)] = -1;
+    SlotRef(h) = T{};
+    free_slots_.push_back(h);
+  }
+
+  /// Live handles in active-list order (insertion order until erases
+  /// permute it). Entries are independent for every current use; callers
+  /// needing a canonical order iterate keys ascending instead.
+  const std::vector<Handle>& active() const { return active_; }
+
+  /// Calls fn(key, handle) for every live entry, ascending by key.
+  template <class Fn>
+  void ForEachKeyAscending(Fn&& fn) const {
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+      if (index_[i] != kNoHandle) {
+        fn(static_cast<std::int64_t>(i), index_[i]);
+      }
+    }
+  }
+
+ private:
+  T& SlotRef(Handle h) {
+    return chunks_[h >> kChunkShift][h & (kChunkSize - 1)];
+  }
+  const T& SlotRef(Handle h) const {
+    return chunks_[h >> kChunkShift][h & (kChunkSize - 1)];
+  }
+
+  std::vector<Handle> index_;      // key -> handle (dense by key)
+  std::vector<Handle> active_;     // live handles, swap-with-last erase
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::int64_t> keys_;        // per-slot key (-1 when free)
+  std::vector<std::uint32_t> active_pos_; // per-slot position in active_
+  std::vector<Handle> free_slots_;
+  std::uint32_t num_slots_ = 0;
+};
+
+}  // namespace radar

@@ -21,22 +21,20 @@ void ObjectCatalog::Register(ObjectId x, ObjectCategory category,
     meta.replica_cap =
         category == ObjectCategory::kNonCommutingUpdates ? 1 : 0;
   }
-  meta_.emplace(x, meta);
+  meta_.At(meta_.Insert(x)) = meta;
 }
 
-bool ObjectCatalog::Knows(ObjectId x) const {
-  return meta_.find(x) != meta_.end();
-}
+bool ObjectCatalog::Knows(ObjectId x) const { return meta_.Contains(x); }
 
 const ObjectMeta& ObjectCatalog::MetaOf(ObjectId x) const {
-  const auto it = meta_.find(x);
-  RADAR_CHECK_MSG(it != meta_.end(), "object not catalogued");
-  return it->second;
+  const ObjectMeta* meta = meta_.Find(x);
+  RADAR_CHECK_MSG(meta != nullptr, "object not catalogued");
+  return *meta;
 }
 
 int ObjectCatalog::ReplicaCap(ObjectId x) const {
-  const auto it = meta_.find(x);
-  return it != meta_.end() ? it->second.replica_cap : 0;
+  const ObjectMeta* meta = meta_.Find(x);
+  return meta != nullptr ? meta->replica_cap : 0;
 }
 
 bool ObjectCatalog::MayReplicate(ObjectId x) const {
@@ -54,22 +52,50 @@ UpdateManager::UpdateManager(const ObjectCatalog* catalog,
 }
 
 UpdateManager::ObjectState& UpdateManager::StateOf(ObjectId x) {
-  return states_[x];
+  ObjectState* state = states_.Find(x);
+  if (state != nullptr) return *state;
+  return states_.At(states_.Insert(x));
 }
 
 const UpdateManager::ObjectState* UpdateManager::FindState(ObjectId x) const {
-  const auto it = states_.find(x);
-  return it != states_.end() ? &it->second : nullptr;
+  return states_.Find(x);
+}
+
+UpdateManager::ReplicaInfo* UpdateManager::FindReplica(ObjectState& state,
+                                                       NodeId host) {
+  for (ReplicaInfo& r : state.replicas) {
+    if (r.host == host) return &r;
+  }
+  return nullptr;
+}
+
+const UpdateManager::ReplicaInfo* UpdateManager::FindReplica(
+    const ObjectState& state, NodeId host) {
+  for (const ReplicaInfo& r : state.replicas) {
+    if (r.host == host) return &r;
+  }
+  return nullptr;
+}
+
+UpdateManager::ReplicaInfo& UpdateManager::ReplicaEntry(ObjectState& state,
+                                                        NodeId host) {
+  const auto it = std::lower_bound(
+      state.replicas.begin(), state.replicas.end(), host,
+      [](const ReplicaInfo& r, NodeId h) { return r.host < h; });
+  if (it != state.replicas.end() && it->host == host) return *it;
+  ReplicaInfo fresh;
+  fresh.host = host;
+  return *state.replicas.insert(it, fresh);
 }
 
 void UpdateManager::PushToReplicas(ObjectId x, ObjectState& state,
                                    SimTime now, std::int64_t* deliveries) {
   const NodeId primary = catalog_->MetaOf(x).primary;
   for (const NodeId host : replica_set_fn_(x)) {
-    auto& version = state.replica_version[host];
-    if (version >= state.primary_version) continue;
-    version = state.primary_version;
-    state.replica_updated_at[host] = now;
+    ReplicaInfo& r = ReplicaEntry(state, host);
+    if (r.version >= state.primary_version) continue;
+    r.version = state.primary_version;
+    r.updated_at = now;
     if (host != primary && on_propagate_) on_propagate_(primary, host, x);
     if (deliveries != nullptr) ++(*deliveries);
   }
@@ -82,9 +108,9 @@ std::int64_t UpdateManager::ProviderUpdate(ObjectId x, SimTime now) {
   ++state.primary_version;
   state.primary_updated_at = now;
   // The primary itself is always current.
-  const NodeId primary = catalog_->MetaOf(x).primary;
-  state.replica_version[primary] = state.primary_version;
-  state.replica_updated_at[primary] = now;
+  ReplicaInfo& primary = ReplicaEntry(state, catalog_->MetaOf(x).primary);
+  primary.version = state.primary_version;
+  primary.updated_at = now;
   if (policy_ == PropagationPolicy::kImmediate) {
     PushToReplicas(x, state, now, nullptr);
   } else {
@@ -95,12 +121,13 @@ std::int64_t UpdateManager::ProviderUpdate(ObjectId x, SimTime now) {
 
 std::int64_t UpdateManager::FlushBatch(SimTime now) {
   std::int64_t deliveries = 0;
-  // Deterministic order: collect pending ids and sort.
+  // Deterministic order: the slab index enumerates live ids ascending.
   std::vector<ObjectId> pending;
-  for (const auto& [x, state] : states_) {
-    if (state.batch_pending) pending.push_back(x);
-  }
-  std::sort(pending.begin(), pending.end());
+  states_.ForEachKeyAscending([&](std::int64_t key, std::uint32_t h) {
+    if (states_.At(h).batch_pending) {
+      pending.push_back(static_cast<ObjectId>(key));
+    }
+  });
   for (const ObjectId x : pending) {
     PushToReplicas(x, StateOf(x), now, &deliveries);
   }
@@ -110,8 +137,8 @@ std::int64_t UpdateManager::FlushBatch(SimTime now) {
 std::int64_t UpdateManager::VersionAt(ObjectId x, NodeId host) const {
   const ObjectState* state = FindState(x);
   if (state == nullptr) return 0;
-  const auto it = state->replica_version.find(host);
-  return it != state->replica_version.end() ? it->second : 0;
+  const ReplicaInfo* r = FindReplica(*state, host);
+  return r != nullptr ? r->version : 0;
 }
 
 std::int64_t UpdateManager::PrimaryVersion(ObjectId x) const {
@@ -123,9 +150,8 @@ bool UpdateManager::IsConsistent(ObjectId x) const {
   const ObjectState* state = FindState(x);
   if (state == nullptr || state->primary_version == 0) return true;
   for (const NodeId host : replica_set_fn_(x)) {
-    const auto it = state->replica_version.find(host);
-    const std::int64_t version =
-        it != state->replica_version.end() ? it->second : 0;
+    const ReplicaInfo* r = FindReplica(*state, host);
+    const std::int64_t version = r != nullptr ? r->version : 0;
     if (version < state->primary_version) return false;
   }
   return true;
@@ -135,50 +161,50 @@ double UpdateManager::StalenessSeconds(ObjectId x, NodeId host,
                                        SimTime now) const {
   const ObjectState* state = FindState(x);
   if (state == nullptr || state->primary_version == 0) return 0.0;
-  const auto it = state->replica_version.find(host);
-  const std::int64_t version =
-      it != state->replica_version.end() ? it->second : 0;
+  const ReplicaInfo* r = FindReplica(*state, host);
+  const std::int64_t version = r != nullptr ? r->version : 0;
   if (version >= state->primary_version) return 0.0;
   return SimToSeconds(now - state->primary_updated_at);
 }
 
 void UpdateManager::RecordCommutingUpdate(ObjectId x, NodeId host,
                                           std::int64_t delta) {
-  StateOf(x).commuting_counter[host] += delta;
+  ReplicaEntry(StateOf(x), host).commuting += delta;
 }
 
 std::int64_t UpdateManager::MergedStatistic(ObjectId x) const {
   const ObjectState* state = FindState(x);
   if (state == nullptr) return 0;
   std::int64_t total = state->archived_statistic;
-  for (const auto& [host, count] : state->commuting_counter) total += count;
+  for (const ReplicaInfo& r : state->replicas) total += r.commuting;
   return total;
 }
 
 void UpdateManager::OnReplicaCreated(ObjectId x, NodeId host, SimTime now) {
   ObjectState& state = StateOf(x);
   // Copies are made from a live replica, so the newcomer starts current.
-  state.replica_version[host] = state.primary_version;
-  state.replica_updated_at[host] = now;
+  ReplicaInfo& r = ReplicaEntry(state, host);
+  r.version = state.primary_version;
+  r.updated_at = now;
 }
 
 void UpdateManager::OnReplicaDropped(ObjectId x, NodeId host) {
-  const auto it = states_.find(x);
-  if (it == states_.end()) return;
-  ObjectState& state = it->second;
-  const auto counter = state.commuting_counter.find(host);
-  if (counter != state.commuting_counter.end()) {
-    state.archived_statistic += counter->second;
-    state.commuting_counter.erase(counter);
+  ObjectState* state = states_.Find(x);
+  if (state == nullptr) return;
+  for (auto it = state->replicas.begin(); it != state->replicas.end(); ++it) {
+    if (it->host != host) continue;
+    // Fold the dropped replica's counter into the archive so the merged
+    // statistic survives the drop (the Sec. 5 requirement).
+    state->archived_statistic += it->commuting;
+    state->replicas.erase(it);
+    return;
   }
-  state.replica_version.erase(host);
-  state.replica_updated_at.erase(host);
 }
 
 std::int64_t UpdateManager::pending_batch_size() const {
   std::int64_t pending = 0;
-  for (const auto& [x, state] : states_) {
-    if (state.batch_pending) ++pending;
+  for (const std::uint32_t h : states_.active()) {
+    if (states_.At(h).batch_pending) ++pending;
   }
   return pending;
 }

@@ -18,9 +18,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/slab_map.h"
 #include "common/types.h"
 #include "core/redirector.h"
 
@@ -64,7 +64,7 @@ class ObjectCatalog {
   std::size_t size() const { return meta_.size(); }
 
  private:
-  std::unordered_map<ObjectId, ObjectMeta> meta_;
+  SlabMap<ObjectMeta> meta_;
 };
 
 /// Primary-copy update propagation and commuting-statistics merging.
@@ -129,18 +129,32 @@ class UpdateManager {
   std::int64_t pending_batch_size() const;
 
  private:
+  /// Everything the manager tracks about one replica of one object. A few
+  /// replicas per object is the norm, so the per-object state is one small
+  /// host-sorted vector instead of three parallel hash maps — found by a
+  /// short linear scan, grown inline, and recycled with its slab slot.
+  struct ReplicaInfo {
+    NodeId host = kInvalidNode;
+    std::int64_t version = 0;      ///< last update applied (0 = never)
+    SimTime updated_at = 0;        ///< when `version` was applied
+    std::int64_t commuting = 0;    ///< live category-2 counter
+  };
+
   struct ObjectState {
     std::int64_t primary_version = 0;
     SimTime primary_updated_at = 0;
-    std::unordered_map<NodeId, std::int64_t> replica_version;
-    std::unordered_map<NodeId, SimTime> replica_updated_at;
-    std::unordered_map<NodeId, std::int64_t> commuting_counter;
     std::int64_t archived_statistic = 0;
     bool batch_pending = false;
+    std::vector<ReplicaInfo> replicas;  ///< sorted by host id
   };
 
   ObjectState& StateOf(ObjectId x);
   const ObjectState* FindState(ObjectId x) const;
+  static ReplicaInfo* FindReplica(ObjectState& state, NodeId host);
+  static const ReplicaInfo* FindReplica(const ObjectState& state,
+                                        NodeId host);
+  /// The replica entry for `host`, inserted (host-sorted) if absent.
+  static ReplicaInfo& ReplicaEntry(ObjectState& state, NodeId host);
   void PushToReplicas(ObjectId x, ObjectState& state, SimTime now,
                       std::int64_t* deliveries);
 
@@ -148,7 +162,7 @@ class UpdateManager {
   ReplicaSetFn replica_set_fn_;
   PropagationPolicy policy_;
   PropagateHook on_propagate_;
-  std::unordered_map<ObjectId, ObjectState> states_;
+  SlabMap<ObjectState> states_;
 };
 
 /// Keeps an UpdateManager's per-replica state in step with the placement

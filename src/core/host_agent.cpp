@@ -16,35 +16,40 @@ HostAgent::HostAgent(NodeId self, std::int32_t num_nodes,
   params->CheckStructure();
 }
 
+HostAgent::Handle HostAgent::InsertRecord(ObjectId x) {
+  const Handle h = records_.Insert(x);
+  // Keep the parallel arrays in step with the slab's slot space. A
+  // recycled slot was zeroed by EraseRecord; freshly carved slots get
+  // zeroed rows here. Steady-state churn therefore never allocates.
+  const std::size_t cap = records_.slot_capacity();
+  if (serviced_.size() < cap) {
+    serviced_.resize(cap, 0);
+    load_.resize(cap, 0.0);
+    counts_dirty_.resize(cap, 0);
+    path_counts_.resize(cap * static_cast<std::size_t>(num_nodes_), 0);
+  }
+  return h;
+}
+
+void HostAgent::EraseRecord(ObjectId x) {
+  const Handle h = HandleOf(x);
+  serviced_[h] = 0;
+  load_[h] = 0.0;
+  if (counts_dirty_[h] != 0) {
+    std::uint32_t* row = CountsRow(h);
+    std::fill(row, row + num_nodes_, 0u);
+    counts_dirty_[h] = 0;
+  }
+  records_.Erase(x);
+}
+
 void HostAgent::AddInitialReplica(ObjectId x) {
   RADAR_CHECK_MSG(!HasObject(x), "initial replica already present");
-  ReplicaRecord rec;
-  rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
-  const auto it = records_.emplace(x, std::move(rec)).first;
-  IndexRecord(x, &it->second);
-}
-
-void HostAgent::IndexRecord(ObjectId x, ReplicaRecord* rec) {
-  const auto i = static_cast<std::size_t>(x);
-  if (i >= index_.size()) index_.resize(i + 1, nullptr);
-  index_[i] = rec;
-  rec->active_pos = static_cast<std::uint32_t>(active_.size());
-  active_.push_back(rec);
-}
-
-void HostAgent::UnindexRecord(ObjectId x) {
-  const auto i = static_cast<std::size_t>(x);
-  ReplicaRecord* rec = index_[i];
-  RADAR_CHECK(rec != nullptr);
-  const std::uint32_t pos = rec->active_pos;
-  active_[pos] = active_.back();
-  active_[pos]->active_pos = pos;
-  active_.pop_back();
-  index_[i] = nullptr;
+  InsertRecord(x);
 }
 
 int HostAgent::Affinity(ObjectId x) const {
-  const ReplicaRecord* rec = FindRecord(x);
+  const ReplicaRecord* rec = records_.Find(x);
   return rec != nullptr ? rec->aff : 0;
 }
 
@@ -53,34 +58,40 @@ std::vector<ObjectId> HostAgent::Objects() const {
   // free — no hash-map traversal, no sort.
   std::vector<ObjectId> out;
   out.reserve(records_.size());
-  for (std::size_t i = 0; i < index_.size(); ++i) {
-    if (index_[i] != nullptr) out.push_back(static_cast<ObjectId>(i));
-  }
+  records_.ForEachKeyAscending([&out](std::int64_t key, Handle) {
+    out.push_back(static_cast<ObjectId>(key));
+  });
   return out;
 }
 
-HostAgent::ReplicaRecord& HostAgent::RecordOf(ObjectId x) {
-  ReplicaRecord* rec = Lookup(x);
-  RADAR_CHECK_MSG(rec != nullptr, "object not hosted");
-  return *rec;
-}
-
-const HostAgent::ReplicaRecord* HostAgent::FindRecord(ObjectId x) const {
-  return Lookup(x);
+void HostAgent::RecordServicedAt(Handle h,
+                                 const std::vector<NodeId>& preference_path) {
+  RADAR_CHECK(!preference_path.empty());
+  RADAR_CHECK_MSG(preference_path.front() == self_,
+                  "preference path must start at the servicing host");
+  std::uint32_t* row = CountsRow(h);
+  for (const NodeId p : preference_path) {
+    ++row[static_cast<std::size_t>(p)];
+  }
+  counts_dirty_[h] = 1;
+  ++serviced_[h];
+  ++serviced_interval_total_;
 }
 
 void HostAgent::RecordServiced(ObjectId x,
                                const std::vector<NodeId>& preference_path) {
-  ReplicaRecord& rec = RecordOf(x);
-  RADAR_CHECK(!preference_path.empty());
-  RADAR_CHECK_MSG(preference_path.front() == self_,
-                  "preference path must start at the servicing host");
-  for (const NodeId p : preference_path) {
-    ++rec.path_counts[static_cast<std::size_t>(p)];
+  RecordServicedAt(HandleOf(x), preference_path);
+}
+
+bool HostAgent::RecordServicedIfHosted(
+    ObjectId x, const std::vector<NodeId>& preference_path) {
+  const Handle h = records_.HandleOf(x);
+  if (h == Records::kNoHandle) {
+    RecordServicedUntracked();
+    return false;
   }
-  rec.counts_dirty = true;
-  ++rec.serviced_interval;
-  ++serviced_interval_total_;
+  RecordServicedAt(h, preference_path);
+  return true;
 }
 
 void HostAgent::RecordServicedUntracked() { ++serviced_interval_total_; }
@@ -90,17 +101,17 @@ void HostAgent::OnMeasurementTick(SimTime now) {
   if (seconds <= 0.0) return;
   measured_load_ = static_cast<double>(serviced_interval_total_) / seconds;
   serviced_interval_total_ = 0;
-  // Per-record updates are independent, so the compact active list
-  // replaces the hash-map traversal. Records that saw no requests and
-  // already carry a zero load would be rewritten with the same values —
-  // skipping them keeps the (mostly cold, Zipf-tailed) object
-  // population's cache lines clean.
-  for (ReplicaRecord* rec : active_) {
-    if (rec->serviced_interval == 0 && rec->measured_load == 0.0) {
-      continue;
-    }
-    rec->measured_load = static_cast<double>(rec->serviced_interval) / seconds;
-    rec->serviced_interval = 0;
+  // Per-record updates are independent, so the sweep streams the two flat
+  // per-slot arrays — no record is dereferenced at all. Free slots hold
+  // zeroes (EraseRecord's contract) and are skipped by the same test that
+  // skips cold objects: records that saw no requests and already carry a
+  // zero load would be rewritten with the same values, and skipping them
+  // keeps the (mostly cold, Zipf-tailed) population's cache lines clean.
+  const std::size_t cap = records_.slot_capacity();
+  for (std::size_t s = 0; s < cap; ++s) {
+    if (serviced_[s] == 0 && load_[s] == 0.0) continue;
+    load_[s] = static_cast<double>(serviced_[s]) / seconds;
+    serviced_[s] = 0;
   }
   // Sec. 2.1: an estimate stands in for measurements only until an
   // interval that started after the relocation completes — the new
@@ -113,14 +124,14 @@ void HostAgent::OnMeasurementTick(SimTime now) {
 }
 
 double HostAgent::ObjectLoad(ObjectId x) const {
-  const ReplicaRecord* rec = FindRecord(x);
-  return rec != nullptr ? rec->measured_load : 0.0;
+  const Handle h = records_.HandleOf(x);
+  return h != Records::kNoHandle ? load_[h] : 0.0;
 }
 
 double HostAgent::UnitLoad(ObjectId x) const {
-  const ReplicaRecord* rec = FindRecord(x);
-  if (rec == nullptr) return 0.0;
-  return rec->measured_load / static_cast<double>(rec->aff);
+  const Handle h = records_.HandleOf(x);
+  if (h == Records::kNoHandle) return 0.0;
+  return load_[h] / static_cast<double>(records_.At(h).aff);
 }
 
 CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
@@ -139,26 +150,23 @@ CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
           params_->high_watermark) {
     return {};
   }
-  ReplicaRecord* existing = Lookup(x);
+  const Handle existing = records_.HandleOf(x);
   // Storage component of the vector load metric (Sec. 2.1): a full host
   // cannot take a new physical copy; raising the affinity of a replica it
   // already stores is fine.
-  if (existing == nullptr && StorageFull()) return {};
+  if (existing == Records::kNoHandle && StorageFull()) return {};
 
   CreateObjResponse resp;
   resp.accepted = true;
-  if (existing == nullptr) {
-    ReplicaRecord rec;
-    rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
-    rec.acquired_at = now;
+  if (existing == Records::kNoHandle) {
+    const Handle h = InsertRecord(x);
+    records_.At(h).acquired_at = now;
     // Best available per-object load estimate until a full measurement
     // interval passes: the advertised unit load of the source replica.
-    rec.measured_load = unit_load;
-    const auto it = records_.emplace(x, std::move(rec)).first;
-    IndexRecord(x, &it->second);
+    load_[h] = unit_load;
     resp.created_new_copy = true;
   } else {
-    ++existing->aff;
+    ++records_.At(existing).aff;
   }
   upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
   return resp;
@@ -174,27 +182,25 @@ void HostAgent::ResetAfterCrash(SimTime now) {
   offloading_ = false;
   interval_start_ = now;
   epoch_start_ = now;
-  for (ReplicaRecord* rec : active_) {
-    rec->serviced_interval = 0;
-    rec->measured_load = 0.0;
-    if (rec->counts_dirty) {
-      std::fill(rec->path_counts.begin(), rec->path_counts.end(), 0u);
-      rec->counts_dirty = false;
+  for (const Handle h : records_.active()) {
+    serviced_[h] = 0;
+    load_[h] = 0.0;
+    if (counts_dirty_[h] != 0) {
+      std::uint32_t* row = CountsRow(h);
+      std::fill(row, row + num_nodes_, 0u);
+      counts_dirty_[h] = 0;
     }
-    rec->acquired_at = now;
+    records_.At(h).acquired_at = now;
   }
 }
 
 void HostAgent::AcceptRepairReplica(ObjectId x, double unit_load, SimTime now) {
   RADAR_CHECK_GE(unit_load, 0.0);
-  RADAR_CHECK_MSG(Lookup(x) == nullptr, "repair replica already hosted");
+  RADAR_CHECK_MSG(!HasObject(x), "repair replica already hosted");
   RADAR_CHECK_MSG(!StorageFull(), "repair replica pushed to a full host");
-  ReplicaRecord rec;
-  rec.path_counts.assign(static_cast<std::size_t>(num_nodes_), 0);
-  rec.acquired_at = now;
-  rec.measured_load = unit_load;
-  const auto it = records_.emplace(x, std::move(rec)).first;
-  IndexRecord(x, &it->second);
+  const Handle h = InsertRecord(x);
+  records_.At(h).acquired_at = now;
+  load_[h] = unit_load;
   upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
 }
 
@@ -203,24 +209,25 @@ double HostAgent::EpochSeconds(const ReplicaRecord& rec, SimTime now) const {
 }
 
 double HostAgent::UnitAccessRate(ObjectId x, SimTime now) const {
-  const ReplicaRecord* rec = FindRecord(x);
-  if (rec == nullptr) return 0.0;
-  const double seconds = EpochSeconds(*rec, now);
+  const Handle h = records_.HandleOf(x);
+  if (h == Records::kNoHandle) return 0.0;
+  const double seconds = EpochSeconds(records_.At(h), now);
   if (seconds <= 0.0) return 0.0;
-  const double total = rec->path_counts[static_cast<std::size_t>(self_)];
-  return total / static_cast<double>(rec->aff) / seconds;
+  const double total = CountsRow(h)[static_cast<std::size_t>(self_)];
+  return total / static_cast<double>(records_.At(h).aff) / seconds;
 }
 
 std::uint32_t HostAgent::AccessCount(ObjectId x, NodeId p) const {
   RADAR_CHECK_GE(p, 0);
   RADAR_CHECK_LT(p, num_nodes_);
-  const ReplicaRecord* rec = FindRecord(x);
-  return rec != nullptr ? rec->path_counts[static_cast<std::size_t>(p)] : 0;
+  const Handle h = records_.HandleOf(x);
+  return h != Records::kNoHandle ? CountsRow(h)[static_cast<std::size_t>(p)]
+                                 : 0;
 }
 
 HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
                                                    ObjectId x) {
-  ReplicaRecord& rec = RecordOf(x);
+  ReplicaRecord& rec = records_.At(HandleOf(x));
   Redirector& redirector = ctx.RedirectorFor(x);
   if (rec.aff > 1) {
     --rec.aff;
@@ -228,39 +235,36 @@ HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
     return ReduceOutcome::kReduced;
   }
   if (redirector.RequestDrop(x, self_)) {
-    UnindexRecord(x);
-    records_.erase(x);
+    EraseRecord(x);
     return ReduceOutcome::kDropped;
   }
   return ReduceOutcome::kDenied;
 }
 
-std::vector<NodeId> HostAgent::CandidatesByFarthest(
-    const ReplicaRecord& rec, const PlacementContext& ctx) const {
+const std::vector<NodeId>& HostAgent::CandidatesByFarthest(
+    const std::uint32_t* counts, const PlacementContext& ctx) {
   // Distances are fetched once per candidate, not once per comparison: a
   // sort comparator that calls a virtual oracle is the dominant cost of a
   // placement round on large runs. The (distance desc, id asc) key is a
   // total order, so the result is identical to sorting with the oracle in
-  // the comparator.
-  struct Cand {
-    std::int32_t dist;
-    NodeId p;
-  };
-  std::vector<Cand> candidates;
+  // the comparator. Both buffers are member scratch — a placement round
+  // calls this for every warm object, and per-call vectors dominated the
+  // round's profile.
+  candidate_scratch_.clear();
   for (NodeId p = 0; p < num_nodes_; ++p) {
-    if (p != self_ && rec.path_counts[static_cast<std::size_t>(p)] > 0) {
-      candidates.push_back(Cand{ctx.Distance(self_, p), p});
+    if (p != self_ && counts[static_cast<std::size_t>(p)] > 0) {
+      candidate_scratch_.push_back(Candidate{ctx.Distance(self_, p), p});
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Cand& a, const Cand& b) {
+  std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
+            [](const Candidate& a, const Candidate& b) {
               if (a.dist != b.dist) return a.dist > b.dist;
               return a.p < b.p;
             });
-  std::vector<NodeId> out;
-  out.reserve(candidates.size());
-  for (const Cand& c : candidates) out.push_back(c.p);
-  return out;
+  candidate_out_.clear();
+  candidate_out_.reserve(candidate_scratch_.size());
+  for (const Candidate& c : candidate_scratch_) candidate_out_.push_back(c.p);
+  return candidate_out_;
 }
 
 PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
@@ -278,14 +282,14 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
   const double m = params_->replication_threshold_m;
 
   for (const ObjectId x : Objects()) {
-    ReplicaRecord* recp = Lookup(x);
-    if (recp == nullptr) continue;
-    ReplicaRecord& rec = *recp;
-    const double seconds = EpochSeconds(rec, now);
+    const Handle h = records_.HandleOf(x);
+    if (h == Records::kNoHandle) continue;
+    const double seconds = EpochSeconds(records_.At(h), now);
     if (seconds <= 0.0) continue;
     const auto total = static_cast<double>(
-        rec.path_counts[static_cast<std::size_t>(self_)]);
-    const double unit_rate = total / static_cast<double>(rec.aff) / seconds;
+        CountsRow(h)[static_cast<std::size_t>(self_)]);
+    const double unit_rate =
+        total / static_cast<double>(records_.At(h).aff) / seconds;
 
     bool relocated = false;
     if (unit_rate < u) {
@@ -297,12 +301,12 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     } else if (total > 0.0) {
       // Geo-migration: the farthest host on > MIGR_RATIO of the requests'
       // preference paths (Sec. 4.2.1).
-      for (const NodeId p : CandidatesByFarthest(rec, ctx)) {
-        const auto cnt =
-            static_cast<double>(rec.path_counts[static_cast<std::size_t>(p)]);
+      for (const NodeId p : CandidatesByFarthest(CountsRow(h), ctx)) {
+        const auto cnt = static_cast<double>(
+            CountsRow(h)[static_cast<std::size_t>(p)]);
         if (cnt <= params_->migr_ratio * total) continue;
-        const int aff_before = rec.aff;
-        const double object_load = rec.measured_load;
+        const int aff_before = records_.At(h).aff;
+        const double object_load = load_[h];
         const CreateObjResponse resp = ctx.CreateObjRpc(
             self_, p, CreateObjMethod::kMigrate, x, UnitLoad(x));
         if (resp.accepted) {
@@ -319,16 +323,15 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     // Geo-replication: only if still fully present, above the replication
     // threshold, with a candidate past REPL_RATIO.
     if (!relocated && HasObject(x) && unit_rate > m && total > 0.0) {
-      ReplicaRecord& cur = RecordOf(x);
-      for (const NodeId p : CandidatesByFarthest(cur, ctx)) {
-        const auto cnt =
-            static_cast<double>(cur.path_counts[static_cast<std::size_t>(p)]);
+      const Handle hc = HandleOf(x);
+      for (const NodeId p : CandidatesByFarthest(CountsRow(hc), ctx)) {
+        const auto cnt = static_cast<double>(
+            CountsRow(hc)[static_cast<std::size_t>(p)]);
         if (cnt <= params_->repl_ratio * total) continue;
         const CreateObjResponse resp = ctx.CreateObjRpc(
             self_, p, CreateObjMethod::kReplicate, x, UnitLoad(x));
         if (resp.accepted) {
-          lower_adjust_cur_ +=
-              ReplicationSourceDecreaseBound(cur.measured_load);
+          lower_adjust_cur_ += ReplicationSourceDecreaseBound(load_[hc]);
           ++stats.geo_replications;
           relocated = true;
           break;
@@ -351,12 +354,16 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     Offload(ctx, stats, now);
   }
 
-  // Start a new access-count epoch. Only records whose counts were
-  // actually touched this epoch need zeroing.
-  for (ReplicaRecord* rec : active_) {
-    if (!rec->counts_dirty) continue;
-    std::fill(rec->path_counts.begin(), rec->path_counts.end(), 0);
-    rec->counts_dirty = false;
+  // Start a new access-count epoch. The dirty flags are a flat byte array
+  // over the slot space (free slots are never dirty), so the sweep reads
+  // one cache line per 64 objects and touches only rows actually written
+  // this epoch.
+  const std::size_t cap = records_.slot_capacity();
+  for (std::size_t s = 0; s < cap; ++s) {
+    if (counts_dirty_[s] == 0) continue;
+    std::uint32_t* row = CountsRow(static_cast<Handle>(s));
+    std::fill(row, row + num_nodes_, 0u);
+    counts_dirty_[s] = 0;
   }
   epoch_start_ = now;
   return stats;
@@ -379,17 +386,16 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
   std::vector<Ranked> ranked;
   ranked.reserve(records_.size());
   for (const ObjectId x : Objects()) {
-    const ReplicaRecord& rec = RecordOf(x);
-    const auto total = static_cast<double>(
-        rec.path_counts[static_cast<std::size_t>(self_)]);
+    const std::uint32_t* counts = CountsRow(HandleOf(x));
+    const auto total =
+        static_cast<double>(counts[static_cast<std::size_t>(self_)]);
     double best = 0.0;
     if (total > 0.0) {
       for (NodeId p = 0; p < num_nodes_; ++p) {
         if (p == self_) continue;
         best = std::max(
-            best, static_cast<double>(
-                      rec.path_counts[static_cast<std::size_t>(p)]) /
-                      total);
+            best,
+            static_cast<double>(counts[static_cast<std::size_t>(p)]) / total);
       }
     }
     ranked.push_back(Ranked{best, x});
@@ -407,16 +413,17 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
     if (OffloadLoad() / weight_ <= params_->low_watermark) break;
     if (recipient_load >= params_->low_watermark) break;
     const ObjectId x = r.x;
-    if (!HasObject(x)) continue;
-    ReplicaRecord& rec = RecordOf(x);
+    const Handle h = records_.HandleOf(x);
+    if (h == Records::kNoHandle) continue;
+    const ReplicaRecord& rec = records_.At(h);
     const double seconds = EpochSeconds(rec, now);
     const double unit_rate =
         seconds > 0.0
             ? static_cast<double>(
-                  rec.path_counts[static_cast<std::size_t>(self_)]) /
+                  CountsRow(h)[static_cast<std::size_t>(self_)]) /
                   static_cast<double>(rec.aff) / seconds
             : 0.0;
-    const double object_load = rec.measured_load;
+    const double object_load = load_[h];
     const double unit_load = object_load / static_cast<double>(rec.aff);
     const int aff_before = rec.aff;
 

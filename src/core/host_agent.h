@@ -17,12 +17,20 @@
 // The agent is autonomous by construction: it never learns which other
 // replicas of its objects exist; everything it decides follows from its own
 // counters plus the CreateObj verdicts of candidate recipients.
+//
+// Storage layout: records live in a SlabMap keyed by object id, and the
+// per-interval measurement fields (serviced counts, measured loads, dirty
+// flags) plus the cnt(p, x) access-count rows live in parallel arrays
+// keyed by the record's slab handle. The measurement tick and the epoch
+// reset stream those contiguous arrays instead of chasing one heap node
+// per object, and per-object bookkeeping allocates nothing in steady
+// state — slots and their count rows are recycled, not freed.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/slab_map.h"
 #include "common/types.h"
 #include "core/params.h"
 #include "core/protocol.h"
@@ -59,7 +67,7 @@ class HostAgent {
   /// count as an acquisition for load-estimate purposes).
   void AddInitialReplica(ObjectId x);
 
-  bool HasObject(ObjectId x) const { return Lookup(x) != nullptr; }
+  bool HasObject(ObjectId x) const { return records_.Contains(x); }
   int Affinity(ObjectId x) const;
   /// Hosted object ids in ascending order.
   std::vector<ObjectId> Objects() const;
@@ -72,6 +80,12 @@ class HostAgent {
   /// inclusive; element 0 must be this host). Increments the access count
   /// of every node on the path (Sec. 4.1) and the load counters.
   void RecordServiced(ObjectId x, const std::vector<NodeId>& preference_path);
+
+  /// RecordServiced when x is hosted; otherwise records the untracked
+  /// service and returns false. One lookup either way — the request
+  /// completion path's single call into the agent.
+  bool RecordServicedIfHosted(ObjectId x,
+                              const std::vector<NodeId>& preference_path);
 
   /// Load bookkeeping for a serviced request whose object is no longer
   /// hosted (a request that was in flight when the replica was dropped).
@@ -152,35 +166,44 @@ class HostAgent {
   double UnitAccessRate(ObjectId x, SimTime now) const;
 
  private:
+  /// Slab-resident part of a record: the fields placement reads per
+  /// object. The per-interval measurement fields live in parallel arrays
+  /// (serviced_, load_, counts_dirty_, path_counts_) keyed by the
+  /// record's slab handle, so interval sweeps stream flat arrays.
   struct ReplicaRecord {
     int aff = 1;
-    /// cnt(p, x): per-node preference-path appearances this epoch.
-    std::vector<std::uint32_t> path_counts;
-    /// True when path_counts holds any non-zero entry; lets the epoch
-    /// reset skip the (mostly untouched) cold objects.
-    bool counts_dirty = false;
-    /// Requests serviced this measurement interval.
-    std::uint32_t serviced_interval = 0;
-    /// load(x_s) from the last completed interval (requests/sec).
-    double measured_load = 0.0;
     /// When this replica appeared on the host (bounds its epoch length).
     SimTime acquired_at = 0;
-    /// This record's position in active_ (maintained on add/drop).
-    std::uint32_t active_pos = 0;
   };
+  using Records = SlabMap<ReplicaRecord>;
+  using Handle = Records::Handle;
 
   enum class ReduceOutcome { kReduced, kDropped, kDenied };
 
-  ReplicaRecord& RecordOf(ObjectId x);
-  const ReplicaRecord* FindRecord(ObjectId x) const;
-
-  /// O(1) record lookup through the dense index (nullptr if not hosted).
-  ReplicaRecord* Lookup(ObjectId x) const {
-    const auto i = static_cast<std::size_t>(x);
-    return i < index_.size() ? index_[i] : nullptr;
+  /// Handle of x's record; checks that x is hosted.
+  Handle HandleOf(ObjectId x) const {
+    const Handle h = records_.HandleOf(x);
+    RADAR_CHECK_MSG(h != Records::kNoHandle, "object not hosted");
+    return h;
   }
-  void IndexRecord(ObjectId x, ReplicaRecord* rec);
-  void UnindexRecord(ObjectId x);
+
+  /// cnt(p, x) row of the record in slot `h`.
+  std::uint32_t* CountsRow(Handle h) {
+    return &path_counts_[static_cast<std::size_t>(h) *
+                         static_cast<std::size_t>(num_nodes_)];
+  }
+  const std::uint32_t* CountsRow(Handle h) const {
+    return &path_counts_[static_cast<std::size_t>(h) *
+                         static_cast<std::size_t>(num_nodes_)];
+  }
+
+  /// Creates x's record (and grows the parallel arrays to match the slab).
+  Handle InsertRecord(ObjectId x);
+  /// Drops x's record, zeroing its parallel-array state for slot reuse.
+  void EraseRecord(ObjectId x);
+
+  void RecordServicedAt(Handle h,
+                        const std::vector<NodeId>& preference_path);
 
   /// Fig. 3's ReduceAffinity: decrements affinity (notifying the
   /// redirector) or, at affinity 1, asks the redirector for permission to
@@ -194,27 +217,38 @@ class HostAgent {
   /// Seconds of epoch this replica has observed at `now`.
   double EpochSeconds(const ReplicaRecord& rec, SimTime now) const;
 
-  /// Nodes with non-zero access counts for rec, excluding self, in
+  /// Nodes with non-zero access counts in `counts`, excluding self, in
   /// decreasing order of distance from self (ties: lower id first).
-  std::vector<NodeId> CandidatesByFarthest(const ReplicaRecord& rec,
-                                           const PlacementContext& ctx) const;
+  /// Returns a reference to an internal scratch buffer, valid until the
+  /// next call on this agent — placement calls it O(objects) times per
+  /// round, so it must not allocate.
+  const std::vector<NodeId>& CandidatesByFarthest(
+      const std::uint32_t* counts, const PlacementContext& ctx);
 
   NodeId self_;
   std::int32_t num_nodes_;
   const ProtocolParams* params_;
 
-  std::unordered_map<ObjectId, ReplicaRecord> records_;
-  /// Dense-by-object-id pointers into records_ (value references in an
-  /// unordered_map stay valid until erasure). The request hot path resolves
-  /// records through this index instead of hashing; records_ itself is kept
-  /// as the owner because its iteration order feeds the measurement and
-  /// placement passes and must stay exactly as it has always been.
-  std::vector<ReplicaRecord*> index_;
-  /// Every hosted record, unordered (swap-with-last removal). The
-  /// measurement tick and the epoch reset sweep this compact list —
-  /// proportional to hosted objects, not to the object-id space — and
-  /// both treat records independently, so the order is free to vary.
-  std::vector<ReplicaRecord*> active_;
+  /// Hosted records, keyed by object id. Slots never relocate, so the
+  /// parallel arrays below are keyed by slab handle.
+  Records records_;
+  /// Requests serviced this measurement interval, per slot.
+  std::vector<std::uint32_t> serviced_;
+  /// load(x_s) from the last completed interval (requests/sec), per slot.
+  std::vector<double> load_;
+  /// Non-zero when the slot's count row holds any non-zero entry; lets the
+  /// epoch reset skip the (mostly untouched) cold objects.
+  std::vector<std::uint8_t> counts_dirty_;
+  /// cnt(p, x) rows, num_nodes_ entries per slot.
+  std::vector<std::uint32_t> path_counts_;
+
+  // Scratch for CandidatesByFarthest (reused across calls; see above).
+  struct Candidate {
+    std::int32_t dist;
+    NodeId p;
+  };
+  std::vector<Candidate> candidate_scratch_;
+  std::vector<NodeId> candidate_out_;
 
   // Load measurement state. Estimate adjustments live in a two-slot
   // window: `cur` collects bounds for relocations in the running interval,

@@ -14,84 +14,187 @@ Redirector::Redirector(const DistanceOracle& distance,
   RADAR_CHECK_GT(distribution_constant, 0.0);
 }
 
-void Redirector::Entry::Insert(std::size_t pos, const Replica& r) {
-  RADAR_CHECK_LE(pos, count);
-  if (count < kInlineReplicas) {
-    for (std::size_t i = count; i > pos; --i) {
-      inline_storage[i] = inline_storage[i - 1];
-    }
-    inline_storage[pos] = r;
-  } else {
-    if (count == kInlineReplicas) {
-      overflow.assign(inline_storage, inline_storage + kInlineReplicas);
-    }
-    overflow.insert(overflow.begin() + static_cast<std::ptrdiff_t>(pos), r);
-  }
-  ++count;
-}
-
-void Redirector::Entry::Erase(std::size_t pos) {
-  RADAR_CHECK_LT(pos, count);
-  if (count <= kInlineReplicas) {
-    for (std::size_t i = pos + 1; i < count; ++i) {
-      inline_storage[i - 1] = inline_storage[i];
-    }
-  } else {
-    overflow.erase(overflow.begin() + static_cast<std::ptrdiff_t>(pos));
-    if (overflow.size() == kInlineReplicas) {
-      // Shrunk back to the inline capacity: move the replicas home and
-      // release the heap block so the hot path is one cache line again.
-      std::copy(overflow.begin(), overflow.end(), inline_storage);
-      overflow = {};
-    }
-  }
-  --count;
-}
-
-Redirector::Entry& Redirector::EntryOf(ObjectId x) {
+Redirector::EntryHead& Redirector::HeadOf(ObjectId x) {
   RADAR_CHECK_GE(x, 0);
   if (static_cast<std::size_t>(x) >= table_.size()) {
     table_.resize(static_cast<std::size_t>(x) + 1);
+    aff0_.resize(table_.size(), 1);
   }
   return table_[static_cast<std::size_t>(x)];
 }
 
-const Redirector::Entry& Redirector::EntryOf(ObjectId x) const {
+const Redirector::EntryHead& Redirector::HeadOf(ObjectId x) const {
   RADAR_CHECK_GE(x, 0);
   RADAR_CHECK_LT(static_cast<std::size_t>(x), table_.size());
   return table_[static_cast<std::size_t>(x)];
 }
 
-Redirector::Replica* Redirector::FindReplica(Entry& e, NodeId host) {
-  for (auto& r : e) {
-    if (r.host == host) return &r;
+std::uint32_t Redirector::AcquireSpill() {
+  if (!spill_free_.empty()) {
+    const std::uint32_t s = spill_free_.back();
+    spill_free_.pop_back();
+    return s;
   }
-  return nullptr;
+  spill_pool_.emplace_back();
+  return static_cast<std::uint32_t>(spill_pool_.size() - 1);
 }
 
-void Redirector::ResetCounts(Entry& e) {
+void Redirector::ReleaseSpill(std::int64_t slot) {
+  SpillSet& s = spill_pool_[static_cast<std::size_t>(slot)];
+  // clear() keeps the vectors' capacity: a recycled set re-spills without
+  // touching the allocator.
+  s.hosts.clear();
+  s.rcnts.clear();
+  s.affs.clear();
+  spill_free_.push_back(static_cast<std::uint32_t>(slot));
+}
+
+std::size_t Redirector::FindReplica(ObjectId x, NodeId host) const {
+  const EntryHead& e = HeadOf(x);
+  const std::uint32_t n = Count(e);
+  if (n == 0) return kNpos;
+  if (n == 1) return e.host0 == host ? 0 : kNpos;
+  const SpillSet& s = SpillOf(e);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.hosts[i] == host) return i;
+  }
+  return kNpos;
+}
+
+void Redirector::InsertReplica(ObjectId x, NodeId host, std::int64_t rcnt,
+                               int aff) {
+  EntryHead& e = HeadOf(x);
+  const std::uint32_t n = Count(e);
+  if (n == 0) {
+    e.host0 = host;
+    e.rcnt_or_spill = rcnt;
+    aff0_[static_cast<std::size_t>(x)] = aff;
+    SetCount(e, 1);
+    return;
+  }
+  if (n == 1) {
+    // Crossing 1 -> 2: move the inline replica into a pooled spill set
+    // together with the newcomer, sorted by host id.
+    RADAR_CHECK_NE(e.host0, host);
+    const std::uint32_t slot = AcquireSpill();
+    SpillSet& s = spill_pool_[slot];
+    const bool new_first = host < e.host0;
+    s.hosts = {new_first ? host : e.host0, new_first ? e.host0 : host};
+    s.rcnts = {new_first ? rcnt : e.rcnt_or_spill,
+               new_first ? e.rcnt_or_spill : rcnt};
+    const int aff0 = aff0_[static_cast<std::size_t>(x)];
+    s.affs = {new_first ? aff : aff0, new_first ? aff0 : aff};
+    e.rcnt_or_spill = slot;
+    SetCount(e, 2);
+    return;
+  }
+  SpillSet& s = SpillOf(e);
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(s.hosts.begin(), s.hosts.end(), host) -
+      s.hosts.begin());
+  s.hosts.insert(s.hosts.begin() + static_cast<std::ptrdiff_t>(pos), host);
+  s.rcnts.insert(s.rcnts.begin() + static_cast<std::ptrdiff_t>(pos), rcnt);
+  s.affs.insert(s.affs.begin() + static_cast<std::ptrdiff_t>(pos), aff);
+  SetCount(e, n + 1);
+}
+
+void Redirector::EraseReplica(ObjectId x, std::size_t pos) {
+  EntryHead& e = HeadOf(x);
+  const std::uint32_t n = Count(e);
+  RADAR_CHECK_LT(pos, n);
+  if (n == 1) {
+    SetCount(e, 0);
+    return;
+  }
+  SpillSet& s = SpillOf(e);
+  if (n == 2) {
+    // Shrunk back to a sole replica: move the survivor inline and recycle
+    // the spill set, so the request path is one 16-byte head again.
+    const std::size_t keep = 1 - pos;
+    const NodeId host = s.hosts[keep];
+    const std::int64_t rcnt = s.rcnts[keep];
+    const int aff = s.affs[keep];
+    ReleaseSpill(e.rcnt_or_spill);
+    e.host0 = host;
+    e.rcnt_or_spill = rcnt;
+    aff0_[static_cast<std::size_t>(x)] = aff;
+    SetCount(e, 1);
+    return;
+  }
+  s.hosts.erase(s.hosts.begin() + static_cast<std::ptrdiff_t>(pos));
+  s.rcnts.erase(s.rcnts.begin() + static_cast<std::ptrdiff_t>(pos));
+  s.affs.erase(s.affs.begin() + static_cast<std::ptrdiff_t>(pos));
+  SetCount(e, n - 1);
+}
+
+void Redirector::ResetCounts(EntryHead& e) {
   // "The redirector resets all request counts to 1 whenever it is notified
   // of any changes to the replica set" (Sec. 3).
-  for (auto& r : e) r.rcnt = 1;
+  const std::uint32_t n = Count(e);
+  if (n == 1) {
+    e.rcnt_or_spill = 1;
+  } else if (n >= 2) {
+    SpillSet& s = SpillOf(e);
+    std::fill(s.rcnts.begin(), s.rcnts.end(), std::int64_t{1});
+  }
   ++replica_set_changes_;
 }
 
 void Redirector::RegisterObject(ObjectId x, NodeId initial_host) {
-  Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(!e.registered, "object already registered");
-  e.registered = true;
-  e.Insert(0, Replica{initial_host, 1, 1});
+  EntryHead& e = HeadOf(x);
+  RADAR_CHECK_MSG(!Registered(e), "object already registered");
+  e.count_reg |= kRegisteredBit;
+  InsertReplica(x, initial_host, 1, 1);
 }
 
 bool Redirector::KnowsObject(ObjectId x) const {
   return x >= 0 && static_cast<std::size_t>(x) < table_.size() &&
-         table_[static_cast<std::size_t>(x)].registered;
+         Registered(table_[static_cast<std::size_t>(x)]);
+}
+
+NodeId Redirector::ChooseFromSpill(EntryHead& e, NodeId gateway,
+                                   const std::int32_t* row) {
+  // p: the replica closest to the requesting gateway (ties: replicas are
+  // sorted by host id, so the lowest id wins deterministically).
+  // q: the replica with the smallest unit request count rcnt/aff.
+  // The spill set's SoA vectors are scanned with plain indexing — no
+  // pointer chase, and a dense-row oracle costs one virtual call total.
+  SpillSet& s = SpillOf(e);
+  const std::uint32_t n = Count(e);
+  const NodeId* hosts = s.hosts.data();
+  std::int64_t* rcnts = s.rcnts.data();
+  const int* affs = s.affs.data();
+  std::size_t closest = 0;
+  std::size_t least = 0;
+  std::int32_t closest_distance =
+      row != nullptr ? row[hosts[0]] : distance_.Distance(gateway, hosts[0]);
+  double least_unit = static_cast<double>(rcnts[0]) / affs[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::int32_t d =
+        row != nullptr ? row[hosts[i]] : distance_.Distance(gateway, hosts[i]);
+    if (d < closest_distance) {
+      closest_distance = d;
+      closest = i;
+    }
+    const double unit = static_cast<double>(rcnts[i]) / affs[i];
+    if (unit < least_unit) {
+      least_unit = unit;
+      least = i;
+    }
+  }
+  const double closest_unit =
+      static_cast<double>(rcnts[closest]) / affs[closest];
+  const std::size_t chosen =
+      (closest_unit / distribution_constant_ > least_unit) ? least : closest;
+  ++rcnts[chosen];
+  return hosts[chosen];
 }
 
 NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
-  Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(e.registered, "ChooseReplica on unknown object");
-  if (e.empty()) {
+  EntryHead& e = HeadOf(x);
+  RADAR_CHECK_MSG(Registered(e), "ChooseReplica on unknown object");
+  const std::uint32_t n = Count(e);
+  if (n == 0) {
     return kInvalidNode;  // every live replica was pruned by a fault
   }
   ++requests_distributed_;
@@ -99,58 +202,41 @@ NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway) {
   // A sole replica is both the closest and the least-counted: take it
   // without consulting the distance oracle. Most objects sit in this case
   // for most of a run, so the request path rarely pays for Fig. 2 at all.
-  if (e.size() == 1) {
-    Replica& only = e.front();
-    ++only.rcnt;
-    return only.host;
+  if (n == 1) {
+    ++e.rcnt_or_spill;
+    return e.host0;
   }
+  return ChooseFromSpill(e, gateway, distance_.DistanceRow(gateway));
+}
 
-  // p: the replica closest to the requesting gateway (ties: replicas are
-  // sorted by host id, so the lowest id wins deterministically).
-  // q: the replica with the smallest unit request count rcnt/aff.
-  // The gateway's distance row is hoisted out of the loop: one virtual
-  // call per request instead of one per replica, and a dense-row oracle
-  // (the routing adapter, the test matrices) is read with plain indexing.
-  const std::int32_t* row = distance_.DistanceRow(gateway);
-  Replica* closest = &e.front();
-  Replica* least = &e.front();
-  std::int32_t closest_distance =
-      row != nullptr ? row[closest->host]
-                     : distance_.Distance(gateway, closest->host);
-  double least_unit = static_cast<double>(least->rcnt) / least->aff;
-  for (std::size_t i = 1; i < e.size(); ++i) {
-    Replica& r = e.begin()[i];
-    const std::int32_t d =
-        row != nullptr ? row[r.host] : distance_.Distance(gateway, r.host);
-    if (d < closest_distance) {
-      closest_distance = d;
-      closest = &r;
-    }
-    const double unit = static_cast<double>(r.rcnt) / r.aff;
-    if (unit < least_unit) {
-      least_unit = unit;
-      least = &r;
-    }
+NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway,
+                                 const std::int32_t* row) {
+  EntryHead& e = HeadOf(x);
+  RADAR_CHECK_MSG(Registered(e), "ChooseReplica on unknown object");
+  const std::uint32_t n = Count(e);
+  if (n == 0) {
+    return kInvalidNode;  // every live replica was pruned by a fault
   }
-
-  const double closest_unit =
-      static_cast<double>(closest->rcnt) / closest->aff;
-  Replica* chosen =
-      (closest_unit / distribution_constant_ > least_unit) ? least : closest;
-  ++chosen->rcnt;
-  return chosen->host;
+  ++requests_distributed_;
+  if (n == 1) {
+    ++e.rcnt_or_spill;
+    return e.host0;
+  }
+  return ChooseFromSpill(e, gateway, row);
 }
 
 void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
-  Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(e.registered, "creation notice for unknown object");
-  if (Replica* r = FindReplica(e, host)) {
-    ++r->aff;
+  EntryHead& e = HeadOf(x);
+  RADAR_CHECK_MSG(Registered(e), "creation notice for unknown object");
+  const std::size_t pos = FindReplica(x, host);
+  if (pos != kNpos) {
+    if (Count(e) == 1) {
+      ++aff0_[static_cast<std::size_t>(x)];
+    } else {
+      ++SpillOf(e).affs[pos];
+    }
   } else {
-    const Replica* pos = std::lower_bound(
-        e.begin(), e.end(), host,
-        [](const Replica& lhs, NodeId h) { return lhs.host < h; });
-    e.Insert(static_cast<std::size_t>(pos - e.begin()), Replica{host, 1, 1});
+    InsertReplica(x, host, 1, 1);
     if (listener_ != nullptr) listener_->OnReplicaAdded(x, host);
   }
   ResetCounts(e);
@@ -158,27 +244,31 @@ void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
 
 void Redirector::OnAffinityReduced(ObjectId x, NodeId host, int new_affinity) {
   RADAR_CHECK_GE(new_affinity, 1);
-  Entry& e = EntryOf(x);
-  Replica* r = FindReplica(e, host);
-  RADAR_CHECK_MSG(r != nullptr, "affinity notice for unknown replica");
-  RADAR_CHECK_LT(new_affinity, r->aff);
-  r->aff = new_affinity;
+  EntryHead& e = HeadOf(x);
+  const std::size_t pos = FindReplica(x, host);
+  RADAR_CHECK_MSG(pos != kNpos, "affinity notice for unknown replica");
+  int& aff = Count(e) == 1 ? aff0_[static_cast<std::size_t>(x)]
+                           : SpillOf(e).affs[pos];
+  RADAR_CHECK_LT(new_affinity, aff);
+  aff = new_affinity;
   ResetCounts(e);
 }
 
 bool Redirector::RequestDrop(ObjectId x, NodeId host) {
-  Entry& e = EntryOf(x);
-  Replica* r = FindReplica(e, host);
-  RADAR_CHECK_MSG(r != nullptr, "drop request for unknown replica");
-  RADAR_CHECK_MSG(r->aff == 1, "drop request with affinity > 1");
-  if (e.size() <= static_cast<std::size_t>(min_replicas_)) {
+  EntryHead& e = HeadOf(x);
+  const std::size_t pos = FindReplica(x, host);
+  RADAR_CHECK_MSG(pos != kNpos, "drop request for unknown replica");
+  const int aff = Count(e) == 1 ? aff0_[static_cast<std::size_t>(x)]
+                                : SpillOf(e).affs[pos];
+  RADAR_CHECK_MSG(aff == 1, "drop request with affinity > 1");
+  if (Count(e) <= static_cast<std::uint32_t>(min_replicas_)) {
     // Never delete the last replica (Sec. 4.2.1); with a replica floor,
     // never delete below it.
     return false;
   }
   // Remove before granting: the recorded set stays a subset of physical
   // replicas, so requests are never routed to a vanishing copy.
-  e.Erase(static_cast<std::size_t>(r - e.begin()));
+  EraseReplica(x, pos);
   if (listener_ != nullptr) listener_->OnReplicaRemoved(x, host);
   ResetCounts(e);
   return true;
@@ -187,14 +277,13 @@ bool Redirector::RequestDrop(ObjectId x, NodeId host) {
 int Redirector::PruneHost(NodeId host) {
   int pruned = 0;
   for (std::size_t i = 0; i < table_.size(); ++i) {
-    Entry& e = table_[i];
-    if (!e.registered) continue;
-    Replica* r = FindReplica(e, host);
-    if (r == nullptr) continue;
-    e.Erase(static_cast<std::size_t>(r - e.begin()));
-    if (listener_ != nullptr) {
-      listener_->OnReplicaRemoved(static_cast<ObjectId>(i), host);
-    }
+    EntryHead& e = table_[i];
+    if (!Registered(e)) continue;
+    const auto x = static_cast<ObjectId>(i);
+    const std::size_t pos = FindReplica(x, host);
+    if (pos == kNpos) continue;
+    EraseReplica(x, pos);
+    if (listener_ != nullptr) listener_->OnReplicaRemoved(x, host);
     ResetCounts(e);
     ++pruned;
   }
@@ -203,15 +292,11 @@ int Redirector::PruneHost(NodeId host) {
 
 void Redirector::RestoreReplica(ObjectId x, NodeId host, int affinity) {
   RADAR_CHECK_GE(affinity, 1);
-  Entry& e = EntryOf(x);
-  RADAR_CHECK_MSG(e.registered, "restore notice for unknown object");
-  RADAR_CHECK_MSG(FindReplica(e, host) == nullptr,
+  EntryHead& e = HeadOf(x);
+  RADAR_CHECK_MSG(Registered(e), "restore notice for unknown object");
+  RADAR_CHECK_MSG(FindReplica(x, host) == kNpos,
                   "restore notice for a replica already recorded");
-  const Replica* pos = std::lower_bound(
-      e.begin(), e.end(), host,
-      [](const Replica& lhs, NodeId h) { return lhs.host < h; });
-  e.Insert(static_cast<std::size_t>(pos - e.begin()),
-           Replica{host, 1, affinity});
+  InsertReplica(x, host, 1, affinity);
   if (listener_ != nullptr) listener_->OnReplicaAdded(x, host);
   ResetCounts(e);
 }
@@ -222,52 +307,66 @@ void Redirector::set_min_replicas(int k) {
 }
 
 std::vector<NodeId> Redirector::ReplicaHosts(ObjectId x) const {
-  const Entry& e = EntryOf(x);
+  const EntryHead& e = HeadOf(x);
+  const std::uint32_t n = Count(e);
   std::vector<NodeId> hosts;
-  hosts.reserve(e.size());
-  for (const auto& r : e) hosts.push_back(r.host);
+  hosts.reserve(n);
+  if (n == 1) {
+    hosts.push_back(e.host0);
+  } else if (n >= 2) {
+    const SpillSet& s = SpillOf(e);
+    hosts.assign(s.hosts.begin(), s.hosts.end());
+  }
   return hosts;
 }
 
 int Redirector::ReplicaCount(ObjectId x) const {
-  return static_cast<int>(EntryOf(x).size());
+  return static_cast<int>(Count(HeadOf(x)));
 }
 
 int Redirector::TotalAffinity(ObjectId x) const {
+  const EntryHead& e = HeadOf(x);
+  const std::uint32_t n = Count(e);
+  if (n == 0) return 0;
+  if (n == 1) return aff0_[static_cast<std::size_t>(x)];
+  const SpillSet& s = SpillOf(e);
   int total = 0;
-  for (const auto& r : EntryOf(x)) total += r.aff;
+  for (std::size_t i = 0; i < n; ++i) total += s.affs[i];
   return total;
 }
 
 int Redirector::AffinityOf(ObjectId x, NodeId host) const {
-  for (const auto& r : EntryOf(x)) {
-    if (r.host == host) return r.aff;
-  }
-  return 0;
+  const std::size_t pos = FindReplica(x, host);
+  if (pos == kNpos) return 0;
+  const EntryHead& e = HeadOf(x);
+  return Count(e) == 1 ? aff0_[static_cast<std::size_t>(x)]
+                       : SpillOf(e).affs[pos];
 }
 
 std::int64_t Redirector::RequestCountOf(ObjectId x, NodeId host) const {
-  for (const auto& r : EntryOf(x)) {
-    if (r.host == host) return r.rcnt;
-  }
-  return 0;
+  const std::size_t pos = FindReplica(x, host);
+  if (pos == kNpos) return 0;
+  const EntryHead& e = HeadOf(x);
+  return Count(e) == 1 ? e.rcnt_or_spill : SpillOf(e).rcnts[pos];
 }
 
 std::vector<ObjectId> Redirector::Objects() const {
   std::vector<ObjectId> out;
   for (std::size_t i = 0; i < table_.size(); ++i) {
-    if (table_[i].registered) out.push_back(static_cast<ObjectId>(i));
+    if (Registered(table_[i])) out.push_back(static_cast<ObjectId>(i));
   }
   return out;
 }
 
 std::pair<std::int64_t, std::int64_t> Redirector::ReplicaAndObjectTotals()
     const {
+  // One linear pass over the 16-byte heads; the census never touches the
+  // spill pool.
   std::int64_t replicas = 0;
   std::int64_t objects = 0;
-  for (const Entry& e : table_) {
-    if (!e.registered) continue;
-    replicas += static_cast<std::int64_t>(e.size());
+  for (const EntryHead& e : table_) {
+    if (!Registered(e)) continue;
+    replicas += static_cast<std::int64_t>(Count(e));
     ++objects;
   }
   return {replicas, objects};

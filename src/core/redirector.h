@@ -19,10 +19,18 @@
 // table *before* granting the drop while learning of creations *after*
 // they happen — preserving the invariant that its recorded replica set is
 // always a subset of the replicas that physically exist.
+//
+// Storage layout: the table is a dense-by-object-id vector of 16-byte
+// heads. The common case — one replica — lives entirely in the head
+// (host + request count), with the affinity in a parallel array the
+// request path never reads. Multi-replica sets (rare: the mean replica
+// count stays near 1) spill into a pooled structure-of-arrays set —
+// hosts, rcnts, affs in separate contiguous vectors, kept sorted by host
+// — so the Fig. 2 loop streams plain arrays. Spill sets are recycled
+// through a free list: replica churn allocates nothing in steady state.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -63,6 +71,22 @@ class Redirector {
   /// be registered. Returns kInvalidNode when every replica is gone
   /// (faults pruned the whole live set) — the request has nowhere to go.
   NodeId ChooseReplica(ObjectId x, NodeId gateway);
+
+  /// ChooseReplica with the gateway's distance row already resolved
+  /// (`row` = distance.DistanceRow(gateway), possibly nullptr). Batched
+  /// dispatch resolves the row once per gateway batch instead of once per
+  /// request; the choice is identical either way.
+  NodeId ChooseReplica(ObjectId x, NodeId gateway, const std::int32_t* row);
+
+  /// Hints x's entry head into cache. The batched dispatcher knows the
+  /// next arrival's object one event early and prefetches its 16-byte
+  /// head, hiding the table's only data-dependent load. A miss on an
+  /// unknown id is harmless (bounds-checked, no growth).
+  void Prefetch(ObjectId x) const {
+    if (static_cast<std::size_t>(x) < table_.size()) {
+      __builtin_prefetch(&table_[static_cast<std::size_t>(x)], 0, 2);
+    }
+  }
 
   /// Notification that `host` created a new replica (affinity 1) or, if it
   /// already held one, incremented its affinity. Resets request counts.
@@ -133,57 +157,81 @@ class Redirector {
   std::int64_t replica_set_changes() const { return replica_set_changes_; }
 
  private:
-  struct Replica {
-    NodeId host = kInvalidNode;
-    std::int64_t rcnt = 1;
-    int aff = 1;
+  /// 16-byte per-object head. `count_reg` packs the replica count (low 31
+  /// bits) with the registered flag (high bit — set once by
+  /// RegisterObject; faults can empty a registered entry, so emptiness no
+  /// longer implies "unknown object"). For a sole replica the head is the
+  /// whole entry: `host0` and its request count in `rcnt_or_spill`; the
+  /// affinity lives in the parallel aff0_ array, off the request path.
+  /// With two or more replicas `rcnt_or_spill` indexes spill_pool_.
+  struct EntryHead {
+    NodeId host0 = kInvalidNode;
+    std::uint32_t count_reg = 0;
+    std::int64_t rcnt_or_spill = 0;
   };
-  /// Replica set of one object, kept sorted by host id. The first
-  /// kInlineReplicas live in an inline array so the per-request lookup
-  /// touches a single cache line; larger sets (rare — the mean replica
-  /// count stays near 1) spill wholesale into `overflow`, and shrink back
-  /// inline when deletions allow, so iteration is always one contiguous
-  /// span either way.
-  struct Entry {
-    static constexpr std::size_t kInlineReplicas = 2;
+  static constexpr std::uint32_t kRegisteredBit = 0x80000000u;
+  static constexpr std::uint32_t kCountMask = 0x7fffffffu;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-    /// Set once by RegisterObject. Faults can empty a registered entry
-    /// (every live replica pruned), so emptiness no longer implies
-    /// "unknown object".
-    bool registered = false;
-
-    std::size_t size() const { return count; }
-    bool empty() const { return count == 0; }
-    Replica* begin() {
-      return count <= kInlineReplicas ? inline_storage : overflow.data();
-    }
-    Replica* end() { return begin() + count; }
-    const Replica* begin() const {
-      return count <= kInlineReplicas ? inline_storage : overflow.data();
-    }
-    const Replica* end() const { return begin() + count; }
-    Replica& front() { return *begin(); }
-
-    void Insert(std::size_t pos, const Replica& r);
-    void Erase(std::size_t pos);
-
-    std::size_t count = 0;
-    Replica inline_storage[kInlineReplicas];
-    std::vector<Replica> overflow;
+  /// Replica set of one object with >= 2 replicas, kept sorted by host id
+  /// in structure-of-arrays form so the Fig. 2 loop streams contiguous
+  /// vectors. Pooled and recycled (vectors keep their capacity on the
+  /// free list).
+  struct SpillSet {
+    std::vector<NodeId> hosts;
+    std::vector<std::int64_t> rcnts;
+    std::vector<int> affs;
   };
 
-  Entry& EntryOf(ObjectId x);
-  const Entry& EntryOf(ObjectId x) const;
-  static Replica* FindReplica(Entry& e, NodeId host);
-  void ResetCounts(Entry& e);
+  static std::uint32_t Count(const EntryHead& e) {
+    return e.count_reg & kCountMask;
+  }
+  static bool Registered(const EntryHead& e) {
+    return (e.count_reg & kRegisteredBit) != 0;
+  }
+  static void SetCount(EntryHead& e, std::uint32_t count) {
+    e.count_reg = (e.count_reg & kRegisteredBit) | count;
+  }
+
+  EntryHead& HeadOf(ObjectId x);
+  const EntryHead& HeadOf(ObjectId x) const;
+  SpillSet& SpillOf(const EntryHead& e) {
+    return spill_pool_[static_cast<std::size_t>(e.rcnt_or_spill)];
+  }
+  const SpillSet& SpillOf(const EntryHead& e) const {
+    return spill_pool_[static_cast<std::size_t>(e.rcnt_or_spill)];
+  }
+
+  /// Fig. 2 over a spilled (>= 2 replica) set.
+  NodeId ChooseFromSpill(EntryHead& e, NodeId gateway,
+                         const std::int32_t* row);
+
+  /// Index of `host` in x's replica set (0 for the inline replica), or
+  /// kNpos when absent.
+  std::size_t FindReplica(ObjectId x, NodeId host) const;
+  /// Inserts a replica, keeping the set sorted by host id; moves a sole
+  /// inline replica into a pooled spill set when crossing 1 -> 2.
+  void InsertReplica(ObjectId x, NodeId host, std::int64_t rcnt, int aff);
+  /// Erases the replica at `pos`; a set shrinking 2 -> 1 moves the
+  /// survivor back inline and recycles the spill set.
+  void EraseReplica(ObjectId x, std::size_t pos);
+  void ResetCounts(EntryHead& e);
+
+  std::uint32_t AcquireSpill();
+  void ReleaseSpill(std::int64_t slot);
 
   const DistanceOracle& distance_;
   double distribution_constant_;
   NodeId home_node_;
   int min_replicas_ = 1;
   ChangeListener* listener_ = nullptr;
-  // Dense by object id; entries with no replicas are unregistered objects.
-  std::vector<Entry> table_;
+  // Dense by object id; entries with no replicas are unregistered objects
+  // (or registered objects whose live set faults emptied).
+  std::vector<EntryHead> table_;
+  /// Parallel to table_: the sole replica's affinity while count <= 1.
+  std::vector<int> aff0_;
+  std::vector<SpillSet> spill_pool_;
+  std::vector<std::uint32_t> spill_free_;
   std::int64_t requests_distributed_ = 0;
   std::int64_t replica_set_changes_ = 0;
 };

@@ -190,8 +190,23 @@ void HostingSimulation::ScheduleArrivals() {
       const SimTime phase =
           period * static_cast<SimTime>(g) /
           static_cast<SimTime>(topology_.num_nodes());
-      sim_.SchedulePeriodic(phase, period,
-                            [this, g](SimTime t) { GenerateRequest(g, t); });
+      if (workload_->time_invariant()) {
+        // Batched generation: same draws, same event order, but the
+        // workload's sampling runs over a pre-drawn block instead of one
+        // virtual call + RNG round-trip per arrival event.
+        gateway_arrivals_.push_back(std::make_unique<GatewayArrivals>());
+        GatewayArrivals* arrivals = gateway_arrivals_.back().get();
+        arrivals->owner = this;
+        arrivals->gateway = g;
+        arrivals->period = period;
+        arrivals->stream = sim_.AddStream([arrivals] { arrivals->Fire(); });
+        sim_.ArmStream(arrivals->stream, phase);
+      } else {
+        // A time-varying workload (demand shift) must sample at each
+        // arrival's own firing time.
+        sim_.SchedulePeriodic(phase, period,
+                              [this, g](SimTime t) { GenerateRequest(g, t); });
+      }
     } else {
       // Self-rescheduling Poisson process. The closure lives in
       // arrival_ticks_; capturing a shared self-handle instead would form
@@ -278,6 +293,28 @@ NodeId HostingSimulation::ChooseHost(ObjectId x, NodeId gateway) {
   return kInvalidNode;
 }
 
+void HostingSimulation::GatewayArrivals::Fire() {
+  const SimTime at = owner->sim_.Now();
+  if (next == filled) {
+    Rng& rng = owner->node_rngs_[static_cast<std::size_t>(gateway)];
+    owner->workload_->FillBatch(gateway, at, rng, objects, kBatch);
+    next = 0;
+    filled = kBatch;
+  }
+  const ObjectId x = objects[next++];
+  if (next < filled) {
+    // One-arrival lookahead: warm the next object's redirector head while
+    // ~a batch-period of other events executes in between.
+    const ObjectId nx = objects[next];
+    owner->cluster_->redirectors().For(nx).Prefetch(nx);
+  }
+  // Dispatch before arming the successor: the periodic-task flow this
+  // replaces pushed the request's control leg first, and equal-time
+  // events fire in sequence-number (push/arm) order.
+  owner->DispatchRequest(x, gateway, at);
+  owner->sim_.ArmStream(stream, at + period);
+}
+
 void HostingSimulation::GenerateRequest(NodeId gateway, SimTime now) {
   DispatchRequest(workload_->NextObject(
                       gateway, now,
@@ -287,15 +324,28 @@ void HostingSimulation::GenerateRequest(NodeId gateway, SimTime now) {
 
 void HostingSimulation::DispatchRequest(ObjectId x, NodeId gateway,
                                         SimTime now) {
-  const NodeId host = ChooseHost(x, gateway);
+  // Resolve the object's redirector shard once: the replica choice and
+  // the control-leg home node read the same reference. Under the RaDaR
+  // policy the gateway's dense hop row is handed to ChooseReplica so the
+  // Fig. 2 scan indexes a plain array instead of making a virtual
+  // distance call per candidate (same values — the oracle reads the same
+  // row). Fetched per dispatch, so a routing rebuild under link faults is
+  // picked up immediately.
+  core::Redirector& shard = cluster_->redirectors().For(x);
+  const NodeId host =
+      config_.distribution == baselines::DistributionPolicy::kRadar
+          ? shard.ChooseReplica(x, gateway, routing_.HopRow(gateway))
+          : ChooseHost(x, gateway);
   if (host == kInvalidNode) {
     ++report_->availability.failed_requests;  // no live replica anywhere
     return;
   }
-  // Control legs: gateway -> redirector -> host (propagation only).
-  const NodeId redirector = cluster_->redirectors().For(x).home_node();
-  SimTime control = ControlPathLatency(gateway, redirector) +
-                    ControlPathLatency(redirector, host);
+  // Control legs: gateway -> redirector -> host (propagation only). Row
+  // pointers skip the per-lookup index checks: both legs read the same
+  // precomputed matrix ControlPathLatency serves.
+  const NodeId redirector = shard.home_node();
+  const SimTime control_in = latency_.ControlRow(gateway)[redirector];
+  SimTime control = control_in + latency_.ControlRow(redirector)[host];
   if (injector_ != nullptr) {
     const fault::FaultInjector::RequestFate fate =
         injector_->FateForRequestLeg();
@@ -341,8 +391,8 @@ void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
   // up instead of crediting a dead server.
   const std::uint32_t epoch =
       injector_ != nullptr ? injector_->crash_epoch(host) : 0;
-  sim_.Schedule(completion - sim_.Now(),
-                [this, x, gateway, host, t0, epoch] {
+  sim_.ScheduleAt(completion,
+                  [this, x, gateway, host, t0, epoch] {
                   if (injector_ != nullptr &&
                       injector_->crash_epoch(host) != epoch) {
                     ++report_->availability.failed_requests;
@@ -356,15 +406,16 @@ void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
                                         NodeId host, SimTime t0) {
   core::HostAgent& agent = cluster_->host(host);
   const std::vector<NodeId>& path = routing_.Path(host, gateway);
-  if (agent.HasObject(x)) {
-    agent.RecordServiced(x, path);
-  } else {
-    agent.RecordServicedUntracked();  // dropped while queued; still served
-  }
+  // One record lookup: counts the serviced request against x when it is
+  // still hosted, or as untracked when it was dropped while queued.
+  agent.RecordServicedIfHosted(x, path);
   const SimTime now = sim_.Now();
+  // The canonical path is the routing table's stored path, so its hop
+  // count IS HopDistance(host, gateway) — reuse the vector instead of a
+  // second row lookup. (Both come from the same table, also after a
+  // link-fault rebuild.)
   const std::int64_t byte_hops =
-      config_.object_bytes *
-      static_cast<std::int64_t>(routing_.HopDistance(host, gateway));
+      config_.object_bytes * static_cast<std::int64_t>(path.size() - 1);
   report_->traffic.AddPayload(now, byte_hops);
   link_stats_.RecordPath(path, config_.object_bytes);
   const SimTime response = TransferPathLatency(host, gateway);

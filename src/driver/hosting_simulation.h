@@ -133,6 +133,28 @@ class HostingSimulation {
     return injector_ == nullptr || injector_->HostUp(n);
   }
 
+  /// Batched deterministic arrival generation for one gateway (DESIGN.md
+  /// §12). Pre-draws blocks of objects from the gateway's RNG — nothing
+  /// else consumes that stream in deterministic-arrival mode, and the
+  /// workload must be time-invariant, so every arrival still receives
+  /// exactly the value it would have drawn at its own firing time. Each
+  /// gateway runs as a pinned event-queue stream: one armed firing per
+  /// arrival, re-armed after dispatch (the periodic-task push order), so
+  /// every arrival occupies the same place in the global (when, seq)
+  /// event order as a per-event Schedule — the golden report is
+  /// unchanged — while skipping the closure slab entirely.
+  struct GatewayArrivals {
+    static constexpr std::uint32_t kBatch = 256;
+    HostingSimulation* owner = nullptr;
+    NodeId gateway = kInvalidNode;
+    SimTime period = 0;
+    std::uint32_t stream = 0;  ///< pinned stream id (sim::Simulator)
+    std::uint32_t next = 0;    ///< consumed prefix of objects
+    std::uint32_t filled = 0;  ///< drawn prefix of objects
+    ObjectId objects[kBatch];
+    void Fire();
+  };
+
   void GenerateRequest(NodeId gateway, SimTime now);
   void DispatchRequest(ObjectId x, NodeId gateway, SimTime now);
   void ScheduleTraceRecord(std::size_t index);
@@ -167,6 +189,9 @@ class HostingSimulation {
   /// the self-rescheduling lambdas capture a raw pointer to a stable slot
   /// instead of a shared self-handle, which would be a reference cycle.
   std::vector<std::unique_ptr<sim::EventFn>> arrival_ticks_;
+  /// Batched arrival generators (deterministic arrivals + time-invariant
+  /// workload only); owned here so Fire closures capture a stable pointer.
+  std::vector<std::unique_ptr<GatewayArrivals>> gateway_arrivals_;
   baselines::RoundRobinSelector round_robin_;
   baselines::ClosestSelector closest_;
   /// Fault machinery; all null in a perfect world so fault-free runs pay

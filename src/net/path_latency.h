@@ -43,6 +43,15 @@ class PathLatencyMatrix {
     return control_[Index(a, b)];
   }
 
+  /// Row a of the control matrix (row[b] == Control(a, b)): bounds-checks
+  /// the source once for hot callers that resolve several legs.
+  const SimTime* ControlRow(NodeId a) const {
+    RADAR_CHECK_GE(a, 0);
+    RADAR_CHECK_LT(a, num_nodes_);
+    return &control_[static_cast<std::size_t>(a) *
+                     static_cast<std::size_t>(num_nodes_)];
+  }
+
   /// Store-and-forward latency of one object along the path a -> b.
   SimTime Transfer(NodeId a, NodeId b) const {
     return transfer_[Index(a, b)];

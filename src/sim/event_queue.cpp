@@ -38,7 +38,7 @@ void EventQueue::PushEntry(const Entry& e) {
     // (possible when NextTime() skipped idle buckets before this push).
     // Either way the heap keeps it, and pops compare both sources.
     far_.push_back(e);
-    SiftUp(far_.size() - 1);
+    SiftUp(far_, far_.size() - 1);
   }
 }
 
@@ -55,15 +55,15 @@ EventQueue::Bucket* EventQueue::SettleWheel() {
   return cur;
 }
 
-void EventQueue::SiftUp(std::size_t i) {
-  const Entry e = far_[i];
+void EventQueue::SiftUp(std::vector<Entry>& heap, std::size_t i) {
+  const Entry e = heap[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
-    if (!Earlier(e, far_[parent])) break;
-    far_[i] = far_[parent];
+    if (!Earlier(e, heap[parent])) break;
+    heap[i] = heap[parent];
     i = parent;
   }
-  far_[i] = e;
+  heap[i] = e;
 }
 
 // Bottom-up variant: the element being sifted comes from the heap's back,
@@ -74,27 +74,27 @@ void EventQueue::SiftUp(std::size_t i) {
 // variants produce valid heaps over the same elements, and the pop order
 // depends only on the (when, seq) total order — never on layout — so this
 // is invisible to simulation results.
-void EventQueue::SiftDown(std::size_t i) {
-  const Entry e = far_[i];
-  const std::size_t n = far_.size();
+void EventQueue::SiftDown(std::vector<Entry>& heap, std::size_t i) {
+  const Entry e = heap[i];
+  const std::size_t n = heap.size();
   for (;;) {
     const std::size_t first = i * kArity + 1;
     if (first >= n) break;
     const std::size_t last = std::min(first + kArity, n);
     std::size_t best = first;
     for (std::size_t c = first + 1; c < last; ++c) {
-      if (Earlier(far_[c], far_[best])) best = c;
+      if (Earlier(heap[c], heap[best])) best = c;
     }
-    far_[i] = far_[best];
+    heap[i] = heap[best];
     i = best;
   }
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
-    if (!Earlier(e, far_[parent])) break;
-    far_[i] = far_[parent];
+    if (!Earlier(e, heap[parent])) break;
+    heap[i] = heap[parent];
     i = parent;
   }
-  far_[i] = e;
+  heap[i] = e;
 }
 
 std::uint32_t EventQueue::AcquireSlot() {
@@ -138,10 +138,91 @@ std::pair<SimTime, std::uint32_t> EventQueue::PopEntry() {
     top = far_.front();
     far_.front() = far_.back();
     far_.pop_back();
-    if (!far_.empty()) SiftDown(0);
+    if (!far_.empty()) SiftDown(far_, 0);
   }
   --size_;
   return {top.when, static_cast<std::uint32_t>(top.seq_slot & kSlotMask)};
+}
+
+bool EventQueue::PopEntryIfNotAfter(SimTime until, SimTime* when,
+                                    std::uint32_t* slot) {
+  // Global minimum over the three residences: wheel-current, far-heap
+  // front, stream-ring head. Seqs are unique, so strict Earlier chains
+  // pick the same entry regardless of comparison order.
+  Bucket* cur = SettleWheel();
+  const Entry* best = cur != nullptr ? &(*cur)[cursor_] : nullptr;
+  const bool from_far =
+      !far_.empty() && (best == nullptr || Earlier(far_.front(), *best));
+  if (from_far) best = &far_.front();
+  const bool from_stream =
+      stream_count_ != 0 &&
+      (best == nullptr || Earlier(StreamFront(), *best));
+  if (from_stream) best = &StreamFront();
+  if (best == nullptr || best->when > until) return false;
+  *when = best->when;
+  if (from_stream) {
+    *slot = static_cast<std::uint32_t>(best->seq_slot & kSlotMask) |
+            kStreamTag;
+    PopStreamFront();
+    return true;
+  }
+  *slot = static_cast<std::uint32_t>(best->seq_slot & kSlotMask);
+  if (from_far) {
+    far_.front() = far_.back();
+    far_.pop_back();
+    if (!far_.empty()) SiftDown(far_, 0);
+  } else {
+    ++cursor_;
+    --wheel_count_;
+    if (cursor_ == cur->size()) {
+      cur->clear();
+      cursor_ = 0;
+    }
+  }
+  --size_;
+  return true;
+}
+
+std::uint32_t EventQueue::AddStream(EventFn fn) {
+  RADAR_CHECK_LT(streams_.size(), static_cast<std::size_t>(kSlotMask));
+  streams_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(streams_.size() - 1);
+}
+
+void EventQueue::GrowStreamRing() {
+  // Re-lay the armed entries contiguously from index 0 of the doubled
+  // ring (minimum capacity 16).
+  std::vector<Entry> grown(stream_ring_.empty() ? 16
+                                                : stream_ring_.size() * 2);
+  for (std::size_t i = 0; i < stream_count_; ++i) {
+    grown[i] =
+        stream_ring_[(stream_head_ + i) & (stream_ring_.size() - 1)];
+  }
+  stream_ring_ = std::move(grown);
+  stream_head_ = 0;
+}
+
+void EventQueue::ArmStream(std::uint32_t id, SimTime when) {
+  RADAR_CHECK_GE(when, 0);
+  RADAR_CHECK_LT(static_cast<std::size_t>(id), streams_.size());
+  if (stream_count_ == stream_ring_.size()) GrowStreamRing();
+  // Reserve the firing's place in the (when, seq) total order — the same
+  // sequence number a Push at this point would have consumed.
+  const Entry e{when, (next_seq_++ << kSlotBits) | id};
+  const std::size_t mask = stream_ring_.size() - 1;
+  std::size_t i = (stream_head_ + stream_count_) & mask;
+  // Streams re-arm one period after the firing that arms them, which is
+  // at or past every armed entry (equal times lose on seq), so this loop
+  // almost never iterates; differing periods or out-of-order initial
+  // arms shift a few 16-byte entries.
+  while (i != stream_head_) {
+    const std::size_t prev = (i + mask) & mask;
+    if (!Earlier(e, stream_ring_[prev])) break;
+    stream_ring_[i] = stream_ring_[prev];
+    i = prev;
+  }
+  stream_ring_[i] = e;
+  ++stream_count_;
 }
 
 void EventQueue::ReleaseSlot(std::uint32_t slot) {

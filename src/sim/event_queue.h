@@ -41,7 +41,11 @@
 
 namespace radar::sim {
 
-using EventFn = InplaceFunction<void(), 64>;
+// 48-byte capture capacity + the ops pointer = a 64-byte slot: every
+// event closure occupies exactly one cache line in the slab. Oversized
+// captures are a compile error (can_hold) — capture pointers, not
+// objects, or split the event.
+using EventFn = InplaceFunction<void(), 48>;
 
 class EventQueue {
  public:
@@ -82,11 +86,59 @@ class EventQueue {
   /// Removes the earliest entry, returning {when, slot}. Requires !empty().
   std::pair<SimTime, std::uint32_t> PopEntry();
 
+  /// Fused peek + pop for the run loop: removes the earliest entry into
+  /// {*when, *slot} and returns true, unless the queue is empty or that
+  /// entry is after `until` (then nothing is removed and it returns
+  /// false). Equivalent to `!empty() && NextTime() <= until` followed by
+  /// PopEntry(), but settles the wheel once instead of twice — the run
+  /// loop's per-event ordering work, halved.
+  bool PopEntryIfNotAfter(SimTime until, SimTime* when, std::uint32_t* slot);
+
   /// Runs the closure held in `slot` (which must come from PopEntry).
   void InvokeSlot(std::uint32_t slot) { SlotRef(slot)(); }
 
   /// Destroys the closure in `slot` and returns the slot to the free list.
   void ReleaseSlot(std::uint32_t slot);
+
+  /// InvokeSlot + ReleaseSlot with one slab address computation. The
+  /// reference stays valid across the call even when the closure pushes
+  /// events (chunks never relocate). Stream firings (slots tagged
+  /// kStreamTag by PopEntryIfNotAfter) invoke the registered closure in
+  /// place — nothing to destroy or recycle.
+  void InvokeAndReleaseSlot(std::uint32_t slot) {
+    if ((slot & kStreamTag) != 0) {
+      streams_[slot & ~kStreamTag]();
+      return;
+    }
+    EventFn& fn = SlotRef(slot);
+    fn();
+    fn.Reset();
+    free_slots_.push_back(slot);
+  }
+
+  // -- Pinned periodic streams --
+  //
+  // A stream is a closure registered once whose firings bypass the slot
+  // slab and the wheel: arming a stream appends one 16-byte entry to a
+  // small sorted ring — no slot acquire, no closure construct/destroy. Each
+  // ArmStream reserves the next sequence number exactly as Push would, so
+  // a stream firing occupies the same place in the global (when, seq)
+  // order as the equivalent Push — the pop sequence is indistinguishable.
+  // Built for the driver's deterministic gateway arrivals: one armed
+  // entry per gateway at any time, re-armed from inside the closure.
+  // Streams participate only in PopEntryIfNotAfter (the run-loop path);
+  // NextTime/Pop/PopEntry and size() do not see them.
+
+  /// Marks a slot value returned by PopEntryIfNotAfter as a stream id.
+  static constexpr std::uint32_t kStreamTag = 0x80000000u;
+
+  /// Registers a stream closure; returns its id. The closure is invoked
+  /// with no arguments on every firing (read the clock for the time).
+  std::uint32_t AddStream(EventFn fn);
+
+  /// Schedules the stream's next firing at absolute time `when`. The
+  /// stream must not already be armed.
+  void ArmStream(std::uint32_t id, SimTime when);
 
  private:
   // A 16-byte entry: the insertion sequence number lives in the high 40
@@ -132,10 +184,10 @@ class EventQueue {
   /// bucket, or nullptr if the wheel is empty.
   Bucket* SettleWheel();
 
-  // Far heap (4-ary) for entries outside the wheel's range.
+  // 4-ary min-heap primitives, shared by the far heap and the stream heap.
   static constexpr std::size_t kArity = 4;
-  void SiftUp(std::size_t i);
-  void SiftDown(std::size_t i);
+  static void SiftUp(std::vector<Entry>& heap, std::size_t i);
+  static void SiftDown(std::vector<Entry>& heap, std::size_t i);
 
   // Slot slab: fixed-size chunks that never relocate, so closures have
   // stable addresses for in-place invocation.
@@ -158,6 +210,25 @@ class EventQueue {
   std::uint32_t num_slots_ = 0;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+
+  // Pinned streams: registered closures plus a sorted ring of armed
+  // firings (Entry reused with the stream id in the slot bits), earliest
+  // at stream_head_. One armed entry per stream, and a re-armed firing
+  // lands one full period after the firing that arms it — at or past the
+  // ring's tail — so arming is an append (one comparison) and popping
+  // advances a cursor; out-of-order arms fall back to an insertion
+  // shift. Capacity is a power of two (index masking), grown on demand.
+  const Entry& StreamFront() const { return stream_ring_[stream_head_]; }
+  void PopStreamFront() {
+    stream_head_ = (stream_head_ + 1) & (stream_ring_.size() - 1);
+    --stream_count_;
+  }
+  void GrowStreamRing();
+
+  std::vector<EventFn> streams_;
+  std::vector<Entry> stream_ring_;
+  std::size_t stream_head_ = 0;
+  std::size_t stream_count_ = 0;
 };
 
 }  // namespace radar::sim

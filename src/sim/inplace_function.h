@@ -88,9 +88,12 @@ class InplaceFunction<R(Args...), Capacity> {
   }
 
   /// Destroys the held callable (if any), leaving the function empty.
+  /// Closures over trivially destructible captures (every hot-path event:
+  /// PODs and pointers only) carry a null destroy op, so releasing them
+  /// is a branch, not an indirect call.
   void Reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }
@@ -101,7 +104,7 @@ class InplaceFunction<R(Args...), Capacity> {
   struct Ops {
     R (*invoke)(void*, Args&&...);
     void (*move_to)(void* from, void* to);  // move-construct + destroy src
-    void (*destroy)(void*);
+    void (*destroy)(void*);  // null when ~Fn is trivial
   };
 
   template <class Fn>
@@ -115,7 +118,9 @@ class InplaceFunction<R(Args...), Capacity> {
       src->~Fn();
     }
     static void Destroy(void* storage) { static_cast<Fn*>(storage)->~Fn(); }
-    static constexpr Ops ops{&Invoke, &MoveTo, &Destroy};
+    static constexpr Ops ops{
+        &Invoke, &MoveTo,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &Destroy};
   };
 
   template <class F>
@@ -144,8 +149,13 @@ class InplaceFunction<R(Args...), Capacity> {
     }
   }
 
-  alignas(kAlignment) unsigned char storage_[Capacity];
+  // ops_ precedes the (16-aligned) buffer, so a function with a capture of
+  // up to Capacity = 48 bytes occupies bytes [0, 64) — ops pointer and
+  // capture on ONE cache line. With the buffer first, the trailing ops
+  // pointer starts at offset Capacity and every emplace/invoke/release
+  // touches a second line regardless of capture size.
   const Ops* ops_ = nullptr;
+  alignas(kAlignment) unsigned char storage_[Capacity];
 };
 
 }  // namespace radar::sim

@@ -28,14 +28,15 @@ void Simulator::SchedulePeriodic(SimTime first_at, SimTime period,
 
 void Simulator::RunUntil(SimTime until) {
   RADAR_CHECK_GE(until, now_);
-  while (!queue_.empty() && queue_.NextTime() <= until) {
-    // In-place execution: the closure runs inside the queue's slot slab
-    // (stable storage), so the hot loop never moves a closure.
-    const auto [when, slot] = queue_.PopEntry();
+  SimTime when = 0;
+  std::uint32_t slot = 0;
+  // Fused peek + pop (one wheel settle per event) and in-place execution:
+  // the closure runs inside the queue's slot slab (stable storage), so
+  // the hot loop never moves a closure.
+  while (queue_.PopEntryIfNotAfter(until, &when, &slot)) {
     RADAR_CHECK_GE(when, now_);
     now_ = when;
-    queue_.InvokeSlot(slot);
-    queue_.ReleaseSlot(slot);
+    queue_.InvokeAndReleaseSlot(slot);
     ++events_executed_;
   }
   if (now_ < until) now_ = until;
@@ -46,8 +47,7 @@ void Simulator::RunAll() {
     const auto [when, slot] = queue_.PopEntry();
     RADAR_CHECK_GE(when, now_);
     now_ = when;
-    queue_.InvokeSlot(slot);
-    queue_.ReleaseSlot(slot);
+    queue_.InvokeAndReleaseSlot(slot);
     ++events_executed_;
   }
 }

@@ -41,6 +41,28 @@ class Simulator {
   /// while a periodic task is registered; use RunUntil).
   void SchedulePeriodic(SimTime first_at, SimTime period, PeriodicFn fn);
 
+  // -- Pinned streams (see EventQueue) --
+  //
+  // For self-rescheduling high-frequency tasks whose closure never
+  // changes: register once, then arm each firing. An armed firing runs at
+  // exactly the place in the event order a Schedule at the same point
+  // would have taken, but costs no slot traffic. The closure takes no
+  // arguments — read Now() for the firing time. Streams fire only inside
+  // RunUntil, and only the next armed firing is pending at a time.
+
+  /// Registers a stream closure; returns its id.
+  template <class F>
+  std::uint32_t AddStream(F&& fn) {
+    return queue_.AddStream(EventFn(std::forward<F>(fn)));
+  }
+
+  /// Arms the stream's next firing at absolute time `when` (not in the
+  /// past; typically called from inside the stream's own closure).
+  void ArmStream(std::uint32_t id, SimTime when) {
+    RADAR_CHECK_GE(when, now_);
+    queue_.ArmStream(id, when);
+  }
+
   /// Runs events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` are executed.
   void RunUntil(SimTime until);

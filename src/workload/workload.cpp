@@ -26,6 +26,13 @@ ObjectId ZipfWorkload::NextObject(NodeId, SimTime, Rng& rng) {
   return static_cast<ObjectId>(zipf_.Sample(rng) - 1);
 }
 
+void ZipfWorkload::FillBatch(NodeId, SimTime, Rng& rng, ObjectId* out,
+                             std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out[i] = static_cast<ObjectId>(zipf_.Sample(rng) - 1);
+  }
+}
+
 HotSitesWorkload::HotSitesWorkload(ObjectId num_objects,
                                    std::int32_t num_nodes, double p,
                                    std::uint64_t site_seed)
@@ -157,6 +164,13 @@ ObjectId MixtureWorkload::NextObject(NodeId gateway, SimTime now, Rng& rng) {
   const auto idx = std::min<std::size_t>(
       static_cast<std::size_t>(it - cumulative_.begin()), components_.size() - 1);
   return components_[idx].workload->NextObject(gateway, now, rng);
+}
+
+bool MixtureWorkload::time_invariant() const {
+  for (const Component& c : components_) {
+    if (!c.workload->time_invariant()) return false;
+  }
+  return true;
 }
 
 ObjectId MixtureWorkload::num_objects() const {

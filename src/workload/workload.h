@@ -25,6 +25,25 @@ class Workload {
   /// Returns the requested object id in [0, num_objects).
   virtual ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) = 0;
 
+  /// Draws `count` objects into `out`: exactly the values (and RNG
+  /// consumption) of `count` successive NextObject calls. Hot workloads
+  /// override this so the driver's batched arrival refill pays one
+  /// virtual dispatch per block instead of one per draw.
+  virtual void FillBatch(NodeId gateway, SimTime now, Rng& rng,
+                         ObjectId* out, std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out[i] = NextObject(gateway, now, rng);
+    }
+  }
+
+  /// True when NextObject depends only on (gateway, rng) — it never reads
+  /// `now` and keeps no mutable cross-call state — so a caller may
+  /// pre-draw a block of objects from a gateway's rng and serve them at
+  /// later times without changing any drawn value. The driver's batched
+  /// arrival generation relies on exactly this contract; defaults to
+  /// false, so a workload must opt in explicitly.
+  virtual bool time_invariant() const { return false; }
+
   virtual std::string name() const = 0;
   virtual ObjectId num_objects() const = 0;
 };
@@ -35,6 +54,7 @@ class UniformWorkload final : public Workload {
   explicit UniformWorkload(ObjectId num_objects);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  bool time_invariant() const override { return true; }
   std::string name() const override { return "uniform"; }
   ObjectId num_objects() const override { return num_objects_; }
 
@@ -49,6 +69,9 @@ class ZipfWorkload final : public Workload {
   explicit ZipfWorkload(ObjectId num_objects);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  void FillBatch(NodeId gateway, SimTime now, Rng& rng, ObjectId* out,
+                 std::uint32_t count) override;
+  bool time_invariant() const override { return true; }
   std::string name() const override { return "zipf"; }
   ObjectId num_objects() const override { return num_objects_; }
 
@@ -69,6 +92,7 @@ class HotSitesWorkload final : public Workload {
                    std::uint64_t site_seed);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  bool time_invariant() const override { return true; }
   std::string name() const override { return "hot-sites"; }
   ObjectId num_objects() const override { return num_objects_; }
 
@@ -89,6 +113,7 @@ class HotPagesWorkload final : public Workload {
                    double hot_probability, std::uint64_t page_seed);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  bool time_invariant() const override { return true; }
   std::string name() const override { return "hot-pages"; }
   ObjectId num_objects() const override { return num_objects_; }
 
@@ -111,6 +136,7 @@ class RegionalWorkload final : public Workload {
                    double preferred_slice = 0.01);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  bool time_invariant() const override { return true; }
   std::string name() const override { return "regional"; }
   ObjectId num_objects() const override { return num_objects_; }
 
@@ -136,6 +162,9 @@ class MixtureWorkload final : public Workload {
   explicit MixtureWorkload(std::vector<Component> components);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  /// Time-invariant iff every component is (the mixture draw itself uses
+  /// only the rng).
+  bool time_invariant() const override;
   std::string name() const override { return "mixture"; }
   ObjectId num_objects() const override;
 
@@ -152,6 +181,10 @@ class DemandShiftWorkload final : public Workload {
                       std::unique_ptr<Workload> after, SimTime shift_at);
 
   ObjectId NextObject(NodeId gateway, SimTime now, Rng& rng) override;
+  /// Never time-invariant: NextObject reads `now` to pick the phase, so
+  /// pre-drawing across the shift boundary would serve post-shift requests
+  /// from the pre-shift distribution.
+  bool time_invariant() const override { return false; }
   std::string name() const override;
   ObjectId num_objects() const override;
   SimTime shift_at() const { return shift_at_; }

@@ -1,0 +1,10 @@
+// Fixture: node-based maps in src/core/ must trip core-no-hash-maps.
+#include <map>
+#include <unordered_map>
+
+namespace radar::core {
+
+std::unordered_map<int, double> object_load;
+std::map<int, int> replica_index;
+
+}  // namespace radar::core

@@ -246,6 +246,49 @@ TEST(LintSourceTest, FaultConfinementQuietOnLookalikes) {
 }
 
 // ---------------------------------------------------------------------
+// Hash-map ban in core protocol code
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsHashMapsInCoreCode) {
+  FileKind core_kind;
+  core_kind.forbid_hash_maps = true;
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.h",
+                 "#pragma once\nstd::unordered_map<ObjectId, int> m_;\n",
+                 core_kind),
+      "core-no-hash-maps"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "std::map<NodeId, double> load_;\n",
+                 core_kind),
+      "core-no-hash-maps"));
+}
+
+TEST(LintSourceTest, HashMapsAllowedOutsideCore) {
+  // The ban is scoped to src/core/: cold-path modules (io, analysis) may
+  // still pick the container that reads best.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/analysis/x.cpp",
+                 "std::unordered_map<std::string, int> counts;\n", Source()),
+      "core-no-hash-maps"));
+}
+
+TEST(LintSourceTest, HashMapBanQuietOnLookalikes) {
+  FileKind core_kind;
+  core_kind.forbid_hash_maps = true;
+  // SlabMap and prose mentions must not trip the token check.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.h",
+                 "#pragma once\nSlabMap<ReplicaRecord> records_;\n",
+                 core_kind),
+      "core-no-hash-maps"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.cpp",
+                 "// replaced std::unordered_map with SlabMap (§12)\n",
+                 core_kind),
+      "core-no-hash-maps"));
+}
+
+// ---------------------------------------------------------------------
 // Protocol-literal audit
 // ---------------------------------------------------------------------
 
@@ -322,6 +365,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "thread-confinement"));
   EXPECT_TRUE(HasRule(violations, "sim-no-std-function"));
   EXPECT_TRUE(HasRule(violations, "fault-confinement"));
+  EXPECT_TRUE(HasRule(violations, "core-no-hash-maps"));
   for (const auto& v : violations) {
     EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
   }

@@ -262,6 +262,61 @@ TEST_F(RedirectorTest, RestoreReplicaPreservesAffinity) {
   EXPECT_EQ(redirector_.ChooseReplica(1, 3), 2);
 }
 
+TEST_F(RedirectorTest, ChurnAcrossInlineSpillBoundaryDuringPruneRestore) {
+  // Regression for the spill-path re-audit: under the SoA layout a
+  // single-replica entry is fully inline and a second replica acquires a
+  // pooled spill set (released again when erasure returns the count to
+  // one). Repeated prune/restore churn must cross that boundary in both
+  // directions without corrupting hosts, affinities, or rcnt resets —
+  // including when the recycled spill set previously belonged to another
+  // object.
+  redirector_.RegisterObject(1, 0);
+  redirector_.RegisterObject(2, 3);
+  for (int round = 0; round < 8; ++round) {
+    // Inline -> spill: a second replica for object 1 (affinity 2 so the
+    // restore below has a non-default affinity to preserve).
+    redirector_.OnReplicaCreated(1, 2);
+    redirector_.OnReplicaCreated(1, 2);  // affinity 2 on host 2
+    ASSERT_EQ(redirector_.ReplicaCount(1), 2) << "round " << round;
+    EXPECT_EQ(redirector_.AffinityOf(1, 2), 2);
+    // The replica-set change reset every rcnt to 1.
+    EXPECT_EQ(redirector_.RequestCountOf(1, 0), 1);
+    EXPECT_EQ(redirector_.RequestCountOf(1, 2), 1);
+    // Drive traffic so the spilled counters move.
+    for (int i = 0; i < 10; ++i) redirector_.ChooseReplica(1, 3);
+    // Spill -> inline: prune the spilled host; the survivor returns to
+    // the inline head and its spill set goes back to the pool.
+    ASSERT_EQ(redirector_.PruneHost(2), 1) << "round " << round;
+    ASSERT_EQ(redirector_.ReplicaCount(1), 1);
+    EXPECT_EQ(redirector_.AffinityOf(1, 0), 1);
+    EXPECT_EQ(redirector_.ChooseReplica(1, 3), 0);
+    // Grow object 2 across the boundary too, so the pooled spill set is
+    // exercised by a different object with different hosts each round.
+    redirector_.OnReplicaCreated(2, round % 2 == 0 ? 1 : 2);
+    ASSERT_EQ(redirector_.ReplicaCount(2), 2);
+    ASSERT_EQ(redirector_.PruneHost(round % 2 == 0 ? 1 : 2), 1);
+    ASSERT_EQ(redirector_.ReplicaCount(2), 1);
+    // Inline again: restore the pruned replica with preserved affinity,
+    // which re-acquires a spill set (possibly the one object 2 released).
+    redirector_.RestoreReplica(1, 2, /*affinity=*/2);
+    ASSERT_EQ(redirector_.ReplicaCount(1), 2);
+    EXPECT_EQ(redirector_.AffinityOf(1, 2), 2);
+    EXPECT_EQ(redirector_.RequestCountOf(1, 2), 1);
+    // Hosts stay sorted ascending across all of the churn.
+    const std::vector<NodeId> hosts = redirector_.ReplicaHosts(1);
+    ASSERT_EQ(hosts.size(), 2u);
+    EXPECT_EQ(hosts[0], 0);
+    EXPECT_EQ(hosts[1], 2);
+    // Back to inline for the next round.
+    ASSERT_EQ(redirector_.PruneHost(2), 1);
+    ASSERT_EQ(redirector_.ReplicaCount(1), 1);
+  }
+  // After all the churn the survivor still behaves like a plain
+  // single-replica registration.
+  EXPECT_EQ(redirector_.ChooseReplica(1, 0), 0);
+  EXPECT_EQ(redirector_.ReplicaHosts(1), std::vector<NodeId>{0});
+}
+
 TEST_F(RedirectorTest, MinReplicasGuardsRequestDrop) {
   redirector_.set_min_replicas(2);
   redirector_.RegisterObject(1, 0);

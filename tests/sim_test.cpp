@@ -111,6 +111,80 @@ TEST(SimulatorTest, TwoPeriodicsInterleave) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
 }
 
+TEST(SimulatorTest, StreamFiresAtArmedTimesAndInterleavesWithEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<SimTime> stream_times;
+  std::uint32_t id = 0;
+  id = sim.AddStream([&] {
+    // Self-re-arming cadence of 20 starting at 10, reading the clock for
+    // the firing time (stream closures take no arguments).
+    stream_times.push_back(sim.Now());
+    order.push_back(1);
+    sim.ArmStream(id, sim.Now() + 20);
+  });
+  sim.ArmStream(id, 10);
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Schedule(45, [&] { order.push_back(3); });
+  sim.RunUntil(60);
+  EXPECT_EQ(stream_times, (std::vector<SimTime>{10, 30, 50}));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 3, 1}));
+}
+
+TEST(SimulatorTest, StreamEqualTimeTieBreaksByArmOrder) {
+  // A stream armed *before* an equal-time Schedule fires first; armed
+  // *after*, it fires second — arming reserves a place in the global
+  // sequence exactly like a push.
+  for (const bool arm_first : {true, false}) {
+    Simulator sim;
+    std::vector<int> order;
+    const std::uint32_t id = sim.AddStream([&] { order.push_back(1); });
+    if (arm_first) sim.ArmStream(id, 40);
+    sim.Schedule(40, [&] { order.push_back(2); });
+    if (!arm_first) sim.ArmStream(id, 40);
+    sim.RunUntil(100);
+    EXPECT_EQ(order, arm_first ? (std::vector<int>{1, 2})
+                               : (std::vector<int>{2, 1}));
+  }
+}
+
+TEST(SimulatorTest, StreamWaitsPastHorizonLikeAnyEvent) {
+  Simulator sim;
+  int fires = 0;
+  std::uint32_t id = 0;
+  id = sim.AddStream([&] {
+    ++fires;
+    sim.ArmStream(id, sim.Now() + 10);
+  });
+  sim.ArmStream(id, 10);
+  sim.RunUntil(35);
+  EXPECT_EQ(fires, 3);
+  // The next armed firing (40) survives the horizon and resumes later,
+  // even though the slab queue itself is empty.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunUntil(100);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(SimulatorTest, TwoStreamsInterleaveByTimeAndArmOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  a = sim.AddStream([&] {
+    order.push_back(1);
+    sim.ArmStream(a, sim.Now() + 20);
+  });
+  b = sim.AddStream([&] {
+    order.push_back(2);
+    sim.ArmStream(b, sim.Now() + 20);
+  });
+  sim.ArmStream(a, 10);
+  sim.ArmStream(b, 20);
+  sim.RunUntil(60);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
 TEST(FcfsServerTest, ServiceTimeFromCapacity) {
   FcfsServer server(200.0);  // Table 1: 200 req/s -> 5 ms
   EXPECT_EQ(server.service_time(), MillisToSim(5.0));

@@ -103,6 +103,14 @@ void CheckLine(const std::string& path_label, int line_no,
                     "pass a fault::FaultPlan instead of spelling rates "
                     "elsewhere"});
   }
+  if (kind.forbid_hash_maps && (ContainsToken(line, "std::unordered_map") ||
+                                ContainsToken(line, "std::map"))) {
+    out->push_back({path_label, line_no, "core-no-hash-maps",
+                    "node-based maps are banned in src/core/ (a cache miss "
+                    "per probe on the request hot path); use radar::SlabMap "
+                    "(common/slab_map.h) for dense ObjectId keys or a "
+                    "sorted inline vector for tiny replica sets"});
+  }
   if (!kind.allow_protocol_literals) {
     const std::string line_str(line);
     if (std::regex_search(line_str, ProtocolLiteralRegex())) {
@@ -250,6 +258,7 @@ std::vector<Violation> LintTree(const std::filesystem::path& src_root) {
     kind.allow_threads = rel.rfind("runner/", 0) == 0;
     kind.forbid_std_function = rel.rfind("sim/", 0) == 0;
     kind.allow_fault_injection = rel.rfind("fault/", 0) == 0;
+    kind.forbid_hash_maps = rel.rfind("core/", 0) == 0;
     auto file_violations = LintSource("src/" + rel, buf.str(), kind);
     violations.insert(violations.end(), file_violations.begin(),
                       file_violations.end());

@@ -20,6 +20,10 @@
 //     probabilities) only in src/fault/ — the failure model stays in one
 //     module so no subsystem grows its own notion of "how often things
 //     break", mirroring the protocol-constant rule
+//   - no std::unordered_map / std::map in src/core/ — the protocol hot
+//     path indexes dense ObjectId/NodeId key spaces, where node-based
+//     containers cost a cache miss per probe; use radar::SlabMap
+//     (common/slab_map.h) or a sorted inline vector (DESIGN.md §12)
 //
 // The logic is a library so tests can feed it sources directly; the
 // radar_lint binary is a thin filesystem walker around it.
@@ -51,6 +55,10 @@ struct FileKind {
   /// MTTR, message drop/delay probabilities. Appended last so positional
   /// FileKind initializers elsewhere keep their meaning.
   bool allow_fault_injection = false;
+  /// src/core/ must not use std::unordered_map / std::map — hot-path
+  /// tables use radar::SlabMap or sorted inline vectors (DESIGN.md §12).
+  /// Appended last so positional FileKind initializers keep their meaning.
+  bool forbid_hash_maps = false;
 };
 
 /// Returns `content` with comments and string/char literal bodies blanked
