@@ -25,7 +25,10 @@ const char* PlacementPolicyName(PlacementPolicy p) {
 NodeId RoundRobinSelector::Choose(ObjectId x,
                                   const std::vector<NodeId>& replicas) {
   RADAR_CHECK(!replicas.empty());
-  const std::uint64_t turn = next_[x]++;
+  RADAR_CHECK(x >= 0);
+  const auto idx = static_cast<std::size_t>(x);
+  if (idx >= next_.size()) next_.resize(idx + 1, 0);
+  const std::uint64_t turn = next_[idx]++;
   return replicas[static_cast<std::size_t>(turn % replicas.size())];
 }
 

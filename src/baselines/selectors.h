@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -40,7 +39,11 @@ class RoundRobinSelector {
   NodeId Choose(ObjectId x, const std::vector<NodeId>& replicas);
 
  private:
-  std::unordered_map<ObjectId, std::uint64_t> next_;
+  // Dense per-object rotation counters, indexed by ObjectId (object ids
+  // are dense by construction — workload::Catalog numbers them 0..N-1).
+  // The hash map this replaces was the last unordered container in the
+  // policy layer; counters start at 0 either way.
+  std::vector<std::uint64_t> next_;
 };
 
 /// Always the replica closest to the gateway (ties: lowest node id).

@@ -152,6 +152,7 @@ bool Redirector::KnowsObject(ObjectId x) const {
          Registered(table_[static_cast<std::size_t>(x)]);
 }
 
+// RADAR_HOT: replica choice (Fig. 2, per request)
 NodeId Redirector::ChooseFromSpill(EntryHead& e, NodeId gateway,
                                    const std::int32_t* row) {
   // p: the replica closest to the requesting gateway (ties: replicas are
@@ -224,6 +225,7 @@ NodeId Redirector::ChooseReplica(ObjectId x, NodeId gateway,
   }
   return ChooseFromSpill(e, gateway, row);
 }
+// RADAR_HOT_END
 
 void Redirector::OnReplicaCreated(ObjectId x, NodeId host) {
   EntryHead& e = HeadOf(x);

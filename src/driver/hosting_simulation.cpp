@@ -293,6 +293,7 @@ NodeId HostingSimulation::ChooseHost(ObjectId x, NodeId gateway) {
   return kInvalidNode;
 }
 
+// RADAR_HOT: request dispatch path (arrival -> host -> completion)
 void HostingSimulation::GatewayArrivals::Fire() {
   const SimTime at = owner->sim_.Now();
   if (next == filled) {
@@ -424,6 +425,7 @@ void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
   report_->latency_stats.Add(total_latency);
   ++report_->total_requests;
 }
+// RADAR_HOT_END
 
 const sim::FcfsServer& HostingSimulation::server(NodeId n) const {
   RADAR_CHECK_GE(n, 0);

@@ -9,6 +9,7 @@ namespace radar::sim {
 
 EventQueue::EventQueue() : buckets_(kWheelBuckets) {}
 
+// RADAR_HOT: event queue push/settle/sift
 void EventQueue::PushEntry(const Entry& e) {
   ++size_;
   if (wheel_count_ == 0 && !InWheelRange(e.when)) {
@@ -96,7 +97,11 @@ void EventQueue::SiftDown(std::vector<Entry>& heap, std::size_t i) {
   }
   heap[i] = e;
 }
+// RADAR_HOT_END
 
+// Slot-slab growth is the cold path of Push (amortized away by the free
+// list), so it sits outside the hot regions: its chunk allocation is
+// legitimate.
 std::uint32_t EventQueue::AcquireSlot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -111,6 +116,7 @@ std::uint32_t EventQueue::AcquireSlot() {
   return num_slots_++;
 }
 
+// RADAR_HOT: event queue pop
 SimTime EventQueue::NextTime() {
   RADAR_CHECK_GT(size_, 0u);
   const Bucket* cur = SettleWheel();
@@ -182,6 +188,7 @@ bool EventQueue::PopEntryIfNotAfter(SimTime until, SimTime* when,
   --size_;
   return true;
 }
+// RADAR_HOT_END
 
 std::uint32_t EventQueue::AddStream(EventFn fn) {
   RADAR_CHECK_LT(streams_.size(), static_cast<std::size_t>(kSlotMask));
@@ -202,6 +209,7 @@ void EventQueue::GrowStreamRing() {
   stream_head_ = 0;
 }
 
+// RADAR_HOT: stream re-arm
 void EventQueue::ArmStream(std::uint32_t id, SimTime when) {
   RADAR_CHECK_GE(when, 0);
   RADAR_CHECK_LT(static_cast<std::size_t>(id), streams_.size());
@@ -224,6 +232,7 @@ void EventQueue::ArmStream(std::uint32_t id, SimTime when) {
   stream_ring_[i] = e;
   ++stream_count_;
 }
+// RADAR_HOT_END
 
 void EventQueue::ReleaseSlot(std::uint32_t slot) {
   SlotRef(slot).Reset();

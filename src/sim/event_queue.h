@@ -54,6 +54,7 @@ class EventQueue {
   /// Enqueues an event at absolute time `when` (must be >= 0). The callable
   /// is constructed directly in its slab slot (EventFn's converting
   /// assignment), so a lambda passed here is moved exactly once.
+  // RADAR_HOT: event push inline path
   template <class F>
   void Push(SimTime when, F&& fn) {
     RADAR_CHECK_GE(when, 0);
@@ -61,6 +62,7 @@ class EventQueue {
     SlotRef(slot) = std::forward<F>(fn);
     PushEntry(Entry{when, (next_seq_++ << kSlotBits) | slot});
   }
+  // RADAR_HOT_END
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -105,6 +107,7 @@ class EventQueue {
   /// events (chunks never relocate). Stream firings (slots tagged
   /// kStreamTag by PopEntryIfNotAfter) invoke the registered closure in
   /// place — nothing to destroy or recycle.
+  // RADAR_HOT: event invoke/release inline path
   void InvokeAndReleaseSlot(std::uint32_t slot) {
     if ((slot & kStreamTag) != 0) {
       streams_[slot & ~kStreamTag]();
@@ -115,6 +118,7 @@ class EventQueue {
     fn.Reset();
     free_slots_.push_back(slot);
   }
+  // RADAR_HOT_END
 
   // -- Pinned periodic streams --
   //

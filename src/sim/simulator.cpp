@@ -26,6 +26,7 @@ void Simulator::SchedulePeriodic(SimTime first_at, SimTime period,
   queue_.Push(first_at, [task, first_at] { task->Fire(first_at); });
 }
 
+// RADAR_HOT: simulator dispatch loop
 void Simulator::RunUntil(SimTime until) {
   RADAR_CHECK_GE(until, now_);
   SimTime when = 0;
@@ -51,5 +52,6 @@ void Simulator::RunAll() {
     ++events_executed_;
   }
 }
+// RADAR_HOT_END
 
 }  // namespace radar::sim

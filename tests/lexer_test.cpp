@@ -1,0 +1,204 @@
+// Tests for the analyzer's C++ lexer (tools/lint/lexer.h): the tricky
+// literal syntax the old regex linter could not see, plus the span and
+// line-number contracts every pass depends on.
+#include "lint/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace radar::lint {
+namespace {
+
+std::vector<Token> Of(TokKind kind, const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  for (const Token& t : toks) {
+    if (t.kind == kind) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(LexerTest, TokenizesBasicStatement) {
+  const auto toks = Lex("int x = rand();\n");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[3].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[3].text, "rand");
+  EXPECT_EQ(toks[4].text, "(");
+  EXPECT_EQ(toks[6].text, ";");
+  for (const Token& t : toks) EXPECT_EQ(t.line, 1);
+}
+
+TEST(LexerTest, ScopeResolutionIsOneToken) {
+  const auto toks = Lex("std::thread t;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "std");
+  EXPECT_EQ(toks[1].kind, TokKind::kPunct);
+  EXPECT_EQ(toks[1].text, "::");
+  EXPECT_EQ(toks[2].text, "thread");
+}
+
+// -- Raw strings ------------------------------------------------------
+
+TEST(LexerTest, RawStringSwallowsQuotesAndEscapes) {
+  // The old stripper treated \" inside a raw string as an escape and lost
+  // track of the terminator; the lexer must not.
+  const auto toks = Lex(R"SRC(auto s = R"(a \" rand() b)"; int k;)SRC");
+  const auto strings = Of(TokKind::kString, toks);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].text.find("rand"), std::string::npos);
+  // The code after the literal is still lexed as code.
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  ASSERT_GE(idents.size(), 4u);
+  EXPECT_EQ(idents[idents.size() - 2].text, "int");
+  EXPECT_EQ(idents.back().text, "k");
+}
+
+TEST(LexerTest, RawStringWithNestedDelimiterLookalike) {
+  // )" appears inside the literal; only )ab" terminates it.
+  const auto toks = Lex("auto s = R\"ab(x)\" still inside)ab\"; int k;");
+  const auto strings = Of(TokKind::kString, toks);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].text.find("still inside"), std::string::npos);
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  EXPECT_EQ(idents.back().text, "k");
+}
+
+TEST(LexerTest, RawStringWithEncodingPrefix) {
+  const auto toks = Lex("auto s = u8R\"(payload)\";");
+  const auto strings = Of(TokKind::kString, toks);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "u8R\"(payload)\"");
+}
+
+TEST(LexerTest, MultiLineRawStringKeepsLineNumbers) {
+  const auto toks = Lex("auto s = R\"(line one\nline two)\";\nint k;\n");
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  ASSERT_EQ(idents.size(), 4u);  // auto, s, int, k
+  EXPECT_EQ(idents[2].text, "int");
+  EXPECT_EQ(idents[2].line, 3);
+}
+
+// -- Char and string literals -----------------------------------------
+
+TEST(LexerTest, EscapedQuoteCharLiteral) {
+  const auto toks = Lex("char c = '\\''; int k;");
+  const auto chars = Of(TokKind::kChar, toks);
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0].text, "'\\''");
+  EXPECT_EQ(Of(TokKind::kIdentifier, toks).back().text, "k");
+}
+
+TEST(LexerTest, AdjacentStringsAreSeparateTokens) {
+  const auto toks = Lex("auto s = \"abc\" \"def\";");
+  const auto strings = Of(TokKind::kString, toks);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0].text, "\"abc\"");
+  EXPECT_EQ(strings[1].text, "\"def\"");
+}
+
+TEST(LexerTest, EncodingPrefixedLiteralIsOneToken) {
+  const auto toks = Lex("auto s = u8\"x\"; auto c = L'y';");
+  ASSERT_EQ(Of(TokKind::kString, toks).size(), 1u);
+  EXPECT_EQ(Of(TokKind::kString, toks)[0].text, "u8\"x\"");
+  ASSERT_EQ(Of(TokKind::kChar, toks).size(), 1u);
+  EXPECT_EQ(Of(TokKind::kChar, toks)[0].text, "L'y'");
+}
+
+// -- Numbers ----------------------------------------------------------
+
+TEST(LexerTest, DigitSeparatorsStayInOneToken) {
+  const auto toks = Lex("long n = 1'000'000;");
+  const auto numbers = Of(TokKind::kNumber, toks);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "1'000'000");
+  EXPECT_EQ(NormalizeNumber(numbers[0].text), "1000000");
+}
+
+TEST(LexerTest, FloatAndHexAndExponentNumbers) {
+  const auto toks = Lex("double a = 0.6; int b = 0x1F; double c = 1e-3;");
+  const auto numbers = Of(TokKind::kNumber, toks);
+  ASSERT_EQ(numbers.size(), 3u);
+  EXPECT_EQ(numbers[0].text, "0.6");
+  EXPECT_EQ(numbers[1].text, "0x1F");
+  EXPECT_EQ(numbers[2].text, "1e-3");
+}
+
+// -- Line splices -----------------------------------------------------
+
+TEST(LexerTest, SplicedIdentifierIsOneToken) {
+  // "ra\<newline>nd" is one identifier after phase-2 splicing — exactly
+  // the evasion a line-based checker cannot see.
+  const auto toks = Lex("int x = ra\\\nnd();");
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  ASSERT_EQ(idents.size(), 3u);
+  EXPECT_EQ(idents[2].text, "rand");
+  EXPECT_EQ(idents[2].line, 1);  // first character's physical line
+}
+
+TEST(LexerTest, SplicedLineCommentContinues) {
+  // A line comment ending in a backslash swallows the next line too; the
+  // identifier on line 3 is the first real token after it.
+  const auto toks = Lex("// comment \\\nstill comment\nint k;\n");
+  ASSERT_EQ(Of(TokKind::kComment, toks).size(), 1u);
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  ASSERT_EQ(idents.size(), 2u);
+  EXPECT_EQ(idents[0].text, "int");
+  EXPECT_EQ(idents[0].line, 3);
+}
+
+TEST(LexerTest, SpanCoversSplicedBytesInOriginal) {
+  const std::string src = "int x = ra\\\nnd();";
+  const auto toks = Lex(src);
+  const auto idents = Of(TokKind::kIdentifier, toks);
+  ASSERT_EQ(idents.size(), 3u);
+  // The span is in ORIGINAL bytes: it includes the "\\\n" in the middle.
+  EXPECT_EQ(src.substr(idents[2].begin, idents[2].end - idents[2].begin),
+            "ra\\\nnd");
+}
+
+// -- Comments and directives ------------------------------------------
+
+TEST(LexerTest, CommentsAreTokensWithFullText) {
+  const auto toks = Lex("// RADAR_HOT: dispatch\nint k;\n/* block */\n");
+  const auto comments = Of(TokKind::kComment, toks);
+  ASSERT_EQ(comments.size(), 2u);
+  EXPECT_EQ(comments[0].text, "// RADAR_HOT: dispatch");
+  EXPECT_EQ(comments[1].text, "/* block */");
+}
+
+TEST(LexerTest, DirectiveNameTagsItsTokens) {
+  const auto toks = Lex("#include <thread>\n#pragma omp parallel\nint k;\n");
+  bool saw_thread = false, saw_omp = false;
+  for (const Token& t : toks) {
+    if (t.text == "thread") {
+      EXPECT_EQ(t.directive, "include");
+      saw_thread = true;
+    }
+    if (t.text == "omp") {
+      EXPECT_EQ(t.directive, "pragma");
+      saw_omp = true;
+    }
+    if (t.text == "k") {
+      EXPECT_TRUE(t.directive.empty());
+    }
+  }
+  EXPECT_TRUE(saw_thread);
+  EXPECT_TRUE(saw_omp);
+}
+
+TEST(LexerTest, HashMidLineIsNotADirective) {
+  const auto toks = Lex("int a = b # c;\n");  // not valid C++, still lexes
+  for (const Token& t : toks) EXPECT_TRUE(t.directive.empty());
+}
+
+TEST(LexerTest, UnterminatedLiteralDegradesGracefully) {
+  const auto toks = Lex("auto s = \"never closed\nint k;\n");
+  // The literal ends at the line break; the next line is code again.
+  EXPECT_EQ(Of(TokKind::kIdentifier, toks).back().text, "k");
+}
+
+}  // namespace
+}  // namespace radar::lint

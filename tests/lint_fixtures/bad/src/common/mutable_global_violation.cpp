@@ -1,0 +1,26 @@
+// Fixture: unguarded namespace-scope mutable state, a race-safe but
+// unlisted atomic, and a function-local static counter must all trip
+// mutable-global (only race-safe AND whitelisted globals pass).
+#include <atomic>
+#include <cstdint>
+
+namespace radar::common {
+namespace {
+
+std::uint64_t g_bytes_logged = 0;
+
+std::atomic<int> g_flush_count{0};
+
+}  // namespace
+
+std::uint64_t NextSequence() {
+  static std::uint64_t g_sequence = 0;
+  return ++g_sequence;
+}
+
+void NoteFlush(std::uint64_t bytes) {
+  g_bytes_logged += bytes;
+  g_flush_count.fetch_add(1);
+}
+
+}  // namespace radar::common

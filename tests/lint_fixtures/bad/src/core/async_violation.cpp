@@ -1,0 +1,9 @@
+// Fixture: std::async outside src/runner/ must trip thread-confinement.
+#include <future>
+
+int Compute();
+
+int LaunchBackground() {
+  auto handle = std::async(Compute);
+  return handle.get();
+}

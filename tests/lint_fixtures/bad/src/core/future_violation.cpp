@@ -1,0 +1,6 @@
+// Fixture: std::future outside src/runner/ must trip thread-confinement.
+#include <future>
+
+struct PendingResult {
+  std::future<int> value;
+};

@@ -1,0 +1,9 @@
+// Fixture: #pragma omp outside src/runner/ must trip thread-confinement.
+void Sum(const int* data, int n, long* out) {
+  long total = 0;
+#pragma omp parallel for reduction(+ : total)
+  for (int i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  *out = total;
+}

@@ -1,0 +1,7 @@
+// Fixture: std::promise outside src/runner/ must trip thread-confinement.
+#include <future>
+
+void Fulfil() {
+  std::promise<int> p;
+  p.set_value(42);
+}

@@ -1,0 +1,21 @@
+// Fixture: allocation inside a RADAR_HOT region must trip hot-alloc
+// (`new`, make_shared/make_unique, std::function construction), and a
+// stray end marker must trip hot-region.
+#include <functional>
+#include <memory>
+
+struct Event {
+  int id = 0;
+};
+
+// RADAR_HOT: fixture dispatch loop
+Event* MakeEvent() { return new Event; }
+
+std::shared_ptr<Event> ShareEvent() { return std::make_shared<Event>(); }
+
+std::function<void()> WrapCallback(Event* e) {
+  return std::function<void()>([e] { ++e->id; });
+}
+// RADAR_HOT_END
+
+// RADAR_HOT_END

@@ -1,0 +1,16 @@
+// Fixture: traversing an unordered container (ranged-for and explicit
+// begin()) must trip nondet-unordered-iteration.
+#include <unordered_map>
+
+double TotalLoad(const std::unordered_map<int, double>& load_by_node) {
+  double total = 0.0;
+  for (const auto& [node, load] : load_by_node) {
+    total += load;
+  }
+  return total;
+}
+
+int FirstKey(const std::unordered_map<int, double>& load_by_node) {
+  auto it = load_by_node.begin();
+  return it == load_by_node.end() ? -1 : it->first;
+}

@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordered containers (address order) and
+// std::hash over a pointer type must trip nondet-pointer-key and
+// nondet-pointer-hash.
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node;
+
+std::size_t HashNode(Node* n) { return std::hash<Node*>{}(n); }
+
+void Track(Node* n) {
+  static std::set<Node*> live;
+  static std::map<const Node*, int> refcounts;
+  live.insert(n);
+  ++refcounts[n];
+}

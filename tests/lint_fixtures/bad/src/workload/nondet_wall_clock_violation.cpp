@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads outside src/runner/ must trip
+// nondet-wall-clock (results would depend on the host machine).
+#include <chrono>
+#include <ctime>
+
+long NowMicros() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long NowSeconds() { return static_cast<long>(std::time(nullptr)); }

@@ -1,6 +1,7 @@
-// Tests for the radar_lint rule engine (tools/lint/linter.h): each rule
-// fires on a minimal violating snippet, stays quiet on idiomatic code, and
-// the tree walker rejects the checked-in violating fixture.
+// Tests for the radar_lint pass framework (tools/lint/linter.h): each
+// rule fires on a minimal violating snippet, stays quiet on idiomatic
+// code, the tree walker rejects the checked-in violating fixture, and the
+// shard-readiness report round-trips as radar.analysis/1 JSON.
 #include "lint/linter.h"
 
 #include <algorithm>
@@ -8,6 +9,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "lint/analysis_json.h"
 
 namespace radar::lint {
 namespace {
@@ -61,6 +64,44 @@ TEST(StripTest, EscapedQuoteDoesNotEndString) {
       StripCommentsAndStrings("auto s = \"a \\\" rand() b\"; int k;\n");
   EXPECT_EQ(stripped.find("rand"), std::string::npos);
   EXPECT_NE(stripped.find("int k;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringBlankedEntirely) {
+  // The old state machine treated \" inside a raw string as an escape,
+  // mis-tracked the terminator, and could leave literal text visible.
+  const std::string stripped = StripCommentsAndStrings(
+      "auto s = R\"(a \\\" rand() b)\"; int k;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int k;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringDelimiterLookalikeDoesNotSwallowCode) {
+  // )" inside an R"ab(...)ab" literal is NOT the terminator; the code
+  // after the real terminator must survive stripping.
+  const std::string stripped = StripCommentsAndStrings(
+      "auto s = R\"ab(x)\" inside)ab\"; int keep_me;\n");
+  EXPECT_EQ(stripped.find("inside"), std::string::npos);
+  EXPECT_NE(stripped.find("int keep_me;"), std::string::npos);
+}
+
+TEST(StripTest, SplicedStringKeepsNewlineCount) {
+  // The old stripper consumed the backslash-newline inside a string
+  // without re-emitting the newline, shifting every later line number.
+  const std::string stripped =
+      StripCommentsAndStrings("auto s = \"ab\\\ncd\"; int k;\n");
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+  EXPECT_NE(stripped.find("int k;"), std::string::npos);
+}
+
+TEST(StripTest, SplicedLineCommentBlanksContinuation) {
+  // A line comment ending in a backslash continues onto the next physical
+  // line; the old stripper ended it at the newline and leaked the
+  // continuation as code.
+  const std::string stripped =
+      StripCommentsAndStrings("// note \\\nrand()\nint k;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int k;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 3);
 }
 
 // ---------------------------------------------------------------------
@@ -338,9 +379,379 @@ TEST(LintSourceTest, ParamsHeaderMayDefineThresholds) {
       "protocol-literal"));
 }
 
+TEST(LintSourceTest, SplicedBannedCallIsStillSeen) {
+  // Token-level analysis sees through the phase-2 splice a line/regex
+  // checker cannot: "ra\<newline>nd()" is one rand token.
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "int x = ra\\\nnd();\n", Source()), "banned-rand"));
+}
+
+// ---------------------------------------------------------------------
+// Deferred-concurrency confinement (std::async / future / promise / omp)
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsDeferredConcurrencyOutsideRunner) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "auto h = std::async(Work);\n", Source()),
+      "thread-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::future<int> pending_;\n", Source()),
+      "thread-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::promise<int> p;\n", Source()),
+      "thread-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "#pragma omp parallel for\n", Source()),
+      "thread-confinement"));
+}
+
+TEST(LintSourceTest, DeferredConcurrencyAllowedInRunner) {
+  FileKind runner_kind;
+  runner_kind.allow_threads = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/runner/thread_pool.cpp",
+                 "std::future<int> f = std::async(Work);\n"
+                 "std::promise<int> p;\n#pragma omp parallel\n",
+                 runner_kind),
+      "thread-confinement"));
+}
+
+TEST(LintSourceTest, DeferredConcurrencyQuietOnLookalikes) {
+  // `omp` as a plain identifier (no #pragma) and non-std future-like
+  // names are not concurrency.
+  EXPECT_FALSE(HasRule(LintSource("f.cpp", "int omp = 1;\n", Source()),
+                       "thread-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "my::future<int> pending_;\n", Source()),
+      "thread-confinement"));
+}
+
+// ---------------------------------------------------------------------
+// Nondeterminism audit
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsRangedForOverUnorderedContainer) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "std::unordered_map<int, double> load_;\n"
+                 "double Total() {\n"
+                 "  double t = 0;\n"
+                 "  for (const auto& [k, v] : load_) t += v;\n"
+                 "  return t;\n"
+                 "}\n",
+                 Source()),
+      "nondet-unordered-iteration"));
+}
+
+TEST(LintSourceTest, FlagsBeginIterationOverUnorderedContainer) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "void F(const std::unordered_set<int>& seen) {\n"
+                 "  auto it = seen.begin();\n"
+                 "  (void)it;\n"
+                 "}\n",
+                 Source()),
+      "nondet-unordered-iteration"));
+}
+
+TEST(LintSourceTest, UnorderedLookupAndVectorIterationAreFine) {
+  // Point lookups don't depend on iteration order.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp",
+                 "std::unordered_map<int, double> load_;\n"
+                 "double Get(int k) { return load_[k]; }\n",
+                 Source()),
+      "nondet-unordered-iteration"));
+  // Ordered containers iterate deterministically.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp",
+                 "std::vector<int> v_;\n"
+                 "int Sum() {\n"
+                 "  int t = 0;\n"
+                 "  for (int x : v_) t += x;\n"
+                 "  return t + *v_.begin();\n"
+                 "}\n",
+                 Source()),
+      "nondet-unordered-iteration"));
+}
+
+TEST(LintSourceTest, FlagsPointerKeyedOrderedContainers) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::set<Node*> live_;\n", Source()),
+      "nondet-pointer-key"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::map<const Node*, int> refs_;\n", Source()),
+      "nondet-pointer-key"));
+  // Id-keyed containers are deterministic; pointer VALUES are fine.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "std::map<int, Node*> by_id_;\n", Source()),
+      "nondet-pointer-key"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "std::set<NodeId> ids_;\n", Source()),
+      "nondet-pointer-key"));
+}
+
+TEST(LintSourceTest, FlagsStdHashOfPointerType) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "std::size_t h = std::hash<Node*>{}(n);\n",
+                 Source()),
+      "nondet-pointer-hash"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "std::size_t h = std::hash<int>{}(k);\n", Source()),
+      "nondet-pointer-hash"));
+}
+
+TEST(LintSourceTest, FlagsWallClockOutsideRunner) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "auto t = std::chrono::steady_clock::now();\n", Source()),
+      "nondet-wall-clock"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "long t = time(nullptr);\n", Source()),
+      "nondet-wall-clock"));
+}
+
+TEST(LintSourceTest, RunnerMayReadWallClocks) {
+  FileKind runner_kind;
+  runner_kind.allow_threads = true;
+  runner_kind.allow_wall_clock = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/runner/sweep_runner.cpp",
+                 "auto t = std::chrono::steady_clock::now();\n", runner_kind),
+      "nondet-wall-clock"));
+}
+
+TEST(LintSourceTest, WallClockQuietOnLookalikes) {
+  // The simulation's own clock and time-like identifiers are fine.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "SimTime now = sim_.Now();\n", Source()),
+      "nondet-wall-clock"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "double service_time = ServiceTime(x);\n",
+                 Source()),
+      "nondet-wall-clock"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "#include <ctime>\n", Source()),
+      "nondet-wall-clock"));
+}
+
+// ---------------------------------------------------------------------
+// Mutable-global audit
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsPlainMutableGlobal) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "int g_count = 0;\n", Source()),
+      "mutable-global"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp",
+                 "namespace radar {\nnamespace {\nstd::vector<int> g_list;\n"
+                 "}\n}\n",
+                 Source()),
+      "mutable-global"));
+  // A declarator after a type body is a global of that (possibly
+  // anonymous) type.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "struct { int hits; } g_stats;\n",
+                 Source()),
+      "mutable-global"));
+}
+
+TEST(LintSourceTest, FlagsAtomicGlobalNotInWhitelist) {
+  // Race-safe is necessary but not sufficient: unlisted state stays
+  // invisible to the shard-split plan.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "std::atomic<int> g_hits{0};\n", Source()),
+      "mutable-global"));
+}
+
+TEST(LintSourceTest, WhitelistedAtomicGlobalPasses) {
+  // The seed whitelist entry: common/log.cpp g_level.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/common/log.cpp",
+                 "namespace radar {\nnamespace {\n"
+                 "std::atomic<LogLevel> g_level{LogLevel::kWarn};\n"
+                 "}\n}\n",
+                 Source()),
+      "mutable-global"));
+}
+
+TEST(LintSourceTest, FlagsFunctionLocalStatic) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp",
+                 "int NextId() {\n  static int g_next = 0;\n"
+                 "  return ++g_next;\n}\n",
+                 Source()),
+      "mutable-global"));
+}
+
+TEST(LintSourceTest, ImmutableAndConfinedStateIsFine) {
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.cpp",
+                 "const int kMax = 3;\n"
+                 "constexpr double kRatio = 0.25;\n"
+                 "inline constexpr char kName[] = \"radar\";\n"
+                 "static const char* const kTags[] = {\"a\", \"b\"};\n"
+                 "thread_local int t_depth = 0;\n"
+                 "extern int g_defined_elsewhere;\n"
+                 "int Add(int a, int b) { return a + b; }\n"
+                 "int F() { static const int kTable[] = {1, 2}; "
+                 "return kTable[0]; }\n",
+                 Source()),
+      "mutable-global"));
+}
+
+TEST(LintSourceTest, ClassMembersAreNotGlobals) {
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.h",
+                 "#pragma once\nclass Counter {\n public:\n"
+                 "  void Bump() { ++count_; }\n private:\n"
+                 "  int count_ = 0;\n};\n",
+                 Header()),
+      "mutable-global"));
+}
+
+TEST(AnalyzeSourceTest, RecordsGlobalsInInventory) {
+  Analysis analysis;
+  AnalyzeSource("src/common/log.cpp",
+                "namespace radar {\nnamespace {\n"
+                "std::atomic<LogLevel> g_level{LogLevel::kWarn};\n"
+                "}\n}\n",
+                FileKind{}, DefaultGlobalWhitelist(), &analysis);
+  ASSERT_EQ(analysis.mutable_globals.size(), 1u);
+  EXPECT_EQ(analysis.mutable_globals[0].name, "g_level");
+  EXPECT_EQ(analysis.mutable_globals[0].line, 3);
+  EXPECT_TRUE(analysis.mutable_globals[0].race_safe);
+  EXPECT_TRUE(analysis.mutable_globals[0].whitelisted);
+  EXPECT_FALSE(analysis.mutable_globals[0].function_local);
+  EXPECT_TRUE(analysis.violations.empty());
+}
+
+// ---------------------------------------------------------------------
+// Hot-path allocation audit
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsAllocationInsideHotRegion) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "// RADAR_HOT: dispatch\n"
+                 "Event* F() { return new Event; }\n"
+                 "// RADAR_HOT_END\n",
+                 Source()),
+      "hot-alloc"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "// RADAR_HOT: dispatch\n"
+                 "auto p = std::make_unique<Event>();\n"
+                 "// RADAR_HOT_END\n",
+                 Source()),
+      "hot-alloc"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp",
+                 "// RADAR_HOT: dispatch\n"
+                 "std::function<void()> fn = [] {};\n"
+                 "// RADAR_HOT_END\n",
+                 Source()),
+      "hot-alloc"));
+}
+
+TEST(LintSourceTest, AllocationOutsideHotRegionIsFine) {
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp",
+                 "Event* F() { return new Event; }\n"
+                 "// RADAR_HOT: dispatch\n"
+                 "int G() { return 1; }\n"
+                 "// RADAR_HOT_END\n",
+                 Source()),
+      "hot-alloc"));
+}
+
+TEST(LintSourceTest, PlacementNewInHotRegionIsFine) {
+  // Placement new constructs into existing storage — no allocation.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp",
+                 "// RADAR_HOT: slab\n"
+                 "void F(void* slot) { new (slot) Event(); }\n"
+                 "// RADAR_HOT_END\n",
+                 Source()),
+      "hot-alloc"));
+}
+
+TEST(LintSourceTest, ProseMentionDoesNotOpenHotRegion) {
+  // Only a comment STARTING with the marker opens a region; prose that
+  // mentions RADAR_HOT regions (like the analyzer's own headers) doesn't.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp",
+                 "// allocations inside // RADAR_HOT regions are flagged\n"
+                 "Event* F() { return new Event; }\n",
+                 Source()),
+      "hot-alloc"));
+}
+
+TEST(LintSourceTest, UnbalancedHotMarkersAreViolations) {
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "// RADAR_HOT: never closed\nint x = 1;\n",
+                 Source()),
+      "hot-region"));
+  EXPECT_TRUE(HasRule(
+      LintSource("f.cpp", "int x = 1;\n// RADAR_HOT_END\n", Source()),
+      "hot-region"));
+}
+
+TEST(AnalyzeSourceTest, RecordsHotRegionsWithLabels) {
+  Analysis analysis;
+  AnalyzeSource("src/sim/x.cpp",
+                "int A();\n// RADAR_HOT: dispatch loop\nint B();\n"
+                "// RADAR_HOT_END\n",
+                FileKind{}, DefaultGlobalWhitelist(), &analysis);
+  ASSERT_EQ(analysis.hot_regions.size(), 1u);
+  EXPECT_EQ(analysis.hot_regions[0].label, "dispatch loop");
+  EXPECT_EQ(analysis.hot_regions[0].begin_line, 2);
+  EXPECT_EQ(analysis.hot_regions[0].end_line, 4);
+  EXPECT_TRUE(analysis.violations.empty());
+}
+
+// ---------------------------------------------------------------------
+// radar.analysis/1 report
+// ---------------------------------------------------------------------
+
+TEST(AnalysisJsonTest, ReportRoundTripsAndEnumeratesInventory) {
+  Analysis analysis;
+  AnalyzeSource("src/common/log.cpp",
+                "namespace {\nstd::atomic<int> g_level{0};\n}\n"
+                "// RADAR_HOT: probe\nint F() { return 1; }\n"
+                "// RADAR_HOT_END\n",
+                FileKind{}, DefaultGlobalWhitelist(), &analysis);
+  analysis.files_scanned = 1;
+  const driver::JsonValue doc =
+      AnalysisJson(analysis, {"src"}, DefaultGlobalWhitelist());
+
+  std::string error;
+  const auto parsed = driver::ParseJson(doc.Dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("schema")->string_value(), "radar.analysis/1");
+  EXPECT_EQ(parsed->Find("files_scanned")->int_value(), 1);
+  EXPECT_EQ(parsed->Find("violation_count")->int_value(), 0);
+  ASSERT_EQ(parsed->Find("mutable_globals")->array().size(), 1u);
+  const auto& global = parsed->Find("mutable_globals")->array()[0];
+  EXPECT_EQ(global.Find("name")->string_value(), "g_level");
+  EXPECT_TRUE(global.Find("race_safe")->bool_value());
+  EXPECT_TRUE(global.Find("whitelisted")->bool_value());
+  ASSERT_EQ(parsed->Find("hot_regions")->array().size(), 1u);
+  EXPECT_EQ(parsed->Find("hot_regions")->array()[0].Find("label")
+                ->string_value(),
+            "probe");
+  // Every whitelist entry appears, with its hit flag.
+  ASSERT_EQ(parsed->Find("whitelist")->array().size(),
+            DefaultGlobalWhitelist().size());
+  EXPECT_TRUE(parsed->Find("whitelist")->array()[0].Find("hit")
+                  ->bool_value());
+}
+
 TEST(LintSourceTest, ViolationsCarryFileAndLine) {
   const auto violations =
-      LintSource("src/core/x.cpp", "int a;\nint b = rand();\n", Source());
+      LintSource("src/core/x.cpp", "int F() {\n  return rand();\n}\n",
+                 Source());
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(violations[0].file, "src/core/x.cpp");
   EXPECT_EQ(violations[0].line, 2);
@@ -366,6 +777,13 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "sim-no-std-function"));
   EXPECT_TRUE(HasRule(violations, "fault-confinement"));
   EXPECT_TRUE(HasRule(violations, "core-no-hash-maps"));
+  EXPECT_TRUE(HasRule(violations, "nondet-unordered-iteration"));
+  EXPECT_TRUE(HasRule(violations, "nondet-pointer-key"));
+  EXPECT_TRUE(HasRule(violations, "nondet-pointer-hash"));
+  EXPECT_TRUE(HasRule(violations, "nondet-wall-clock"));
+  EXPECT_TRUE(HasRule(violations, "mutable-global"));
+  EXPECT_TRUE(HasRule(violations, "hot-alloc"));
+  EXPECT_TRUE(HasRule(violations, "hot-region"));
   for (const auto& v : violations) {
     EXPECT_TRUE(v.file.rfind("src/", 0) == 0) << v.file;
   }
@@ -373,10 +791,24 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
 
 TEST(LintTreeTest, RealSourceTreeIsClean) {
   // The same property the radar_lint ctest case enforces, kept here too so
-  // a plain `ctest -R lint` covers both the engine and the tree.
-  const auto violations = LintTree(std::string(RADAR_SOURCE_DIR) + "/src");
-  for (const auto& v : violations) {
+  // a plain `ctest -R lint` covers both the engine and the tree. Beyond
+  // zero violations, the shard-readiness inventory must match the
+  // whitelist exactly and the hot regions must be present and closed.
+  const Analysis analysis =
+      AnalyzeTree({std::string(RADAR_SOURCE_DIR) + "/src",
+                   std::string(RADAR_SOURCE_DIR) + "/tools"});
+  for (const auto& v : analysis.violations) {
     ADD_FAILURE() << FormatViolation(v);
+  }
+  EXPECT_GT(analysis.files_scanned, 50);
+  ASSERT_GE(analysis.mutable_globals.size(), 1u);
+  for (const auto& g : analysis.mutable_globals) {
+    EXPECT_TRUE(g.race_safe && g.whitelisted) << g.file << ": " << g.name;
+  }
+  ASSERT_GE(analysis.hot_regions.size(), 1u);
+  for (const auto& r : analysis.hot_regions) {
+    EXPECT_GT(r.end_line, r.begin_line) << r.file << ": " << r.label;
+    EXPECT_FALSE(r.label.empty()) << r.file;
   }
 }
 

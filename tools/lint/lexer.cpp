@@ -1,0 +1,276 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace radar::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Translation phase 2: `text` is the content with backslash-newline
+/// splices removed; `line[i]` / `pos[i]` map each spliced byte back to its
+/// physical line and original offset.
+struct SplicedSource {
+  std::string text;
+  std::vector<int> line;
+  std::vector<std::size_t> pos;
+};
+
+SplicedSource Splice(std::string_view content) {
+  SplicedSource s;
+  s.text.reserve(content.size());
+  s.line.reserve(content.size());
+  s.pos.reserve(content.size());
+  int line = 1;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\\') {
+      // "\<newline>" and "\<CR><newline>" vanish; the physical line still
+      // advances so subsequent tokens report their true line.
+      if (i + 1 < content.size() && content[i + 1] == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (i + 2 < content.size() && content[i + 1] == '\r' &&
+          content[i + 2] == '\n') {
+        ++line;
+        i += 2;
+        continue;
+      }
+    }
+    s.text.push_back(c);
+    s.line.push_back(line);
+    s.pos.push_back(i);
+    if (c == '\n') ++line;
+  }
+  return s;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content)
+      : original_size_(content.size()), s_(Splice(content)) {}
+
+  std::vector<Token> Run() {
+    const std::string_view t = s_.text;
+    std::size_t i = 0;
+    while (i < t.size()) {
+      const char c = t[i];
+      if (c == '\n') {
+        directive_.clear();
+        ++i;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      if (c == '/' && i + 1 < t.size() && t[i + 1] == '/') {
+        i += 2;
+        while (i < t.size() && t[i] != '\n') ++i;
+        Emit(TokKind::kComment, start, i);
+        continue;
+      }
+      if (c == '/' && i + 1 < t.size() && t[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < t.size() && !(t[i] == '*' && t[i + 1] == '/')) ++i;
+        i = i + 1 < t.size() ? i + 2 : t.size();
+        Emit(TokKind::kComment, start, i);
+        continue;
+      }
+      if (c == '"') {
+        i = ScanQuoted(i, '"');
+        Emit(TokKind::kString, start, i);
+        continue;
+      }
+      if (c == '\'') {
+        i = ScanQuoted(i, '\'');
+        Emit(TokKind::kChar, start, i);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        std::size_t j = i + 1;
+        while (j < t.size() && IsIdentChar(t[j])) ++j;
+        const std::string_view ident = t.substr(i, j - i);
+        // Encoding prefixes glue onto the literal that follows: u8"x",
+        // L'x', and the raw-string forms R"(...)", u8R"(...)".
+        if (j < t.size() && (t[j] == '"' || t[j] == '\'')) {
+          const bool raw = !ident.empty() && ident.back() == 'R' &&
+                           (ident == "R" || ident == "u8R" || ident == "uR" ||
+                            ident == "UR" || ident == "LR");
+          const bool prefix = ident == "u8" || ident == "u" || ident == "U" ||
+                              ident == "L";
+          if (raw && t[j] == '"') {
+            i = ScanRawString(j);
+            Emit(TokKind::kString, start, i);
+            continue;
+          }
+          if (prefix) {
+            const char quote = t[j];
+            i = ScanQuoted(j, quote);
+            Emit(quote == '"' ? TokKind::kString : TokKind::kChar, start, i);
+            continue;
+          }
+        }
+        i = j;
+        Emit(TokKind::kIdentifier, start, i);
+        if (directive_pending_name_) {
+          directive_ = std::string(ident);
+          directive_pending_name_ = false;
+          // The directive name token itself carries the name too.
+          tokens_.back().directive = directive_;
+        }
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && i + 1 < t.size() && IsDigit(t[i + 1]))) {
+        i = ScanNumber(i);
+        Emit(TokKind::kNumber, start, i);
+        continue;
+      }
+      // Punctuation. "::" matters to the passes (std::thread vs thread),
+      // so it is the one multi-char punctuator emitted as a unit.
+      if (c == ':' && i + 1 < t.size() && t[i + 1] == ':') {
+        i += 2;
+        Emit(TokKind::kPunct, start, i);
+        continue;
+      }
+      ++i;
+      Emit(TokKind::kPunct, start, i);
+      if (c == '#' && AtLineStart(start)) {
+        directive_pending_name_ = true;
+        directive_.clear();
+      }
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  /// Scans an ordinary (escape-honouring) string or char literal starting
+  /// at the opening quote `t[i]`; returns the index past the closing
+  /// quote (or EOF / end-of-line for an unterminated literal).
+  std::size_t ScanQuoted(std::size_t i, char quote) {
+    const std::string_view t = s_.text;
+    ++i;  // opening quote
+    while (i < t.size()) {
+      const char c = t[i];
+      if (c == '\\' && i + 1 < t.size()) {
+        i += 2;
+        continue;
+      }
+      if (c == quote) return i + 1;
+      if (c == '\n') return i;  // unterminated: stop at the line break
+      ++i;
+    }
+    return i;
+  }
+
+  /// Scans a raw string whose opening `"` is at `t[i]`; handles arbitrary
+  /// delimiters, including ones that look like the terminator:
+  /// R"ab(text)" )ab" ends only at `)ab"`.
+  std::size_t ScanRawString(std::size_t i) {
+    const std::string_view t = s_.text;
+    ++i;  // opening quote
+    std::string delim;
+    while (i < t.size() && t[i] != '(' && t[i] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(t[i]);
+      ++i;
+    }
+    if (i >= t.size() || t[i] != '(') return i;  // malformed; best effort
+    ++i;
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = t.find(close, i);
+    if (end == std::string_view::npos) return t.size();
+    return end + close.size();
+  }
+
+  /// Scans a pp-number: digits, letters, dots, digit separators, and
+  /// sign characters directly after an exponent marker.
+  std::size_t ScanNumber(std::size_t i) {
+    const std::string_view t = s_.text;
+    ++i;
+    while (i < t.size()) {
+      const char c = t[i];
+      if (IsIdentChar(c) || c == '.') {
+        ++i;
+        continue;
+      }
+      if (c == '\'' && i + 1 < t.size() && IsIdentChar(t[i + 1])) {
+        i += 2;  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && i > 0 &&
+          (t[i - 1] == 'e' || t[i - 1] == 'E' || t[i - 1] == 'p' ||
+           t[i - 1] == 'P')) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return i;
+  }
+
+  /// True when only horizontal whitespace precedes `i` on its line — the
+  /// condition for `#` to open a directive.
+  bool AtLineStart(std::size_t i) const {
+    const std::string_view t = s_.text;
+    while (i > 0) {
+      const char c = t[i - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t' && c != '\r') return false;
+      --i;
+    }
+    return true;
+  }
+
+  void Emit(TokKind kind, std::size_t begin, std::size_t end) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::string(s_.text.substr(begin, end - begin));
+    tok.line = s_.line[begin];
+    tok.directive = directive_;
+    tok.begin = s_.pos[begin];
+    // The original span runs to the start of the next spliced byte (or
+    // the end of the content), so spliced-away "\<newline>" bytes inside
+    // a token stay inside its span.
+    tok.end = end < s_.pos.size() ? s_.pos[end] : original_size_;
+    // A comment token can contain newlines; a directive does not survive
+    // them. (A block comment inside a directive therefore conservatively
+    // ends it — no rule depends on what follows one.)
+    if (tok.text.find('\n') != std::string::npos) directive_.clear();
+    tokens_.push_back(std::move(tok));
+  }
+
+  std::size_t original_size_;
+  SplicedSource s_;
+  std::vector<Token> tokens_;
+  std::string directive_;
+  bool directive_pending_name_ = false;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view content) {
+  return Lexer(content).Run();
+}
+
+std::string NormalizeNumber(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c != '\'') out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace radar::lint

@@ -1,29 +1,45 @@
-// radar_lint: project-specific source linter.
+// radar_lint: project-specific static analyzer.
 //
 // The compiler cannot see repo conventions or the paper's protocol
-// invariants; this linter enforces them statically. Rules (see DESIGN.md
-// "Correctness tooling"):
+// invariants; this analyzer enforces them. It is two layers (DESIGN.md
+// §13): a C++ lexer (lint/lexer.h) producing a per-file token stream, and
+// a set of passes that walk tokens. Rules:
 //   - no rand()/srand() — all randomness goes through common/rng.h
-//   - no std::cout/std::cerr in library code — use common/log.h
+//   - no std::cout/std::cerr in library code — use common/log.h (the
+//     tools/ CLI mains are exempt: they ARE the user interface)
 //   - no raw assert() — use RADAR_CHECK, which is on in every build type
 //   - no `using namespace` at file scope in headers
 //   - every header starts with #pragma once
 //   - protocol threshold constants (0.6, 1/6, 6u-style multiples, the
 //     default u/m thresholds) must live in core/params.h only
-//   - std::thread / std::jthread / detach() only in src/runner/ — all
-//     concurrency goes through the experiment engine's ThreadPool so the
-//     rest of the tree stays single-threaded by construction
+//   - thread-confinement: std::thread / std::jthread / detach(), and the
+//     deferred-concurrency surface std::async / std::future /
+//     std::promise / #pragma omp, only in src/runner/ — all concurrency
+//     goes through the experiment engine's ThreadPool so the rest of the
+//     tree stays single-threaded by construction
 //   - no std::function in src/sim/ — the simulation hot path schedules
 //     millions of closures per run and must stay allocation-free; event
 //     code uses sim::InplaceFunction (sim/inplace_function.h)
 //   - fault-model parameters (MTBF/MTTR, message drop/delay
-//     probabilities) only in src/fault/ — the failure model stays in one
-//     module so no subsystem grows its own notion of "how often things
-//     break", mirroring the protocol-constant rule
-//   - no std::unordered_map / std::map in src/core/ — the protocol hot
-//     path indexes dense ObjectId/NodeId key spaces, where node-based
-//     containers cost a cache miss per probe; use radar::SlabMap
-//     (common/slab_map.h) or a sorted inline vector (DESIGN.md §12)
+//     probabilities) only in src/fault/
+//   - no std::unordered_map / std::map in src/core/ — hot-path tables use
+//     radar::SlabMap or sorted inline vectors (DESIGN.md §12)
+//
+// Shard-readiness passes (the ROADMAP's deterministic-parallel-execution
+// item depends on all four holding tree-wide):
+//   - nondeterminism audit: iteration over unordered containers,
+//     pointer-keyed ordered containers, std::hash of pointer types, and
+//     wall-clock reads outside the runner/bench timing code — each one a
+//     way for results to depend on addresses or the host machine
+//   - mutable-global audit: every namespace-scope or function-local
+//     static mutable object must be race-safe (atomic / mutex) AND appear
+//     in the shared-state whitelist, because an unlisted global is a
+//     cross-shard race once one run spans threads
+//   - hot-path allocation audit: inside // RADAR_HOT regions, `new`,
+//     make_shared/make_unique, and std::function construction are banned
+//   - shard-readiness report: AnalysisJson (lint/analysis_json.h) emits
+//     the radar.analysis/1 inventory of globals, whitelist hits, and hot
+//     regions — the checklist for the shard-split PR
 //
 // The logic is a library so tests can feed it sources directly; the
 // radar_lint binary is a thin filesystem walker around it.
@@ -59,19 +75,83 @@ struct FileKind {
   /// tables use radar::SlabMap or sorted inline vectors (DESIGN.md §12).
   /// Appended last so positional FileKind initializers keep their meaning.
   bool forbid_hash_maps = false;
+  /// src/runner/ (timing the sweep) and bench code may read wall clocks;
+  /// everything else must take time from the simulation clock so paired
+  /// runs stay byte-reproducible. Appended last (see above).
+  bool allow_wall_clock = false;
+  /// tools/ CLI entry points may write to std::cout/std::cerr; library
+  /// code may not. Appended last (see above).
+  bool allow_cli_output = false;
+};
+
+/// One sanctioned piece of shared mutable state. A mutable global is
+/// accepted only when it is race-safe AND matches an entry here; the
+/// entry's reason is carried into the radar.analysis/1 report.
+struct GlobalWhitelistEntry {
+  std::string file_suffix;  ///< matched against the end of the path label
+  std::string name;         ///< declared identifier
+  std::string reason;       ///< why this global is allowed to exist
+};
+
+/// The built-in whitelist for this repository. Seed: common/log.cpp
+/// g_level (process-wide log threshold, std::atomic).
+const std::vector<GlobalWhitelistEntry>& DefaultGlobalWhitelist();
+
+/// A mutable global found by the audit (reported whether or not it is
+/// whitelisted — the report enumerates ALL shared mutable state).
+struct MutableGlobal {
+  std::string file;
+  int line = 0;
+  std::string name;
+  bool race_safe = false;       ///< std::atomic / mutex / once_flag type
+  bool whitelisted = false;     ///< matched a GlobalWhitelistEntry
+  bool function_local = false;  ///< function-local static vs namespace scope
+  std::string reason;           ///< whitelist reason when whitelisted
+};
+
+/// A // RADAR_HOT ... // RADAR_HOT_END region (allocation-audited code).
+struct HotRegion {
+  std::string file;
+  std::string label;   ///< text after "RADAR_HOT:" on the opening comment
+  int begin_line = 0;
+  int end_line = 0;    ///< 0 while unterminated (also a violation)
+};
+
+/// Everything the analyzer learned about one source or tree: violations
+/// plus the shared-state inventory the shard-readiness report serializes.
+struct Analysis {
+  std::vector<Violation> violations;
+  std::vector<MutableGlobal> mutable_globals;
+  std::vector<HotRegion> hot_regions;
+  int files_scanned = 0;
 };
 
 /// Returns `content` with comments and string/char literal bodies blanked
-/// out (newlines preserved), so token checks don't fire on prose.
+/// out (newlines preserved, plain literals keep their delimiters), so
+/// text-level consumers don't trip on prose. Built on the lexer, so raw
+/// strings and backslash line-splices blank correctly.
 std::string StripCommentsAndStrings(std::string_view content);
 
-/// Lints a single source, returning all violations found.
+/// Runs every pass over one source, appending findings to `*out`.
+void AnalyzeSource(const std::string& path_label, std::string_view content,
+                   const FileKind& kind,
+                   const std::vector<GlobalWhitelistEntry>& whitelist,
+                   Analysis* out);
+
+/// AnalyzeSource against the default whitelist, returning violations only.
 std::vector<Violation> LintSource(const std::string& path_label,
                                   std::string_view content,
                                   const FileKind& kind);
 
-/// Walks `src_root` recursively, linting every .h/.cpp file. Paths in the
-/// returned violations are relative to `src_root`'s parent.
+/// Walks each root recursively, analyzing every .h/.cpp file. Paths in
+/// the result are prefixed with the root's basename ("src/...",
+/// "tools/..."). A root named "tools" gets the CLI profile; any other
+/// root gets the src/ profile (params.h, runner/, sim/, fault/, core/
+/// carve-outs).
+Analysis AnalyzeTree(const std::vector<std::filesystem::path>& roots);
+
+/// AnalyzeTree over one root, returning violations only (compatibility
+/// surface for the original line-based linter's callers).
 std::vector<Violation> LintTree(const std::filesystem::path& src_root);
 
 /// Formats a violation as "file:line: [rule] message".

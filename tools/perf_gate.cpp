@@ -2,14 +2,20 @@
 //
 // Compares a freshly measured throughput report (bench/throughput --json)
 // against the committed baseline (BENCH_perf.json) and fails — exit 1 —
-// when any scale's requests_per_sec dropped by more than the threshold
-// (default 15%). The margin absorbs CI-machine noise while still catching
-// the step regressions a hot-path change can introduce; improvements and
-// sub-threshold wobble pass silently.
+// when any gated metric of any scale dropped by more than the threshold
+// (default 15%). By default BOTH requests_per_sec and events_per_sec are
+// gated — a refactor can keep request throughput flat while regressing
+// the event queue, and the gate must see that. The margin absorbs
+// CI-machine noise while still catching the step regressions a hot-path
+// change can introduce; improvements and sub-threshold wobble pass
+// silently.
 //
 // Usage:
 //   perf_gate --baseline BENCH_perf.json --current BENCH_new.json
-//             [--threshold-pct 15] [--metric requests_per_sec]
+//             [--threshold-pct 15] [--metric NAME]...
+//
+// --metric is repeatable; passing it explicitly replaces the default
+// {requests_per_sec, events_per_sec} set.
 //
 // Every scale present in the baseline must be present in the current
 // report (a vanished scale is a gate failure, not a skip); extra scales in
@@ -20,6 +26,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "driver/report_json.h"
 
@@ -87,7 +94,7 @@ double MetricOf(const JsonValue& scale, const std::string& metric,
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
-  std::string metric = "requests_per_sec";
+  std::vector<std::string> metrics;
   double threshold_pct = 15.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,7 +111,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--current") == 0) {
       current_path = next();
     } else if (std::strcmp(arg, "--metric") == 0) {
-      metric = next();
+      metrics.emplace_back(next());
     } else if (std::strcmp(arg, "--threshold-pct") == 0) {
       threshold_pct = std::strtod(next(), nullptr);
     } else {
@@ -115,8 +122,11 @@ int main(int argc, char** argv) {
   if (baseline_path.empty() || current_path.empty()) {
     std::fprintf(stderr,
                  "usage: perf_gate --baseline PATH --current PATH "
-                 "[--threshold-pct N] [--metric NAME]\n");
+                 "[--threshold-pct N] [--metric NAME]...\n");
     return 2;
+  }
+  if (metrics.empty()) {
+    metrics = {"requests_per_sec", "events_per_sec"};
   }
   if (threshold_pct <= 0.0 || threshold_pct >= 100.0) {
     std::fprintf(stderr, "perf_gate: threshold must be in (0, 100)\n");
@@ -139,21 +149,23 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    const double base = MetricOf(base_scale, metric, name, "baseline");
-    const double cur = MetricOf(*cur_scale, metric, name, "current");
-    if (base <= 0.0) {
-      std::fprintf(stderr, "FAIL  %-8s baseline %s is not positive\n",
-                   name.c_str(), metric.c_str());
-      ++failures;
-      continue;
+    for (const std::string& metric : metrics) {
+      const double base = MetricOf(base_scale, metric, name, "baseline");
+      const double cur = MetricOf(*cur_scale, metric, name, "current");
+      if (base <= 0.0) {
+        std::fprintf(stderr, "FAIL  %-8s baseline %s is not positive\n",
+                     name.c_str(), metric.c_str());
+        ++failures;
+        continue;
+      }
+      ++compared;
+      const double change_pct = (cur / base - 1.0) * 100.0;
+      const bool regressed = change_pct < -threshold_pct;
+      std::printf("%s  %-8s %-18s %14.0f -> %14.0f  (%+.1f%%)\n",
+                  regressed ? "FAIL" : "ok  ", name.c_str(), metric.c_str(),
+                  base, cur, change_pct);
+      if (regressed) ++failures;
     }
-    ++compared;
-    const double change_pct = (cur / base - 1.0) * 100.0;
-    const bool regressed = change_pct < -threshold_pct;
-    std::printf("%s  %-8s %s %14.0f -> %14.0f  (%+.1f%%)\n",
-                regressed ? "FAIL" : "ok  ", name.c_str(), metric.c_str(),
-                base, cur, change_pct);
-    if (regressed) ++failures;
   }
 
   if (compared == 0 && failures == 0) {
@@ -162,11 +174,12 @@ int main(int argc, char** argv) {
   }
   if (failures > 0) {
     std::fprintf(stderr,
-                 "perf_gate: %d scale(s) regressed more than %.1f%%\n",
+                 "perf_gate: %d metric(s) regressed more than %.1f%%\n",
                  failures, threshold_pct);
     return 1;
   }
-  std::printf("perf_gate: all %d scale(s) within %.1f%% of baseline\n",
+  std::printf("perf_gate: all %d metric comparison(s) within %.1f%% of "
+              "baseline\n",
               compared, threshold_pct);
   return 0;
 }
