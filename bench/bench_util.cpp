@@ -13,12 +13,14 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--jobs N] [--json PATH] [--fault-plan FILE]"
-      " [--replica-floor K]\n"
+      " [--replica-floor K] [--shards K]\n"
       "  --jobs N           worker threads (0 = hardware concurrency;\n"
       "                     default $RADAR_BENCH_JOBS, else 1)\n"
       "  --json PATH        write the sweep as a SweepJson document\n"
       "  --fault-plan FILE  inject faults (see fault/fault_plan.h)\n"
-      "  --replica-floor K  re-replicate objects below K live copies\n",
+      "  --replica-floor K  re-replicate objects below K live copies\n"
+      "  --shards K         shard-parallel engine with K shards (0 =\n"
+      "                     serial; default $RADAR_BENCH_SHARDS, else 0)\n",
       argv0);
   std::exit(code);
 }
@@ -44,6 +46,7 @@ driver::SimConfig PaperConfig() {
   config.num_objects =
       static_cast<ObjectId>(EnvOr("RADAR_BENCH_OBJECTS", 10000.0));
   config.seed = static_cast<std::uint64_t>(EnvOr("RADAR_BENCH_SEED", 1.0));
+  config.shards = static_cast<int>(EnvOr("RADAR_BENCH_SHARDS", 0.0));
   return config;
 }
 
@@ -56,6 +59,7 @@ runner::ExperimentPlan PaperPlan(const std::string& name) {
 BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
   options.jobs = static_cast<int>(EnvOr("RADAR_BENCH_JOBS", 1.0));
+  options.shards = static_cast<int>(EnvOr("RADAR_BENCH_SHARDS", 0.0));
 
   const auto value_of = [&](int* i, const std::string& arg,
                             const std::string& flag) -> std::string {
@@ -106,6 +110,19 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
         UsageAndExit(argv[0], 2);
       }
       options.replica_floor = static_cast<int>(parsed);
+    } else if (arg == "--shards" || arg.rfind("--shards=", 0) == 0) {
+      const std::string value = value_of(&i, arg, "--shards");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "%s: --shards must be a non-negative integer\n",
+                     argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+      options.shards = static_cast<int>(parsed);
+      // Exported so PaperConfig() — always called after parsing — sees
+      // the flag without every bench threading it through by hand.
+      setenv("RADAR_BENCH_SHARDS", value.c_str(), 1);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());

@@ -18,6 +18,8 @@
 //   RADAR_BENCH_OBJECTS    objects in the system (default 10000)
 //   RADAR_BENCH_SEED       root RNG seed (default 1)
 //   RADAR_BENCH_JOBS       default worker-thread count
+//   RADAR_BENCH_SHARDS     shard-parallel engine shard count (default 0 =
+//                          serial; reports are identical for any K >= 1)
 //
 // Results are bit-identical for any --jobs value: per-run seeds come from
 // the plan, and each simulation is self-contained.
@@ -52,12 +54,15 @@ struct BenchOptions {
   std::string json_path;  ///< empty = no JSON artefact
   std::string fault_plan_file;  ///< empty = perfect world
   int replica_floor = 0;        ///< 0 = no self-healing floor
+  int shards = 0;               ///< 0 = serial engine; K = sharded engine
 };
 
-/// Parses --jobs/--json/--fault-plan/--replica-floor (either "--flag
-/// value" or "--flag=value") plus --help. jobs defaults to
-/// $RADAR_BENCH_JOBS, else 1. Prints usage and exits(2) on a malformed
-/// command line, exits(0) on --help.
+/// Parses --jobs/--json/--fault-plan/--replica-floor/--shards (either
+/// "--flag value" or "--flag=value") plus --help. jobs defaults to
+/// $RADAR_BENCH_JOBS, shards to $RADAR_BENCH_SHARDS. --shards also
+/// exports RADAR_BENCH_SHARDS so PaperConfig() (called after parsing in
+/// every bench) picks the value up without per-binary plumbing. Prints
+/// usage and exits(2) on a malformed command line, exits(0) on --help.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Loads options.fault_plan_file (when set) and copies the plan plus

@@ -75,6 +75,8 @@ usage: radar_sim [flags]
   --fault-plan=FILE           inject faults (see fault/fault_plan.h)
   --replica-floor=K           re-replicate objects below K live copies
   --jobs=N                    experiment-engine threads (0 = hardware)
+  --shards=K                  shard-parallel engine, K shards (0 = serial;
+                              any K >= 1 yields byte-identical reports)
   --help                      this text
 )";
 }
@@ -188,6 +190,11 @@ std::optional<CliOptions> ParseCli(const std::vector<std::string>& args,
         return fail("--jobs must be a non-negative integer");
       }
       options.jobs = static_cast<int>(i);
+    } else if (key == "shards") {
+      if (!ParseInt(value, &i) || i < 0) {
+        return fail("--shards must be a non-negative integer");
+      }
+      options.config.shards = static_cast<int>(i);
     } else {
       return fail("unknown flag --" + key);
     }

@@ -59,6 +59,14 @@ struct SimConfig {
   /// are not synchronized). Disable to reproduce lock-step decisions.
   bool stagger_placement = true;
 
+  /// Shard-parallel execution (DESIGN.md §14): 0 = the serial engine
+  /// (default; the golden-pinned mode). K >= 1 partitions the hosts into
+  /// K shards and runs the request path under conservative time windows —
+  /// reports are byte-identical for every K >= 1, but form a distinct
+  /// mode from shards == 0. Requires a time-invariant workload, no trace
+  /// replay, and a distribution policy other than round-robin.
+  int shards = 0;
+
   /// Initial home of each object; defaults (when null) to the paper's
   /// round-robin "object i is assigned to node i mod N".
   std::function<NodeId(ObjectId)> initial_home;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "driver/shard_exec.h"
 
 namespace radar::driver {
 namespace {
@@ -441,16 +442,7 @@ void HostingSimulation::StepUntil(SimTime until) {
       BuildWorkloadFromConfig();
     }
     PlaceInitialObjects();
-    cluster_->set_transfer_hook([this](NodeId from, NodeId to, ObjectId,
-                                       core::CreateObjMethod, bool copied) {
-      if (!copied) return;  // affinity increments move no object bytes
-      const std::int64_t byte_hops =
-          config_.object_bytes *
-          static_cast<std::int64_t>(routing_.HopDistance(from, to));
-      report_->traffic.AddOverhead(sim_.Now(), byte_hops);
-      link_stats_.RecordPath(routing_.Path(from, to), config_.object_bytes);
-      ++report_->object_copies;
-    });
+    InstallTransferHook();
     ScheduleArrivals();
     ScheduleMeasurement();
     SchedulePlacement();
@@ -460,6 +452,21 @@ void HostingSimulation::StepUntil(SimTime until) {
     if (config_.FaultsEnabled()) SetupFaultLayer();
   }
   sim_.RunUntil(std::min(until, config_.duration));
+}
+
+void HostingSimulation::InstallTransferHook() {
+  // Object copies (placement, repair) always run on the coordinator
+  // track, so the hook writes coordinator-owned stats in both engines.
+  cluster_->set_transfer_hook([this](NodeId from, NodeId to, ObjectId,
+                                     core::CreateObjMethod, bool copied) {
+    if (!copied) return;  // affinity increments move no object bytes
+    const std::int64_t byte_hops =
+        config_.object_bytes *
+        static_cast<std::int64_t>(routing_.HopDistance(from, to));
+    report_->traffic.AddOverhead(sim_.Now(), byte_hops);
+    link_stats_.RecordPath(routing_.Path(from, to), config_.object_bytes);
+    ++report_->object_copies;
+  });
 }
 
 void HostingSimulation::SetupFaultLayer() {
@@ -523,6 +530,10 @@ void HostingSimulation::RebuildRouting(SimTime t) {
 }
 
 RunReport HostingSimulation::Run() {
+  if (config_.shards >= 1) {
+    ShardedExecution exec(this, config_.shards, window_executor_);
+    return exec.Run();
+  }
   StepUntil(config_.duration);
   return Finalize();
 }

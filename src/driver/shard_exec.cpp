@@ -1,0 +1,373 @@
+#include "driver/shard_exec.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "driver/shard_plan.h"
+
+namespace radar::driver {
+namespace {
+
+/// Mirrors the serial engine's redirect cap (hosting_simulation.cpp).
+constexpr int kMaxRedirects = 3;
+
+/// Request-leg kinds (ReqMsg::kind).
+constexpr std::uint8_t kDecide = 0;    ///< bound for the object's redirector
+constexpr std::uint8_t kArrive = 1;    ///< bound for the chosen host
+constexpr std::uint8_t kComplete = 2;  ///< the host's own completion
+
+/// Reserved key space per shard queue: keys are (arrival index * nodes +
+/// gateway) << 4 plus a leg counter, and EventQueue admits reservations
+/// up to 2^39 — comfortably above any configurable run length.
+constexpr std::uint64_t kKeyBound = std::uint64_t{1} << 39;
+
+/// Legs per request chain: arrival(0), decide(1), arrive(2), plus two per
+/// redirect retry, then complete — at most 3 + 2 * kMaxRedirects + 1 = 10,
+/// so the 4-bit leg field never wraps into the next request's key.
+constexpr std::uint64_t kLegBits = 4;
+
+}  // namespace
+
+ShardedExecution::ShardedExecution(HostingSimulation* owner, int num_shards,
+                                   sim::WindowExecutor* executor)
+    : o_(*owner), num_shards_(num_shards), executor_(executor) {
+  RADAR_CHECK(owner != nullptr);
+  RADAR_CHECK_GE(num_shards_, 1);
+  RADAR_CHECK_LE(num_shards_, o_.topology_.num_nodes());
+}
+
+ShardedExecution::~ShardedExecution() = default;
+
+std::uint64_t ShardedExecution::KeyBase(std::uint64_t n,
+                                        NodeId gateway) const {
+  const std::uint64_t nodes =
+      static_cast<std::uint64_t>(o_.topology_.num_nodes());
+  const std::uint64_t base =
+      (n * nodes + static_cast<std::uint64_t>(gateway)) << kLegBits;
+  RADAR_CHECK_LT(base, kKeyBound - (std::uint64_t{1} << kLegBits));
+  return base;
+}
+
+RunReport ShardedExecution::Run() {
+  RADAR_CHECK_MSG(!o_.started_, "sharded Run() on a started simulation");
+  RADAR_CHECK_MSG(!o_.trace_.has_value(),
+                  "trace replay is serial-only (one global record stream)");
+  RADAR_CHECK_MSG(
+      o_.config_.distribution != baselines::DistributionPolicy::kRoundRobin,
+      "round-robin distribution keeps shared per-object selector state; "
+      "run it serially (--shards 0)");
+  o_.started_ = true;
+  if (o_.workload_ == nullptr) o_.BuildWorkloadFromConfig();
+  RADAR_CHECK_MSG(o_.workload_->time_invariant(),
+                  "sharded execution requires a time-invariant workload "
+                  "(gateway draws must commute with window boundaries)");
+  o_.PlaceInitialObjects();
+  o_.InstallTransferHook();
+  // Global tracks keep the serial engine's scheduling order on the
+  // coordinator queue; only the request path moves to the shards.
+  o_.ScheduleMeasurement();
+  o_.SchedulePlacement();
+  o_.ScheduleCensus();
+  if (o_.config_.FaultsEnabled()) o_.SetupFaultLayer();
+  if (o_.injector_ != nullptr) {
+    last_topology_epoch_ = o_.injector_->topology_epoch();
+  }
+
+  shard_of_ =
+      PartitionHosts(o_.latency_, o_.topology_.num_nodes(), num_shards_);
+  shards_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(o_.topology_.num_nodes()));
+    shards_.back()->sim.ReserveKeySpace(kKeyBound);
+  }
+  mail_.Reset(num_shards_);
+  ScheduleShardArrivals();
+  RecomputeLookahead();
+
+  sim::RunConservativeWindows(*this, num_shards_, o_.config_.duration,
+                              executor_);
+
+  MergeShardState();
+  return o_.Finalize();
+}
+
+void ShardedExecution::ScheduleShardArrivals() {
+  const double rate = o_.config_.node_request_rate;
+  for (const NodeId g : o_.topology_.GatewayNodes()) {
+    gateways_.push_back(std::make_unique<Gateway>());
+    Gateway* gw = gateways_.back().get();
+    gw->node = g;
+    gw->shard = shard_of_[static_cast<std::size_t>(g)];
+    gw->rate = rate;
+    if (o_.injector_ != nullptr) {
+      gw->fate = o_.injector_->MakeRequestFateStream(
+          static_cast<std::uint64_t>(g));
+    }
+    ShardState& ss = *shards_[static_cast<std::size_t>(gw->shard)];
+    SimTime first;
+    if (o_.config_.arrivals == ArrivalProcess::kDeterministic) {
+      gw->period = static_cast<SimTime>(
+          static_cast<double>(kMicrosPerSecond) / rate);
+      // Same phase shift as the serial engine: gateways stay desynced.
+      first = gw->period * static_cast<SimTime>(g) /
+              static_cast<SimTime>(o_.topology_.num_nodes());
+    } else {
+      const double gap =
+          o_.node_rngs_[static_cast<std::size_t>(g)].NextExponential(1.0 /
+                                                                     rate);
+      first = SecondsToSim(gap);
+    }
+    ss.sim.ScheduleKeyedAt(first, KeyBase(0, g),
+                           [this, gw] { FireArrival(gw); });
+  }
+}
+
+// RADAR_HOT: sharded request path (arrival -> decide -> arrive -> complete)
+void ShardedExecution::FireArrival(Gateway* gwp) {
+  Gateway& gw = *gwp;
+  ShardState& ss = *shards_[static_cast<std::size_t>(gw.shard)];
+  const SimTime at = ss.sim.Now();
+  const std::uint64_t n = gw.n++;
+  const std::uint64_t base = KeyBase(n, gw.node);
+  Rng& rng = o_.node_rngs_[static_cast<std::size_t>(gw.node)];
+  ObjectId x;
+  if (o_.config_.arrivals == ArrivalProcess::kDeterministic) {
+    if (gw.next == gw.filled) {
+      constexpr std::uint32_t kBatch =
+          static_cast<std::uint32_t>(sizeof(gw.objects) / sizeof(ObjectId));
+      o_.workload_->FillBatch(gw.node, at, rng, gw.objects, kBatch);
+      gw.next = 0;
+      gw.filled = kBatch;
+    }
+    x = gw.objects[gw.next++];
+    ss.sim.ScheduleKeyedAt(at + gw.period, KeyBase(n + 1, gw.node),
+                           [this, gwp] { FireArrival(gwp); });
+  } else {
+    // Mirrors the serial Poisson tick: object draw, then the gap draw,
+    // both from the gateway's own stream.
+    x = o_.workload_->NextObject(gw.node, at, rng);
+    const double gap = rng.NextExponential(1.0 / gw.rate);
+    ss.sim.ScheduleKeyedAt(at + SecondsToSim(gap), KeyBase(n + 1, gw.node),
+                           [this, gwp] { FireArrival(gwp); });
+  }
+
+  // The gateway owns its request-fate stream, so a dropped request dies
+  // here — it never reaches the redirector (the serial engine draws at
+  // dispatch; either way the draw order is arrival order per gateway).
+  fault::FaultInjector::RequestFate fate;
+  if (o_.injector_ != nullptr) fate = gw.fate.Next();
+  if (fate.dropped) {
+    ++ss.failed_requests;
+    return;
+  }
+  const NodeId redirector =
+      o_.cluster_->redirectors().For(x).home_node();
+  ReqMsg m;
+  m.t0 = at;
+  m.x = x;
+  m.gateway = gw.node;
+  m.kind = kDecide;
+  Send(gw.shard, shard_of_[static_cast<std::size_t>(redirector)],
+       at + o_.latency_.ControlRow(gw.node)[redirector] + fate.delay,
+       base + 1, m);
+}
+
+void ShardedExecution::Dispatch(std::uint64_t key, const ReqMsg& m) {
+  switch (m.kind) {
+    case kDecide:
+      HandleDecide(key, m);
+      return;
+    case kArrive:
+      HandleArrive(key, m);
+      return;
+    case kComplete:
+      HandleComplete(key, m);
+      return;
+  }
+  RADAR_CHECK(false);
+}
+
+void ShardedExecution::HandleDecide(std::uint64_t key, const ReqMsg& m) {
+  core::Redirector& rd = o_.cluster_->redirectors().For(m.x);
+  const NodeId home = rd.home_node();
+  const int s = shard_of_[static_cast<std::size_t>(home)];
+  ShardState& ss = *shards_[static_cast<std::size_t>(s)];
+  NodeId host;
+  if (o_.config_.distribution == baselines::DistributionPolicy::kRadar) {
+    // First decision resolves the gateway's dense hop row (as the serial
+    // dispatcher does); retries take the oracle path (as serial retries
+    // do). Both read the same table.
+    host = m.redirects == 0
+               ? rd.ChooseReplica(m.x, m.gateway,
+                                  o_.routing_.HopRow(m.gateway))
+               : rd.ChooseReplica(m.x, m.gateway);
+  } else {
+    const std::vector<NodeId> hosts = rd.ReplicaHosts(m.x);
+    host = hosts.empty() ? kInvalidNode : o_.closest_.Choose(m.gateway, hosts);
+  }
+  if (host == kInvalidNode) {
+    ++ss.failed_requests;  // no live replica anywhere
+    return;
+  }
+  ReqMsg fwd = m;
+  fwd.kind = kArrive;
+  fwd.host = host;
+  Send(s, shard_of_[static_cast<std::size_t>(host)],
+       ss.sim.Now() + o_.latency_.ControlRow(home)[host], key + 1, fwd);
+}
+
+void ShardedExecution::HandleArrive(std::uint64_t key, const ReqMsg& m) {
+  const int s = shard_of_[static_cast<std::size_t>(m.host)];
+  ShardState& ss = *shards_[static_cast<std::size_t>(s)];
+  const SimTime now = ss.sim.Now();
+  if (!o_.HostUpNow(m.host) ||
+      !o_.cluster_->host(m.host).HasObject(m.x)) {
+    // The replica vanished while the leg was in flight: re-route via the
+    // redirector. Unlike the serial engine (which re-chooses at the dead
+    // host's clock), the retry decision runs on the redirector's shard at
+    // its own arrival time — same total latency, and the choice order is
+    // the redirector queue's (when, key) order, invariant under K.
+    if (m.redirects >= kMaxRedirects) {
+      ++ss.dropped_requests;
+      return;
+    }
+    const NodeId redirector =
+        o_.cluster_->redirectors().For(m.x).home_node();
+    ReqMsg retry = m;
+    retry.kind = kDecide;
+    retry.host = kInvalidNode;
+    retry.redirects = static_cast<std::uint8_t>(m.redirects + 1);
+    Send(s, shard_of_[static_cast<std::size_t>(redirector)],
+         now + o_.latency_.ControlRow(m.host)[redirector], key + 1, retry);
+    return;
+  }
+  const SimTime completion =
+      o_.servers_[static_cast<std::size_t>(m.host)].Admit(now);
+  ReqMsg done = m;
+  done.kind = kComplete;
+  // Fault state is frozen during windows, so the epoch read is safe from
+  // any shard thread; the completion compares it to detect a crash that a
+  // later global window applies while the request is queued.
+  done.epoch =
+      o_.injector_ != nullptr ? o_.injector_->crash_epoch(m.host) : 0;
+  Send(s, s, completion, key + 1, done);
+}
+
+void ShardedExecution::HandleComplete(std::uint64_t key, const ReqMsg& m) {
+  const int s = shard_of_[static_cast<std::size_t>(m.host)];
+  ShardState& ss = *shards_[static_cast<std::size_t>(s)];
+  const SimTime now = ss.sim.Now();
+  if (o_.injector_ != nullptr &&
+      o_.injector_->crash_epoch(m.host) != m.epoch) {
+    ++ss.failed_requests;  // the host died with the request queued
+    return;
+  }
+  core::HostAgent& agent = o_.cluster_->host(m.host);
+  const std::vector<NodeId>& path = o_.routing_.Path(m.host, m.gateway);
+  agent.RecordServicedIfHosted(m.x, path);
+  const std::int64_t byte_hops =
+      o_.config_.object_bytes * static_cast<std::int64_t>(path.size() - 1);
+  ss.link_stats.RecordPath(path, o_.config_.object_bytes);
+  const double total_latency =
+      SimToSeconds(now - m.t0 + o_.latency_.Transfer(m.host, m.gateway));
+  // Floats commit to the per-shard log; the post-run merge adds them in
+  // (when, key) order so the sums are byte-identical for every K.
+  ss.commits.push_back(Commit{now, key, total_latency, byte_hops});
+}
+// RADAR_HOT_END
+
+void ShardedExecution::Send(int src, int dst, SimTime when,
+                            std::uint64_t key, const ReqMsg& m) {
+  if (src == dst) {
+    ShardState& ss = *shards_[static_cast<std::size_t>(dst)];
+    ss.sim.ScheduleKeyedAt(when, key, [this, key, m] { Dispatch(key, m); });
+    return;
+  }
+  // Conservative safety: an event executing at t > done can reach another
+  // shard no earlier than t + lookahead > end. A violation here means the
+  // lookahead is stale or the partition metric disagrees with the latency
+  // actually charged.
+  RADAR_CHECK_GT(when, window_end_);
+  mail_.Send(src, dst, when, key, m);
+}
+
+SimTime ShardedExecution::NextGlobalTime() {
+  return o_.sim_.pending_events() == 0 ? sim::kNoEventTime
+                                       : o_.sim_.NextEventTime();
+}
+
+void ShardedExecution::RunGlobalsUntil(SimTime t) {
+  o_.sim_.RunUntil(t);
+  if (o_.injector_ != nullptr &&
+      o_.injector_->topology_epoch() != last_topology_epoch_) {
+    // A link fault epoch rebuilt routing and the latency matrix; the
+    // conservative lookahead must follow the new control latencies.
+    last_topology_epoch_ = o_.injector_->topology_epoch();
+    RecomputeLookahead();
+  }
+}
+
+SimTime ShardedExecution::Lookahead() { return lookahead_; }
+
+void ShardedExecution::BeginWindow(SimTime end) { window_end_ = end; }
+
+void ShardedExecution::RunShardWindow(int shard, SimTime end) {
+  shards_[static_cast<std::size_t>(shard)]->sim.RunUntil(end);
+}
+
+void ShardedExecution::Barrier(SimTime end) {
+  for (int dst = 0; dst < num_shards_; ++dst) {
+    ShardState& ss = *shards_[static_cast<std::size_t>(dst)];
+    mail_.DrainColumn(
+        dst, [this, end, &ss](const sim::ShardEnvelope<ReqMsg>& e) {
+          RADAR_CHECK_GT(e.when, end);
+          const std::uint64_t key = e.seq;
+          const ReqMsg m = e.payload;
+          ss.sim.ScheduleKeyedAt(e.when, key,
+                                 [this, key, m] { Dispatch(key, m); });
+        });
+  }
+}
+
+void ShardedExecution::RecomputeLookahead() {
+  const SimTime min_cross = o_.latency_.MinCrossPartitionControl(shard_of_);
+  if (min_cross == net::PathLatencyMatrix::kNoCrossPartition) {
+    lookahead_ = sim::kUnboundedLookahead;  // K = 1: no horizon constraint
+    return;
+  }
+  RADAR_CHECK_GT(min_cross, 0);
+  lookahead_ = min_cross;
+}
+
+void ShardedExecution::MergeShardState() {
+  std::vector<Commit> all;
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->commits.size();
+  all.reserve(total);
+  std::uint64_t shard_events = 0;
+  for (const auto& s : shards_) {
+    all.insert(all.end(), s->commits.begin(), s->commits.end());
+    o_.report_->availability.failed_requests += s->failed_requests;
+    o_.report_->dropped_requests += s->dropped_requests;
+    o_.link_stats_.Merge(s->link_stats);
+    shard_events += s->sim.events_executed();
+  }
+  std::sort(all.begin(), all.end(), [](const Commit& a, const Commit& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.key < b.key;  // keys are globally unique: a total order
+  });
+  for (const Commit& c : all) {
+    o_.report_->traffic.AddPayload(c.when, c.byte_hops);
+    o_.report_->latency.Add(c.when, c.latency_s);
+    o_.report_->latency_stats.Add(c.latency_s);
+    ++o_.report_->total_requests;
+  }
+  if (o_.injector_ != nullptr) {
+    for (const auto& gw : gateways_) {
+      o_.injector_->AbsorbRequestFateCounters(gw->fate);
+    }
+  }
+  o_.shard_events_executed_ = shard_events;
+}
+
+}  // namespace radar::driver

@@ -1,0 +1,162 @@
+// Shard-parallel request execution for HostingSimulation (DESIGN.md §14).
+//
+// ShardedExecution partitions the hosts into K shards (driver/shard_plan.h)
+// and runs the request path — arrival, redirector decision, host arrival,
+// completion — as explicit messages between shard-owned actors instead of
+// closures on one global queue. Each shard owns a sim::Simulator; the
+// conservative window scheduler (sim/shard.h) executes the shard queues
+// concurrently between barriers, with lookahead equal to the minimum
+// cross-shard control latency (net::PathLatencyMatrix). The coordinator
+// queue — HostingSimulation's own simulator — keeps every global track:
+// measurement, placement, census, repair, and fault events, all of which
+// touch cross-shard state and therefore run serially between windows.
+//
+// Ownership during a window:
+//   gateway g   (shard of g)      — arrival batch, node_rngs_[g], fate
+//                                   stream, next-arrival scheduling
+//   redirector  (shard of home)   — replica choice, request counters
+//   host h      (shard of h)      — FCFS queue, HostAgent counters
+// Everything else (routing, latency matrix, fault state, workload tables)
+// is frozen during windows and only read.
+//
+// Determinism (byte-identical reports for every K, including K = 1):
+//   - every request event carries a model-assigned sequence key derived
+//     from (arrival index, gateway, leg) — see event_queue.h's reservation
+//     protocol — so each shard queue pops the same (when, key) stream no
+//     matter how hosts are partitioned;
+//   - cross-shard messages travel through a MailboxGrid and are delivered
+//     in merged (when, key) order at barriers;
+//   - floating-point accumulation is deferred: completions append
+//     {when, key, latency, byte_hops} to per-shard commit logs that are
+//     merged in (when, key) order after the run, so every double is added
+//     in one canonical order; integer tallies are summed per shard
+//     (addition commutes exactly).
+//
+// Sharded mode is a distinct execution mode, not a re-ordering of the
+// serial engine: fate draws move to the gateway (per-gateway streams) and
+// retry decisions run at the redirector's own clock. Its reports are
+// compared across K values, never against the serial golden.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "driver/hosting_simulation.h"
+#include "fault/fault_injector.h"
+#include "net/link_stats.h"
+#include "sim/mailbox.h"
+#include "sim/shard.h"
+#include "sim/simulator.h"
+
+namespace radar::driver {
+
+class ShardedExecution final : public sim::WindowModel {
+ public:
+  /// `owner` must outlive the execution; its Run() must not have started.
+  /// `executor` runs each window's shards (null = serial reference).
+  ShardedExecution(HostingSimulation* owner, int num_shards,
+                   sim::WindowExecutor* executor);
+  ~ShardedExecution() override;
+
+  /// Executes the owner's configured run shard-parallel and returns the
+  /// finalized report. Requirements beyond the serial engine's: no trace
+  /// replay, a time-invariant workload, and a distribution policy without
+  /// shared mutable selector state (round-robin is rejected).
+  RunReport Run();
+
+  /// The partition in force (index = node, value = shard); for tests.
+  const std::vector<int>& shard_of() const { return shard_of_; }
+
+  /// Current conservative lookahead in sim time (tests).
+  SimTime lookahead() const { return lookahead_; }
+
+  // ---- sim::WindowModel ----
+  SimTime NextGlobalTime() override;
+  void RunGlobalsUntil(SimTime t) override;
+  SimTime Lookahead() override;
+  void BeginWindow(SimTime end) override;
+  void RunShardWindow(int shard, SimTime end) override;
+  void Barrier(SimTime end) override;
+
+ private:
+  /// One request leg in flight between actors. Kinds: a decide leg is
+  /// bound for the object's redirector, an arrive leg for a chosen host,
+  /// a complete leg for the host's own completion. 32 bytes, so the
+  /// delivery closure {this, key, msg} fills EventFn's 48-byte buffer
+  /// exactly.
+  struct ReqMsg {
+    SimTime t0 = 0;               ///< gateway arrival time
+    ObjectId x = 0;
+    NodeId gateway = kInvalidNode;
+    NodeId host = kInvalidNode;   ///< arrive/complete legs only
+    std::uint32_t epoch = 0;      ///< crash epoch captured at admission
+    std::uint8_t kind = 0;
+    std::uint8_t redirects = 0;
+  };
+
+  /// One completed request's float contribution, applied in merged
+  /// (when, key) order after the run.
+  struct Commit {
+    SimTime when;
+    std::uint64_t key;
+    double latency_s;
+    std::int64_t byte_hops;
+  };
+
+  /// Shard-owned execution state. The simulator, stats, and counters are
+  /// touched only by this shard's thread during windows and only by the
+  /// coordinator at barriers.
+  struct ShardState {
+    explicit ShardState(std::int32_t num_nodes) : link_stats(num_nodes) {}
+    sim::Simulator sim;
+    net::LinkStats link_stats;
+    std::vector<Commit> commits;
+    std::int64_t failed_requests = 0;
+    std::int64_t dropped_requests = 0;
+  };
+
+  /// Per-gateway arrival generator (the sharded counterpart of
+  /// HostingSimulation::GatewayArrivals): owns the arrival index that
+  /// keys every request, the pre-drawn object batch, and the gateway's
+  /// request-fate stream.
+  struct Gateway {
+    NodeId node = kInvalidNode;
+    int shard = 0;
+    SimTime period = 0;   ///< deterministic arrivals only
+    double rate = 0.0;    ///< Poisson arrivals only
+    std::uint64_t n = 0;  ///< arrivals fired so far (the key index)
+    std::uint32_t next = 0;
+    std::uint32_t filled = 0;
+    fault::FaultInjector::RequestFateStream fate;
+    ObjectId objects[256];
+  };
+
+  std::uint64_t KeyBase(std::uint64_t n, NodeId gateway) const;
+  void ScheduleShardArrivals();
+  void FireArrival(Gateway* gw);
+  void Dispatch(std::uint64_t key, const ReqMsg& m);
+  void HandleDecide(std::uint64_t key, const ReqMsg& m);
+  void HandleArrive(std::uint64_t key, const ReqMsg& m);
+  void HandleComplete(std::uint64_t key, const ReqMsg& m);
+  /// Routes a leg: same shard -> keyed push into its queue; cross-shard
+  /// -> mailbox (delivery must land strictly beyond the window horizon).
+  void Send(int src, int dst, SimTime when, std::uint64_t key,
+            const ReqMsg& m);
+  void RecomputeLookahead();
+  void MergeShardState();
+
+  HostingSimulation& o_;
+  int num_shards_;
+  sim::WindowExecutor* executor_;
+  std::vector<int> shard_of_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  sim::MailboxGrid<ReqMsg> mail_;
+  SimTime lookahead_ = sim::kUnboundedLookahead;
+  SimTime window_end_ = -1;
+  std::uint64_t last_topology_epoch_ = 0;
+};
+
+}  // namespace radar::driver

@@ -1,0 +1,128 @@
+#include "driver/shard_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace radar::driver {
+namespace {
+
+/// Union-find over node ids with path halving; roots carry component size.
+struct Components {
+  explicit Components(std::int32_t n)
+      : parent(static_cast<std::size_t>(n)),
+        size(static_cast<std::size_t>(n), 1) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      parent[static_cast<std::size_t>(i)] = i;
+    }
+  }
+
+  std::int32_t Find(std::int32_t v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  /// Merges the components of a and b (the lower root wins, keeping
+  /// labels deterministic). Requires distinct roots.
+  void Union(std::int32_t ra, std::int32_t rb) {
+    if (rb < ra) std::swap(ra, rb);
+    parent[static_cast<std::size_t>(rb)] = ra;
+    size[static_cast<std::size_t>(ra)] += size[static_cast<std::size_t>(rb)];
+  }
+
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> size;
+};
+
+struct Pair {
+  SimTime control;
+  NodeId a;
+  NodeId b;
+};
+
+}  // namespace
+
+std::vector<int> PartitionHosts(const net::PathLatencyMatrix& latency,
+                                std::int32_t num_nodes, int num_shards) {
+  RADAR_CHECK_GT(num_nodes, 0);
+  RADAR_CHECK_GE(num_shards, 1);
+  RADAR_CHECK_LE(num_shards, num_nodes);
+
+  const std::int32_t cap = (num_nodes + num_shards - 1) / num_shards;
+
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(num_nodes) *
+                static_cast<std::size_t>(num_nodes - 1) / 2);
+  for (NodeId a = 0; a < num_nodes; ++a) {
+    for (NodeId b = a + 1; b < num_nodes; ++b) {
+      pairs.push_back(Pair{latency.Control(a, b), a, b});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.control != y.control) return x.control < y.control;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  Components comps(num_nodes);
+  std::int32_t count = num_nodes;
+  for (const Pair& p : pairs) {
+    if (count <= num_shards) break;
+    const std::int32_t ra = comps.Find(p.a);
+    const std::int32_t rb = comps.Find(p.b);
+    if (ra == rb) continue;
+    if (comps.size[static_cast<std::size_t>(ra)] +
+            comps.size[static_cast<std::size_t>(rb)] >
+        cap) {
+      continue;  // keep shards balanced; a cheaper merge may still exist
+    }
+    comps.Union(ra, rb);
+    --count;
+  }
+
+  // The balance cap can strand more than K components (e.g. many capped
+  // shards plus singletons). Close the gap by merging the two smallest
+  // components regardless of cap — still deterministic (sizes, then root
+  // ids, break ties).
+  while (count > num_shards) {
+    std::int32_t best_a = -1;
+    std::int32_t best_b = -1;
+    for (std::int32_t v = 0; v < num_nodes; ++v) {
+      if (comps.Find(v) != v) continue;
+      const std::int32_t sz = comps.size[static_cast<std::size_t>(v)];
+      const auto smaller = [&](std::int32_t root, std::int32_t than) {
+        if (than < 0) return true;
+        const std::int32_t tsz = comps.size[static_cast<std::size_t>(than)];
+        return sz < tsz || (sz == tsz && root < than);
+      };
+      if (smaller(v, best_a)) {
+        best_b = best_a;
+        best_a = v;
+      } else if (smaller(v, best_b)) {
+        best_b = v;
+      }
+    }
+    comps.Union(best_a, best_b);
+    --count;
+  }
+
+  // Label shards by first-node order so the assignment reads naturally
+  // and is stable across runs.
+  std::vector<int> shard_of(static_cast<std::size_t>(num_nodes), -1);
+  std::vector<int> label_of_root(static_cast<std::size_t>(num_nodes), -1);
+  int next_label = 0;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::int32_t root = comps.Find(v);
+    int& label = label_of_root[static_cast<std::size_t>(root)];
+    if (label < 0) label = next_label++;
+    shard_of[static_cast<std::size_t>(v)] = label;
+  }
+  RADAR_CHECK_EQ(next_label, num_shards);
+  return shard_of;
+}
+
+}  // namespace radar::driver

@@ -1,0 +1,32 @@
+// Host partitioning for shard-parallel execution (DESIGN.md §14).
+//
+// The conservative window scheduler's lookahead is the minimum control
+// latency between nodes owned by *different* shards, so throughput rises
+// with the cut's minimum edge: nearby nodes should share a shard. The
+// partitioner is a greedy agglomerative min-edge-cut: node pairs are
+// visited in ascending control-latency order (Kruskal style) and merged
+// into the same component while the component count exceeds K, subject to
+// a balance cap of ceil(N / K) nodes per shard. Ties break on node ids,
+// so the partition is a pure function of the latency matrix — no RNG, no
+// iteration-order dependence.
+//
+// The assignment is advisory for performance only: the engine's results
+// are byte-identical for every partition (see sim/shard.h), so the tests
+// may use any K without re-pinning goldens.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/path_latency.h"
+
+namespace radar::driver {
+
+/// Assigns each node in [0, num_nodes) a shard in [0, num_shards).
+/// Shards are labeled in order of their lowest-numbered member, every
+/// shard is non-empty, and no shard exceeds ceil(num_nodes / num_shards)
+/// nodes. Requires 1 <= num_shards <= num_nodes.
+std::vector<int> PartitionHosts(const net::PathLatencyMatrix& latency,
+                                std::int32_t num_nodes, int num_shards);
+
+}  // namespace radar::driver

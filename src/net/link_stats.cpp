@@ -53,6 +53,14 @@ std::pair<NodeId, NodeId> LinkStats::BusiestHop() const {
   return best;
 }
 
+void LinkStats::Merge(const LinkStats& other) {
+  RADAR_CHECK_EQ(num_nodes_, other.num_nodes_);
+  for (std::size_t i = 0; i < per_hop_bytes_.size(); ++i) {
+    per_hop_bytes_[i] += other.per_hop_bytes_[i];
+  }
+  total_byte_hops_ += other.total_byte_hops_;
+}
+
 void LinkStats::Reset() {
   total_byte_hops_ = 0;
   std::fill(per_hop_bytes_.begin(), per_hop_bytes_.end(), 0);

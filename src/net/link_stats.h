@@ -35,6 +35,11 @@ class LinkStats {
   /// The directed hop carrying the most bytes; returns {-1,-1} when idle.
   std::pair<NodeId, NodeId> BusiestHop() const;
 
+  /// Adds `other`'s per-hop totals into this instance (same num_nodes).
+  /// Integer accumulation commutes exactly, so per-shard instances merged
+  /// at the end of a run match a serial run's totals bit for bit.
+  void Merge(const LinkStats& other);
+
   void Reset();
 
  private:

@@ -57,6 +57,14 @@ class PathLatencyMatrix {
     return transfer_[Index(a, b)];
   }
 
+  /// The minimum control latency over node pairs assigned to different
+  /// partitions — the conservative lookahead of a shard-parallel run
+  /// (sim/shard.h): a message between shards can never arrive sooner.
+  /// `partition` maps each node to its partition id (size == num_nodes).
+  /// Returns kNoCrossPartition when every node shares one partition.
+  static constexpr SimTime kNoCrossPartition = -1;
+  SimTime MinCrossPartitionControl(const std::vector<int>& partition) const;
+
  private:
   std::size_t Index(NodeId a, NodeId b) const {
     RADAR_CHECK_GE(a, 0);

@@ -1,0 +1,16 @@
+#include "runner/shard_executor.h"
+
+namespace radar::runner {
+
+PoolShardExecutor::PoolShardExecutor(int num_threads) : pool_(num_threads) {}
+
+void PoolShardExecutor::RunShards(int num_shards,
+                                  void (*task)(void* ctx, int shard),
+                                  void* ctx) {
+  for (int s = 0; s < num_shards; ++s) {
+    pool_.Submit([task, ctx, s] { task(ctx, s); });
+  }
+  pool_.Wait();
+}
+
+}  // namespace radar::runner

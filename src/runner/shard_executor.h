@@ -1,0 +1,35 @@
+// Pooled WindowExecutor: runs shard windows on the experiment engine's
+// ThreadPool.
+//
+// The window scheduler (sim/shard.h) is thread-agnostic; this adapter is
+// where shard windows actually meet threads, and it lives in src/runner
+// because thread creation is confined here (radar_lint's
+// thread-confinement rule). The pool is created once and reused across
+// every window of a run — a window is a few hundred microseconds of
+// simulated time, so re-spawning workers per window would dominate.
+//
+// RunShards is a barrier: it submits one task per shard and waits for all
+// of them. ThreadPool::Wait rethrows the first task exception and its
+// mutex/condvar pair gives the caller the happens-before edge the mailbox
+// grid's single-writer cells rely on.
+#pragma once
+
+#include "runner/thread_pool.h"
+#include "sim/shard.h"
+
+namespace radar::runner {
+
+class PoolShardExecutor final : public sim::WindowExecutor {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1). Sizing it to
+  /// the shard count keeps every window one submission round.
+  explicit PoolShardExecutor(int num_threads);
+
+  void RunShards(int num_shards, void (*task)(void* ctx, int shard),
+                 void* ctx) override;
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace radar::runner

@@ -1,0 +1,110 @@
+// Cross-shard message exchange for conservative windowed execution.
+//
+// During a window, each shard executes its own event queue on its own
+// thread and may address events to hosts owned by other shards. Those
+// events must not be pushed into a foreign queue mid-window (that queue is
+// being popped concurrently); instead the sender appends an envelope —
+// {delivery time, sequence key, payload} — to the (src, dst) cell of a
+// MailboxGrid. Cells are single-writer by construction: cell (s, d) is
+// touched only by shard s's thread during a window, and only by the
+// coordinator thread at the barrier, so the grid needs no synchronization
+// beyond the barrier's own happens-before edge (the executor's join).
+//
+// At the barrier the coordinator drains each destination column: the
+// envelopes from every source cell are merged into (when, seq) order and
+// handed to the sink, which pushes them into the destination queue under
+// their reserved sequence keys (EventQueue::PushAtSeq). Because keys are
+// model-assigned and partition-independent, the destination queue's pop
+// order after delivery is identical to what a serial run would produce —
+// the merge makes delivery order reproducible, and the keys make pop
+// order independent of which shard carried which actor.
+//
+// This header and sim/shard.{h,cpp} are the only src/sim files where
+// shard-shared mutable state may live (radar_lint's shard-confinement
+// rule); everything else in the simulation layer stays single-threaded.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace radar::sim {
+
+/// One cross-shard message: deliver `payload` at `when` under sequence
+/// key `seq` (reserved key space; see event_queue.h).
+template <class Msg>
+struct ShardEnvelope {
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  Msg payload{};
+};
+
+template <class Msg>
+class MailboxGrid {
+ public:
+  /// Sizes the grid for `num_shards` logical processes, clearing any
+  /// previous contents.
+  void Reset(int num_shards) {
+    RADAR_CHECK_GE(num_shards, 1);
+    num_shards_ = num_shards;
+    cells_.assign(static_cast<std::size_t>(num_shards) *
+                      static_cast<std::size_t>(num_shards),
+                  {});
+  }
+
+  int num_shards() const { return num_shards_; }
+
+  /// Appends a message to cell (src, dst). Must be called only from the
+  /// thread executing shard `src`'s window (single-writer cells).
+  void Send(int src, int dst, SimTime when, std::uint64_t seq,
+            const Msg& payload) {
+    cells_[Index(src, dst)].push_back(ShardEnvelope<Msg>{when, seq, payload});
+  }
+
+  /// True when no cell addressed to `dst` holds a message.
+  bool ColumnEmpty(int dst) const {
+    for (int src = 0; src < num_shards_; ++src) {
+      if (!cells_[Index(src, dst)].empty()) return false;
+    }
+    return true;
+  }
+
+  /// Merges every cell addressed to `dst` into (when, seq) order, feeds
+  /// each envelope to `sink`, and clears the cells (keeping capacity).
+  /// Barrier-side only: no shard window may be executing.
+  template <class Sink>
+  void DrainColumn(int dst, Sink&& sink) {
+    merge_.clear();
+    for (int src = 0; src < num_shards_; ++src) {
+      std::vector<ShardEnvelope<Msg>>& cell = cells_[Index(src, dst)];
+      merge_.insert(merge_.end(), cell.begin(), cell.end());
+      cell.clear();
+    }
+    std::sort(merge_.begin(), merge_.end(),
+              [](const ShardEnvelope<Msg>& a, const ShardEnvelope<Msg>& b) {
+                if (a.when != b.when) return a.when < b.when;
+                return a.seq < b.seq;  // keys are unique: a total order
+              });
+    for (const ShardEnvelope<Msg>& e : merge_) sink(e);
+  }
+
+ private:
+  std::size_t Index(int src, int dst) const {
+    RADAR_CHECK_GE(src, 0);
+    RADAR_CHECK_LT(src, num_shards_);
+    RADAR_CHECK_GE(dst, 0);
+    RADAR_CHECK_LT(dst, num_shards_);
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_shards_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int num_shards_ = 0;
+  std::vector<std::vector<ShardEnvelope<Msg>>> cells_;
+  std::vector<ShardEnvelope<Msg>> merge_;  // barrier scratch, reused
+};
+
+}  // namespace radar::sim

@@ -1,0 +1,76 @@
+#include "sim/shard.h"
+
+#include "common/check.h"
+
+namespace radar::sim {
+
+WindowExecutor::~WindowExecutor() = default;
+WindowModel::~WindowModel() = default;
+
+void SerialWindowExecutor::RunShards(int num_shards,
+                                     void (*task)(void* ctx, int shard),
+                                     void* ctx) {
+  for (int s = 0; s < num_shards; ++s) task(ctx, s);
+}
+
+namespace {
+
+struct WindowCtx {
+  WindowModel* model;
+  SimTime end;
+};
+
+void RunOneShard(void* ctx, int shard) {
+  WindowCtx* c = static_cast<WindowCtx*>(ctx);
+  c->model->RunShardWindow(shard, c->end);
+}
+
+}  // namespace
+
+void RunConservativeWindows(WindowModel& model, int num_shards,
+                            SimTime duration, WindowExecutor* executor) {
+  RADAR_CHECK_GE(num_shards, 1);
+  RADAR_CHECK_GE(duration, 0);
+  SerialWindowExecutor serial;
+  if (executor == nullptr) executor = &serial;
+
+  // Shard events with when <= done and globals with when <= done have
+  // executed. Starts at -1 so the first window covers time 0 (globals at
+  // 0, if any, run through the empty-window branch first).
+  SimTime done = -1;
+  for (;;) {
+    const SimTime next_g = model.NextGlobalTime();
+    if (next_g <= done) {
+      // Defensive drain; globals never schedule into the past, so this
+      // only fires if a model reports a stale NextGlobalTime.
+      model.RunGlobalsUntil(next_g);
+      continue;
+    }
+    if (done >= duration) break;
+
+    SimTime end = duration;
+    const SimTime lookahead = model.Lookahead();
+    RADAR_CHECK_GE(lookahead, 1);
+    if (lookahead != kUnboundedLookahead && done + lookahead < end) {
+      end = done + lookahead;
+    }
+    // Cut the window just before the next global so globals at T always
+    // precede shard events at T — a K-invariant interleaving rule.
+    if (next_g != kNoEventTime && next_g - 1 < end) end = next_g - 1;
+
+    if (end <= done) {
+      // No shard progress is safe before the next global event: run it
+      // (possibly rebuilding routing and changing the lookahead).
+      model.RunGlobalsUntil(next_g);
+      continue;
+    }
+
+    model.BeginWindow(end);
+    WindowCtx ctx{&model, end};
+    executor->RunShards(num_shards, &RunOneShard, &ctx);
+    model.Barrier(end);
+    done = end;
+  }
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,111 @@
+// Conservative time-window scheduler for shard-parallel simulation.
+//
+// The simulation's hosts are partitioned into K shards (logical
+// processes), each owning its own event queue; one coordinator queue
+// keeps the global track (periodic ticks, fault events). The scheduler
+// alternates between two phases:
+//
+//   window  — every shard executes its queue through a common horizon
+//             `end`, concurrently, touching only shard-owned state.
+//             Cross-shard effects are deferred into mailboxes
+//             (sim/mailbox.h).
+//   barrier — mailboxes are drained into the destination queues in
+//             (when, seq) order, and any due global events run serially.
+//
+// The horizon is chosen conservatively: with lookahead L = the minimum
+// cross-shard control latency, an event executing at time t > done can
+// only influence another shard at t + L > done + L, so the window
+// (done, done + L] is free of incoming surprises — no shard ever pops an
+// event earlier than a cross-shard message that could still arrive.
+// Windows are additionally cut just before the next global event so that
+// globals at time T always run after all shard events <= T-1 and before
+// any shard event at T — a total order that does not depend on K (the
+// lookahead, and therefore the window boundaries, do).
+//
+// Determinism does not rest on window boundaries: every shard event
+// carries a model-assigned sequence key (event_queue.h's reservation
+// protocol), so each queue pops the same (when, key) stream no matter
+// how many barriers interleave, and the whole execution is byte-identical
+// for any K — including K = 1, the reference the shard tests compare to.
+//
+// WindowExecutor is the only seam that touches threads; its pooled
+// implementation lives in src/runner (runner/shard_executor.h), keeping
+// the thread-confinement rule intact. The interface is C-style (function
+// pointer + context) because std::function is banned in src/sim.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.h"
+
+namespace radar::sim {
+
+/// No pending coordinator event / no cross-shard pair (K = 1): both map
+/// to "no constraint on the window horizon".
+inline constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+inline constexpr SimTime kUnboundedLookahead =
+    std::numeric_limits<SimTime>::max();
+
+/// Runs one window's shard tasks, possibly concurrently. Implementations
+/// must invoke task(ctx, s) exactly once for every s in [0, num_shards)
+/// and return only when all invocations have finished (the barrier's
+/// happens-before edge).
+class WindowExecutor {
+ public:
+  virtual ~WindowExecutor();
+  virtual void RunShards(int num_shards, void (*task)(void* ctx, int shard),
+                         void* ctx) = 0;
+};
+
+/// Inline executor: runs shards 0..K-1 sequentially on the caller's
+/// thread. Byte-identical to any concurrent executor (shard state is
+/// disjoint and delivery order is fixed by the mailbox merge), so it is
+/// both the default and the reference for the determinism tests.
+class SerialWindowExecutor final : public WindowExecutor {
+ public:
+  void RunShards(int num_shards, void (*task)(void* ctx, int shard),
+                 void* ctx) override;
+};
+
+/// The model half of the scheduler, implemented by the driver. All hooks
+/// except RunShardWindow are called from the coordinating thread only.
+class WindowModel {
+ public:
+  virtual ~WindowModel();
+
+  /// Absolute time of the earliest pending coordinator (global-track)
+  /// event, or kNoEventTime when none is pending.
+  virtual SimTime NextGlobalTime() = 0;
+
+  /// Runs every global event with when <= t serially. May change the
+  /// topology and therefore the value Lookahead() returns next.
+  virtual void RunGlobalsUntil(SimTime t) = 0;
+
+  /// Current lookahead: the minimum control latency between nodes owned
+  /// by different shards, or kUnboundedLookahead when K = 1. Must be >= 1
+  /// (a zero-latency cross-shard pair would make safe windows empty).
+  virtual SimTime Lookahead() = 0;
+
+  /// Announces the horizon of the window about to execute; called before
+  /// the executor dispatches, so shards may validate that every
+  /// cross-shard send lands strictly beyond it.
+  virtual void BeginWindow(SimTime end) = 0;
+
+  /// Executes shard `shard`'s events with when <= end. Called via the
+  /// executor, concurrently for distinct shards.
+  virtual void RunShardWindow(int shard, SimTime end) = 0;
+
+  /// Window barrier: drains mailboxes into the destination queues.
+  /// Every delivered envelope must satisfy when > end.
+  virtual void Barrier(SimTime end) = 0;
+};
+
+/// Drives windows and barriers until every shard has executed through
+/// `duration` and every global event with when <= duration has run.
+/// Globals at time T run after shard events <= T-1 and before shard
+/// events at T, for every K. A null executor runs windows inline.
+void RunConservativeWindows(WindowModel& model, int num_shards,
+                            SimTime duration, WindowExecutor* executor);
+
+}  // namespace radar::sim

@@ -1,0 +1,16 @@
+// Fixture: keyed event pushes outside src/sim/ and the sharded engine
+// must trip seq-reservation — callers elsewhere bypass the reservation
+// protocol's keyed-before-auto tiebreak.
+namespace radar::core {
+
+template <typename Sim>
+void SneakEvent(Sim* sim) {
+  sim->ScheduleKeyedAt(0, 42u, [] {});
+}
+
+template <typename Queue>
+void SneakPush(Queue* queue) {
+  queue->PushAtSeq(0, 42u, [] {});
+}
+
+}  // namespace radar::core

@@ -1,0 +1,18 @@
+// Fixture: synchronization primitives inside src/sim/ (outside the
+// mailbox/barrier files) must trip shard-confinement.
+#include <atomic>
+#include <mutex>
+
+namespace radar::sim {
+
+struct BadShardState {
+  std::mutex lock;
+  std::atomic<int> counter{0};
+};
+
+int Bump(BadShardState* state) {
+  const std::lock_guard<std::mutex> guard(state->lock);
+  return ++state->counter;
+}
+
+}  // namespace radar::sim

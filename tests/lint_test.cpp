@@ -239,6 +239,92 @@ TEST(LintSourceTest, StdFunctionBanQuietOnLookalikes) {
 }
 
 // ---------------------------------------------------------------------
+// Shard confinement: synchronization primitives in src/sim/
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsSyncPrimitivesInSimCode) {
+  FileKind sim_kind;
+  sim_kind.forbid_std_function = true;
+  EXPECT_TRUE(HasRule(
+      LintSource("src/sim/bad.cpp", "std::mutex lock_;\n", sim_kind),
+      "shard-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/sim/bad.cpp", "std::atomic<int> n_{0};\n", sim_kind),
+      "shard-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/sim/bad.cpp",
+                 "void F() { std::lock_guard<std::mutex> g(m_); }\n",
+                 sim_kind),
+      "shard-confinement"));
+}
+
+TEST(LintSourceTest, SyncAllowedInMailboxAndBarrierFiles) {
+  // The mailbox/barrier carve-out: the same tokens are fine when the file
+  // kind says so (AnalyzeTree sets this for sim/mailbox.h, sim/shard.h,
+  // sim/shard.cpp), and src/runner/ never forbids them.
+  FileKind mailbox_kind;
+  mailbox_kind.forbid_std_function = true;
+  mailbox_kind.allow_shard_sync = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/sim/mailbox.h",
+                 "#pragma once\nstd::atomic<int> fence_{0};\n", mailbox_kind),
+      "shard-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/runner/pool.cpp", "std::mutex lock_;\n", Source()),
+      "shard-confinement"));
+}
+
+TEST(LintSourceTest, ShardConfinementQuietOnLookalikes) {
+  FileKind sim_kind;
+  sim_kind.forbid_std_function = true;
+  // Not std:: qualified, and mentions in comments, do not fire.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/sim/x.cpp",
+                 "int mutex = 0;\n// std::mutex would be a violation\n",
+                 sim_kind),
+      "shard-confinement"));
+}
+
+// ---------------------------------------------------------------------
+// Seq reservation: keyed event pushes stay inside the protocol
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsKeyedPushOutsideReservationProtocol) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "sim->ScheduleKeyedAt(0, 7u, fn);\n",
+                 Source()),
+      "seq-reservation"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/driver/hosting_simulation.cpp",
+                 "queue.PushAtSeq(when, key, fn);\n", Source()),
+      "seq-reservation"));
+}
+
+TEST(LintSourceTest, KeyedPushAllowedInSimAndShardedEngine) {
+  FileKind keyed_kind;
+  keyed_kind.allow_keyed_push = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/sim/simulator.h",
+                 "#pragma once\nvoid F() { queue_.PushAtSeq(t, k, fn); }\n",
+                 keyed_kind),
+      "seq-reservation"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/driver/shard_exec.cpp",
+                 "ss.sim.ScheduleKeyedAt(when, key, fn);\n", keyed_kind),
+      "seq-reservation"));
+}
+
+TEST(LintSourceTest, SeqReservationQuietOnNonCalls) {
+  // Declarations and mentions without a call do not fire: the rule is
+  // about call sites, the declarations live in sim/ headers anyway.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/x.cpp",
+                 "// ScheduleKeyedAt is confined to sim/\nint PushAtSeq;\n",
+                 Source()),
+      "seq-reservation"));
+}
+
+// ---------------------------------------------------------------------
 // Fault-model confinement
 // ---------------------------------------------------------------------
 
@@ -775,6 +861,8 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "missing-pragma-once"));
   EXPECT_TRUE(HasRule(violations, "thread-confinement"));
   EXPECT_TRUE(HasRule(violations, "sim-no-std-function"));
+  EXPECT_TRUE(HasRule(violations, "shard-confinement"));
+  EXPECT_TRUE(HasRule(violations, "seq-reservation"));
   EXPECT_TRUE(HasRule(violations, "fault-confinement"));
   EXPECT_TRUE(HasRule(violations, "core-no-hash-maps"));
   EXPECT_TRUE(HasRule(violations, "nondet-unordered-iteration"));

@@ -171,6 +171,33 @@ void PassBannedTokens(const Ctx& ctx, const Code& code) {
                     "event code schedules millions of closures per run and "
                     "must use sim::InplaceFunction (sim/inplace_function.h)");
       }
+      if (kind.forbid_std_function && !kind.allow_shard_sync &&
+          t.text == "std" &&
+          (SeqStd(code, i, "mutex") || SeqStd(code, i, "shared_mutex") ||
+           SeqStd(code, i, "recursive_mutex") ||
+           SeqStd(code, i, "timed_mutex") ||
+           SeqStd(code, i, "condition_variable") ||
+           SeqStd(code, i, "condition_variable_any") ||
+           SeqStd(code, i, "atomic") || SeqStd(code, i, "atomic_flag") ||
+           SeqStd(code, i, "lock_guard") || SeqStd(code, i, "unique_lock") ||
+           SeqStd(code, i, "scoped_lock") || SeqStd(code, i, "shared_lock") ||
+           SeqStd(code, i, "call_once") || SeqStd(code, i, "once_flag"))) {
+        ctx.Violate(line, "shard-confinement",
+                    "synchronization primitives are banned in src/sim/ "
+                    "outside the mailbox/barrier files; shard state is "
+                    "single-owner during a window and cross-shard traffic "
+                    "goes through sim/mailbox.h at barriers (DESIGN.md "
+                    "section 14)");
+      }
+      if (!kind.allow_keyed_push && call &&
+          (t.text == "PushAtSeq" || t.text == "ScheduleKeyedAt")) {
+        ctx.Violate(line, "seq-reservation",
+                    "keyed event pushes (PushAtSeq/ScheduleKeyedAt) bypass "
+                    "the auto seq counter and are confined to src/sim/ and "
+                    "the sharded engine; reserve key space with "
+                    "EventQueue::ReserveKeySpace and keep keyed scheduling "
+                    "inside the reservation protocol (sim/event_queue.h)");
+      }
       if (!kind.allow_fault_injection &&
           AnyOf(t.text, {"mtbf", "mttr", "mtbf_s", "mttr_s", "drop_prob",
                          "request_delay_prob"})) {
@@ -891,6 +918,11 @@ Analysis AnalyzeTree(const std::vector<std::filesystem::path>& roots) {
         kind.allow_fault_injection = rel.rfind("fault/", 0) == 0;
         kind.forbid_hash_maps = rel.rfind("core/", 0) == 0;
         kind.allow_wall_clock = rel.rfind("runner/", 0) == 0;
+        kind.allow_shard_sync = rel == "sim/mailbox.h" ||
+                                rel == "sim/shard.h" || rel == "sim/shard.cpp";
+        kind.allow_keyed_push = rel.rfind("sim/", 0) == 0 ||
+                                rel.rfind("driver/shard_exec", 0) == 0 ||
+                                rel.rfind("driver/shard_plan", 0) == 0;
       }
       AnalyzeSource(root_name + "/" + rel, buf.str(), kind,
                     DefaultGlobalWhitelist(), &analysis);

@@ -24,6 +24,17 @@
 //     probabilities) only in src/fault/
 //   - no std::unordered_map / std::map in src/core/ — hot-path tables use
 //     radar::SlabMap or sorted inline vectors (DESIGN.md §12)
+//   - shard-confinement: std::mutex / std::atomic and the rest of the
+//     <mutex>/<atomic> synchronization vocabulary are banned in src/sim/
+//     outside the mailbox/barrier files (sim/mailbox.h, sim/shard.h,
+//     sim/shard.cpp) — shard state is single-owner by construction and
+//     cross-shard traffic goes through mailboxes at window barriers
+//     (DESIGN.md §14), so a lock anywhere else is a design smell
+//   - seq-reservation: EventQueue::PushAtSeq / Simulator::ScheduleKeyedAt
+//     only in src/sim/ and the sharded engine (driver/shard_exec*,
+//     driver/shard_plan*) — keyed pushes bypass the auto seq counter, and
+//     callers outside the reservation protocol would silently break the
+//     keyed-before-auto tiebreak (sim/event_queue.h)
 //
 // Shard-readiness passes (the ROADMAP's deterministic-parallel-execution
 // item depends on all four holding tree-wide):
@@ -82,6 +93,15 @@ struct FileKind {
   /// tools/ CLI entry points may write to std::cout/std::cerr; library
   /// code may not. Appended last (see above).
   bool allow_cli_output = false;
+  /// sim/mailbox.h, sim/shard.h, sim/shard.cpp (and only they) may name
+  /// <mutex>/<atomic> synchronization types inside src/sim/ — everywhere
+  /// else in the simulation tree, shard state is single-owner and a lock
+  /// is a design smell (DESIGN.md §14). Appended last (see above).
+  bool allow_shard_sync = false;
+  /// src/sim/ and the sharded engine (driver/shard_exec*, shard_plan*)
+  /// may call EventQueue::PushAtSeq / Simulator::ScheduleKeyedAt; other
+  /// callers would bypass the seq reservation protocol. Appended last.
+  bool allow_keyed_push = false;
 };
 
 /// One sanctioned piece of shared mutable state. A mutable global is

@@ -19,6 +19,7 @@
 #include "fault/fault_plan.h"
 #include "net/topology_io.h"
 #include "runner/experiment_plan.h"
+#include "runner/shard_executor.h"
 #include "runner/sweep_runner.h"
 
 int main(int argc, char** argv) {
@@ -95,6 +96,13 @@ int main(int argc, char** argv) {
                 ? driver::HostingSimulation(config, *topology)
                 : driver::HostingSimulation(config);
         if (trace != nullptr) sim.SetTrace(*trace);
+        if (config.shards >= 1) {
+          // Sharded engine: windows run on a pool sized to the shard
+          // count. The executor only needs to outlive Run().
+          runner::PoolShardExecutor executor(config.shards);
+          sim.set_window_executor(&executor);
+          return sim.Run();
+        }
         return sim.Run();
       });
 
