@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
 
 #include "fault/fault_plan.h"
+#include "net/topology_gen.h"
+#include "net/topology_io.h"
+#include "net/uunet.h"
 
 namespace radar::bench {
 namespace {
@@ -13,16 +17,27 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--jobs N] [--json PATH] [--fault-plan FILE]"
-      " [--replica-floor K] [--shards K]\n"
+      " [--replica-floor K] [--shards K] [--topology SPEC|FILE]"
+      " [--oracle KIND]\n"
       "  --jobs N           worker threads (0 = hardware concurrency;\n"
       "                     default $RADAR_BENCH_JOBS, else 1)\n"
       "  --json PATH        write the sweep as a SweepJson document\n"
       "  --fault-plan FILE  inject faults (see fault/fault_plan.h)\n"
       "  --replica-floor K  re-replicate objects below K live copies\n"
       "  --shards K         shard-parallel engine with K shards (0 =\n"
-      "                     serial; default $RADAR_BENCH_SHARDS, else 0)\n",
+      "                     serial; default $RADAR_BENCH_SHARDS, else 0)\n"
+      "  --topology S       backbone: a ts:/sf: generator spec or a\n"
+      "                     topology file (default $RADAR_BENCH_TOPOLOGY,\n"
+      "                     else the built-in UUNET backbone)\n"
+      "  --oracle KIND      auto|dense|sparse latency backend (default\n"
+      "                     $RADAR_BENCH_ORACLE, else auto)\n",
       argv0);
   std::exit(code);
+}
+
+std::string EnvStrOr(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? value : fallback;
 }
 
 }  // namespace
@@ -47,6 +62,14 @@ driver::SimConfig PaperConfig() {
       static_cast<ObjectId>(EnvOr("RADAR_BENCH_OBJECTS", 10000.0));
   config.seed = static_cast<std::uint64_t>(EnvOr("RADAR_BENCH_SEED", 1.0));
   config.shards = static_cast<int>(EnvOr("RADAR_BENCH_SHARDS", 0.0));
+  const std::string oracle = EnvStrOr("RADAR_BENCH_ORACLE", "auto");
+  if (oracle == "dense") {
+    config.oracle = net::OracleKind::kDense;
+  } else if (oracle == "sparse") {
+    config.oracle = net::OracleKind::kSparse;
+  } else {
+    config.oracle = net::OracleKind::kAuto;
+  }
   return config;
 }
 
@@ -60,6 +83,7 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
   options.jobs = static_cast<int>(EnvOr("RADAR_BENCH_JOBS", 1.0));
   options.shards = static_cast<int>(EnvOr("RADAR_BENCH_SHARDS", 0.0));
+  options.topology = EnvStrOr("RADAR_BENCH_TOPOLOGY", "");
 
   const auto value_of = [&](int* i, const std::string& arg,
                             const std::string& flag) -> std::string {
@@ -123,6 +147,22 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       // Exported so PaperConfig() — always called after parsing — sees
       // the flag without every bench threading it through by hand.
       setenv("RADAR_BENCH_SHARDS", value.c_str(), 1);
+    } else if (arg == "--topology" || arg.rfind("--topology=", 0) == 0) {
+      options.topology = value_of(&i, arg, "--topology");
+      if (options.topology.empty()) {
+        std::fprintf(stderr, "%s: --topology needs a spec or file\n",
+                     argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+    } else if (arg == "--oracle" || arg.rfind("--oracle=", 0) == 0) {
+      const std::string value = value_of(&i, arg, "--oracle");
+      if (value != "auto" && value != "dense" && value != "sparse") {
+        std::fprintf(stderr, "%s: --oracle must be auto, dense, or sparse\n",
+                     argv[0]);
+        UsageAndExit(argv[0], 2);
+      }
+      // Exported for PaperConfig(), like --shards.
+      setenv("RADAR_BENCH_ORACLE", value.c_str(), 1);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());
@@ -130,6 +170,27 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     }
   }
   return options;
+}
+
+net::Topology MakeBenchTopology(const BenchOptions& options) {
+  if (options.topology.empty()) return net::MakeUunetBackbone();
+  if (net::IsTopologySpec(options.topology)) {
+    return net::GenerateTopology(options.topology);
+  }
+  std::ifstream in(options.topology);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open topology file '%s'\n",
+                 options.topology.c_str());
+    std::exit(2);
+  }
+  std::string error;
+  auto parsed = net::ReadTopology(in, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s: %s\n", options.topology.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+  return *std::move(parsed);
 }
 
 void ApplyFaultOptions(const BenchOptions& options,

@@ -20,6 +20,11 @@
 //   RADAR_BENCH_JOBS       default worker-thread count
 //   RADAR_BENCH_SHARDS     shard-parallel engine shard count (default 0 =
 //                          serial; reports are identical for any K >= 1)
+//   RADAR_BENCH_TOPOLOGY   backbone override: a "ts:"/"sf:" generator
+//                          spec (net/topology_gen.h) or a topology file
+//                          (default: the built-in UUNET backbone)
+//   RADAR_BENCH_ORACLE     latency backend: auto|dense|sparse
+//                          (default auto)
 //
 // Results are bit-identical for any --jobs value: per-run seeds come from
 // the plan, and each simulation is self-contained.
@@ -55,15 +60,25 @@ struct BenchOptions {
   std::string fault_plan_file;  ///< empty = perfect world
   int replica_floor = 0;        ///< 0 = no self-healing floor
   int shards = 0;               ///< 0 = serial engine; K = sharded engine
+  /// Backbone override: a "ts:"/"sf:" generator spec or a topology file;
+  /// empty = the built-in UUNET backbone. See MakeBenchTopology.
+  std::string topology;
 };
 
-/// Parses --jobs/--json/--fault-plan/--replica-floor/--shards (either
-/// "--flag value" or "--flag=value") plus --help. jobs defaults to
-/// $RADAR_BENCH_JOBS, shards to $RADAR_BENCH_SHARDS. --shards also
-/// exports RADAR_BENCH_SHARDS so PaperConfig() (called after parsing in
-/// every bench) picks the value up without per-binary plumbing. Prints
-/// usage and exits(2) on a malformed command line, exits(0) on --help.
+/// Parses --jobs/--json/--fault-plan/--replica-floor/--shards/--topology/
+/// --oracle (either "--flag value" or "--flag=value") plus --help. jobs
+/// defaults to $RADAR_BENCH_JOBS, shards to $RADAR_BENCH_SHARDS, topology
+/// to $RADAR_BENCH_TOPOLOGY, oracle to $RADAR_BENCH_ORACLE. --shards and
+/// --oracle also export their environment variable so PaperConfig()
+/// (called after parsing in every bench) picks the value up without
+/// per-binary plumbing. Prints usage and exits(2) on a malformed command
+/// line, exits(0) on --help.
 BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// The backbone selected by options.topology: the UUNET default when
+/// empty, a generated topology for a "ts:"/"sf:" spec, or a file load
+/// (exits(2) on failure, matching radar_sim).
+net::Topology MakeBenchTopology(const BenchOptions& options);
 
 /// Loads options.fault_plan_file (when set) and copies the plan plus
 /// options.replica_floor into the config. Exits(2) on a parse failure so

@@ -16,7 +16,8 @@
 //   --json PATH   write the radar.perfbench/1 document to PATH
 //   --reps N      repetitions per scale; the best (highest req/s) rep is
 //                 reported (default $RADAR_PERF_REPS, else 1)
-//   --scale NAME  run only the named scale (small / medium / large)
+//   --scale NAME  run only the named scale (small / small-sparse /
+//                 medium / large)
 //   --shards K    run the shard-parallel engine with K shards (0 =
 //                 serial engine; default $RADAR_BENCH_SHARDS, else 0).
 //                 Sharded runs report the sharded mode's own request
@@ -46,14 +47,20 @@ struct Scale {
   const char* name;
   double sim_seconds;
   ObjectId objects;
+  net::OracleKind oracle;
 };
 
-// Three operating points: the small scale is CI's smoke, the large scale
-// approaches the paper's Table 1 configuration (10k objects).
+// Four operating points: the small scale is CI's smoke, the large scale
+// approaches the paper's Table 1 configuration (10k objects), and
+// small-sparse reruns the small scale with the sparse gateway-pivot
+// latency backend forced on — on the all-gateway UUNET backbone the
+// report is byte-identical to small's, so the pair isolates the latency
+// backend's hot-path cost (perf_gate compares them with --alias).
 constexpr Scale kScales[] = {
-    {"small", 60.0, 1'000},
-    {"medium", 120.0, 5'000},
-    {"large", 240.0, 10'000},
+    {"small", 60.0, 1'000, net::OracleKind::kDense},
+    {"small-sparse", 60.0, 1'000, net::OracleKind::kSparse},
+    {"medium", 120.0, 5'000, net::OracleKind::kDense},
+    {"large", 240.0, 10'000, net::OracleKind::kDense},
 };
 
 struct Measurement {
@@ -88,6 +95,7 @@ Measurement RunScale(const Scale& scale, std::uint64_t seed, int shards) {
   config.seed = seed;
   config.workload = driver::WorkloadKind::kZipf;
   config.shards = shards;
+  config.oracle = scale.oracle;
 
   // Construction (routing tables, latency matrices, the shard pool) is
   // charged to the measurement: precomputation must pay for itself end
@@ -130,7 +138,8 @@ Measurement RunScale(const Scale& scale, std::uint64_t seed, int shards) {
                "  --json PATH   write the radar.perfbench/1 document\n"
                "  --reps N      repetitions per scale, best rep reported\n"
                "                (default $RADAR_PERF_REPS, else 1)\n"
-               "  --scale NAME  run only this scale (small/medium/large)\n"
+               "  --scale NAME  run only this scale (small / small-sparse /"
+               " medium / large)\n"
                "  --shards K    shard-parallel engine, K shards (0 =\n"
                "                serial; default $RADAR_BENCH_SHARDS)\n",
                argv0);
@@ -167,7 +176,7 @@ int main(int argc, char** argv) {
         UsageAndExit(argv[0], 2);
       }
     } else if (arg == "--scale" || arg.rfind("--scale=", 0) == 0) {
-      only_scale = value_of("--scale");
+      only_scale = value_of("--scale");  // small/small-sparse/medium/large
     } else if (arg == "--shards" || arg.rfind("--shards=", 0) == 0) {
       shards = std::atoi(value_of("--shards").c_str());
       if (shards < 0) {

@@ -19,14 +19,14 @@ HostAgent::HostAgent(NodeId self, std::int32_t num_nodes,
 HostAgent::Handle HostAgent::InsertRecord(ObjectId x) {
   const Handle h = records_.Insert(x);
   // Keep the parallel arrays in step with the slab's slot space. A
-  // recycled slot was zeroed by EraseRecord; freshly carved slots get
-  // zeroed rows here. Steady-state churn therefore never allocates.
+  // recycled slot was cleared by EraseRecord (its row keeps its
+  // capacity); freshly carved slots get empty rows here. Steady-state
+  // churn therefore never allocates.
   const std::size_t cap = records_.slot_capacity();
   if (serviced_.size() < cap) {
     serviced_.resize(cap, 0);
     load_.resize(cap, 0.0);
-    counts_dirty_.resize(cap, 0);
-    path_counts_.resize(cap * static_cast<std::size_t>(num_nodes_), 0);
+    counts_.resize(cap);
   }
   return h;
 }
@@ -35,12 +35,68 @@ void HostAgent::EraseRecord(ObjectId x) {
   const Handle h = HandleOf(x);
   serviced_[h] = 0;
   load_[h] = 0.0;
-  if (counts_dirty_[h] != 0) {
-    std::uint32_t* row = CountsRow(h);
-    std::fill(row, row + num_nodes_, 0u);
-    counts_dirty_[h] = 0;
-  }
+  counts_[h].clear();
   records_.Erase(x);
+}
+
+std::uint32_t HostAgent::CountFor(const CountRow& row, NodeId p) {
+  // Sums over possible duplicates, so it is exact whether or not the row
+  // has been coalesced. Rows are a few cache lines; the branchy binary
+  // search this replaces was slower in practice.
+  std::uint32_t total = 0;
+  for (const CountEntry& e : row) {
+    if (e.node == p) total += e.count;
+  }
+  return total;
+}
+
+void HostAgent::BumpCount(CountRow& row, NodeId p) {
+  // Append-only fast path: sorted-insert bumps (binary search + memmove)
+  // were ~30% of the request engine's profile. Coalescing only when the
+  // row is about to reallocate, with the post-coalesce reserve keeping at
+  // least half the capacity appendable, amortizes the merge to a few
+  // word operations per bump even when nearly every bump repeats the same
+  // few hot nodes.
+  if (row.size() == row.capacity() && row.size() >= kCountCoalesceMin) {
+    CoalesceRow(row);
+    if (row.size() * 2 > row.capacity()) {
+      row.reserve(row.capacity() * 2);
+    }
+  }
+  row.push_back(CountEntry{p, 1});
+}
+
+void HostAgent::CoalesceRow(CountRow& row) {
+  if (row.size() < 2) return;
+  // One linear pass through the row, compacting in place (the write
+  // cursor never passes the read cursor). The scratch table maps a node
+  // id to its compacted position; re-zeroing it is a memset of ~2x the
+  // row, which beats any comparison sort by the sort's log factor.
+  std::size_t table = 16;
+  while (table < 2 * row.size()) table *= 2;
+  const std::size_t mask = table - 1;
+  coalesce_keys_.assign(table, kInvalidNode);
+  coalesce_pos_.resize(table);
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < row.size(); ++r) {
+    const NodeId node = row[r].node;
+    std::size_t slot =
+        (static_cast<std::uint32_t>(node) * 2654435761u) & mask;
+    for (;;) {
+      if (coalesce_keys_[slot] == node) {
+        row[coalesce_pos_[slot]].count += row[r].count;
+        break;
+      }
+      if (coalesce_keys_[slot] == kInvalidNode) {
+        coalesce_keys_[slot] = node;
+        coalesce_pos_[slot] = static_cast<std::uint32_t>(w);
+        row[w++] = row[r];
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+  row.resize(w);
 }
 
 void HostAgent::AddInitialReplica(ObjectId x) {
@@ -69,11 +125,10 @@ void HostAgent::RecordServicedAt(Handle h,
   RADAR_CHECK(!preference_path.empty());
   RADAR_CHECK_MSG(preference_path.front() == self_,
                   "preference path must start at the servicing host");
-  std::uint32_t* row = CountsRow(h);
+  CountRow& row = CountsRow(h);
   for (const NodeId p : preference_path) {
-    ++row[static_cast<std::size_t>(p)];
+    BumpCount(row, p);
   }
-  counts_dirty_[h] = 1;
   ++serviced_[h];
   ++serviced_interval_total_;
 }
@@ -185,11 +240,7 @@ void HostAgent::ResetAfterCrash(SimTime now) {
   for (const Handle h : records_.active()) {
     serviced_[h] = 0;
     load_[h] = 0.0;
-    if (counts_dirty_[h] != 0) {
-      std::uint32_t* row = CountsRow(h);
-      std::fill(row, row + num_nodes_, 0u);
-      counts_dirty_[h] = 0;
-    }
+    counts_[h].clear();
     records_.At(h).acquired_at = now;
   }
 }
@@ -213,7 +264,7 @@ double HostAgent::UnitAccessRate(ObjectId x, SimTime now) const {
   if (h == Records::kNoHandle) return 0.0;
   const double seconds = EpochSeconds(records_.At(h), now);
   if (seconds <= 0.0) return 0.0;
-  const double total = CountsRow(h)[static_cast<std::size_t>(self_)];
+  const double total = CountFor(CountsRow(h), self_);
   return total / static_cast<double>(records_.At(h).aff) / seconds;
 }
 
@@ -221,8 +272,7 @@ std::uint32_t HostAgent::AccessCount(ObjectId x, NodeId p) const {
   RADAR_CHECK_GE(p, 0);
   RADAR_CHECK_LT(p, num_nodes_);
   const Handle h = records_.HandleOf(x);
-  return h != Records::kNoHandle ? CountsRow(h)[static_cast<std::size_t>(p)]
-                                 : 0;
+  return h != Records::kNoHandle ? CountFor(CountsRow(h), p) : 0;
 }
 
 HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
@@ -242,18 +292,21 @@ HostAgent::ReduceOutcome HostAgent::ReduceAffinity(PlacementContext& ctx,
 }
 
 const std::vector<NodeId>& HostAgent::CandidatesByFarthest(
-    const std::uint32_t* counts, const PlacementContext& ctx) {
+    const CountRow& counts, const PlacementContext& ctx) {
   // Distances are fetched once per candidate, not once per comparison: a
   // sort comparator that calls a virtual oracle is the dominant cost of a
   // placement round on large runs. The (distance desc, id asc) key is a
   // total order, so the result is identical to sorting with the oracle in
   // the comparator. Both buffers are member scratch — a placement round
   // calls this for every warm object, and per-call vectors dominated the
-  // round's profile.
+  // round's profile. `counts` must be coalesced: the row then enumerates
+  // exactly the nodes the old dense scan found non-zero (the sort's
+  // total order makes the result independent of the row's entry order).
   candidate_scratch_.clear();
-  for (NodeId p = 0; p < num_nodes_; ++p) {
-    if (p != self_ && counts[static_cast<std::size_t>(p)] > 0) {
-      candidate_scratch_.push_back(Candidate{ctx.Distance(self_, p), p});
+  for (const CountEntry& e : counts) {
+    if (e.node != self_ && e.count > 0) {
+      candidate_scratch_.push_back(Candidate{ctx.Distance(self_, e.node),
+                                             e.node});
     }
   }
   std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
@@ -286,8 +339,12 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     if (h == Records::kNoHandle) continue;
     const double seconds = EpochSeconds(records_.At(h), now);
     if (seconds <= 0.0) continue;
-    const auto total = static_cast<double>(
-        CountsRow(h)[static_cast<std::size_t>(self_)]);
+    // One coalesce covers every read below: the candidate walks iterate
+    // entries and need one entry per node, and handles are stable for the
+    // rest of this iteration (a dropped record clears its row and is
+    // guarded by HasObject before the replication pass).
+    CoalesceRow(CountsRow(h));
+    const auto total = static_cast<double>(CountFor(CountsRow(h), self_));
     const double unit_rate =
         total / static_cast<double>(records_.At(h).aff) / seconds;
 
@@ -302,8 +359,7 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
       // Geo-migration: the farthest host on > MIGR_RATIO of the requests'
       // preference paths (Sec. 4.2.1).
       for (const NodeId p : CandidatesByFarthest(CountsRow(h), ctx)) {
-        const auto cnt = static_cast<double>(
-            CountsRow(h)[static_cast<std::size_t>(p)]);
+        const auto cnt = static_cast<double>(CountFor(CountsRow(h), p));
         if (cnt <= params_->migr_ratio * total) continue;
         const int aff_before = records_.At(h).aff;
         const double object_load = load_[h];
@@ -325,8 +381,7 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     if (!relocated && HasObject(x) && unit_rate > m && total > 0.0) {
       const Handle hc = HandleOf(x);
       for (const NodeId p : CandidatesByFarthest(CountsRow(hc), ctx)) {
-        const auto cnt = static_cast<double>(
-            CountsRow(hc)[static_cast<std::size_t>(p)]);
+        const auto cnt = static_cast<double>(CountFor(CountsRow(hc), p));
         if (cnt <= params_->repl_ratio * total) continue;
         const CreateObjResponse resp = ctx.CreateObjRpc(
             self_, p, CreateObjMethod::kReplicate, x, UnitLoad(x));
@@ -354,16 +409,12 @@ PlacementStats HostAgent::RunPlacement(PlacementContext& ctx, SimTime now) {
     Offload(ctx, stats, now);
   }
 
-  // Start a new access-count epoch. The dirty flags are a flat byte array
-  // over the slot space (free slots are never dirty), so the sweep reads
-  // one cache line per 64 objects and touches only rows actually written
-  // this epoch.
+  // Start a new access-count epoch. Rows untouched this epoch are
+  // already empty; clear() on a touched row drops its entries but keeps
+  // the capacity, so the next epoch's bumps do not allocate.
   const std::size_t cap = records_.slot_capacity();
   for (std::size_t s = 0; s < cap; ++s) {
-    if (counts_dirty_[s] == 0) continue;
-    std::uint32_t* row = CountsRow(static_cast<Handle>(s));
-    std::fill(row, row + num_nodes_, 0u);
-    counts_dirty_[s] = 0;
+    counts_[s].clear();
   }
   epoch_start_ = now;
   return stats;
@@ -386,16 +437,14 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
   std::vector<Ranked> ranked;
   ranked.reserve(records_.size());
   for (const ObjectId x : Objects()) {
-    const std::uint32_t* counts = CountsRow(HandleOf(x));
-    const auto total =
-        static_cast<double>(counts[static_cast<std::size_t>(self_)]);
+    CountRow& counts = CountsRow(HandleOf(x));
+    CoalesceRow(counts);  // the max-fraction scan needs one entry per node
+    const auto total = static_cast<double>(CountFor(counts, self_));
     double best = 0.0;
     if (total > 0.0) {
-      for (NodeId p = 0; p < num_nodes_; ++p) {
-        if (p == self_) continue;
-        best = std::max(
-            best,
-            static_cast<double>(counts[static_cast<std::size_t>(p)]) / total);
+      for (const CountEntry& e : counts) {
+        if (e.node == self_) continue;
+        best = std::max(best, static_cast<double>(e.count) / total);
       }
     }
     ranked.push_back(Ranked{best, x});
@@ -419,8 +468,7 @@ void HostAgent::Offload(PlacementContext& ctx, PlacementStats& stats,
     const double seconds = EpochSeconds(rec, now);
     const double unit_rate =
         seconds > 0.0
-            ? static_cast<double>(
-                  CountsRow(h)[static_cast<std::size_t>(self_)]) /
+            ? static_cast<double>(CountFor(CountsRow(h), self_)) /
                   static_cast<double>(rec.aff) / seconds
             : 0.0;
     const double object_load = load_[h];

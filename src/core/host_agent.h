@@ -19,12 +19,18 @@
 // counters plus the CreateObj verdicts of candidate recipients.
 //
 // Storage layout: records live in a SlabMap keyed by object id, and the
-// per-interval measurement fields (serviced counts, measured loads, dirty
-// flags) plus the cnt(p, x) access-count rows live in parallel arrays
-// keyed by the record's slab handle. The measurement tick and the epoch
-// reset stream those contiguous arrays instead of chasing one heap node
-// per object, and per-object bookkeeping allocates nothing in steady
-// state — slots and their count rows are recycled, not freed.
+// per-interval measurement fields (serviced counts, measured loads) live
+// in parallel flat arrays keyed by the record's slab handle. The
+// cnt(p, x) access counts are sparse: one (node, count) vector per slot,
+// holding only the nodes that actually appeared on a preference path this
+// epoch — a dense slots x num_nodes matrix would be 4 GB at 10^5 objects
+// on a 10k-node topology. Rows are write-optimized: a bump is a plain
+// append (requests outnumber placement rounds by orders of magnitude, so
+// the bump is the agent's hottest operation), duplicates are merged by an
+// amortized-O(1) hash coalesce when a row fills its capacity, and the
+// readers — placement, which runs once per epoch — coalesce a row before
+// scanning it. Rows are cleared (capacity retained) on epoch reset and
+// slot recycling, so steady-state bookkeeping still allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -168,17 +174,36 @@ class HostAgent {
  private:
   /// Slab-resident part of a record: the fields placement reads per
   /// object. The per-interval measurement fields live in parallel arrays
-  /// (serviced_, load_, counts_dirty_, path_counts_) keyed by the
-  /// record's slab handle, so interval sweeps stream flat arrays.
+  /// (serviced_, load_, counts_) keyed by the record's slab handle, so
+  /// interval sweeps stream flat arrays.
   struct ReplicaRecord {
     int aff = 1;
     /// When this replica appeared on the host (bounds its epoch length).
     SimTime acquired_at = 0;
   };
-  using Records = SlabMap<ReplicaRecord>;
+  // Hash-indexed slab: a host's keys are a stride-n sample of the whole
+  // object-id space (object i starts on node i mod n), so the default
+  // dense index would cost num_objects entries on every one of n agents —
+  // an n x objects blow-up at Internet scale. Chunks of 32 slots match a
+  // host's typical working set (a few dozen replicas, not hundreds).
+  using Records = SlabMap<ReplicaRecord, 5, HashSlabIndex>;
   using Handle = Records::Handle;
 
   enum class ReduceOutcome { kReduced, kDropped, kDenied };
+
+  /// One sparse access-count entry: node `node` appeared on `count`
+  /// preference paths this epoch. A row may hold several entries for the
+  /// same node between coalesces; CoalesceRow merges them (one entry per
+  /// node, deterministic first-appearance order).
+  struct CountEntry {
+    NodeId node;
+    std::uint32_t count;
+  };
+  using CountRow = std::vector<CountEntry>;
+
+  /// Rows below this size are never coalesced mid-epoch; the vector's own
+  /// doubling absorbs them.
+  static constexpr std::size_t kCountCoalesceMin = 64;
 
   /// Handle of x's record; checks that x is hosted.
   Handle HandleOf(ObjectId x) const {
@@ -187,15 +212,23 @@ class HostAgent {
     return h;
   }
 
-  /// cnt(p, x) row of the record in slot `h`.
-  std::uint32_t* CountsRow(Handle h) {
-    return &path_counts_[static_cast<std::size_t>(h) *
-                         static_cast<std::size_t>(num_nodes_)];
-  }
-  const std::uint32_t* CountsRow(Handle h) const {
-    return &path_counts_[static_cast<std::size_t>(h) *
-                         static_cast<std::size_t>(num_nodes_)];
-  }
+  /// cnt(p, x) row of the record in slot `h` (sorted by node id).
+  CountRow& CountsRow(Handle h) { return counts_[h]; }
+  const CountRow& CountsRow(Handle h) const { return counts_[h]; }
+
+  /// cnt(p, x) for one node: linear sum over the row, 0 when absent.
+  /// Correct on coalesced and uncoalesced rows alike.
+  static std::uint32_t CountFor(const CountRow& row, NodeId p);
+  /// Increments cnt(p, x): appends a unit entry, coalescing first when
+  /// the row is full. O(1) amortized — this is the per-request hot path.
+  void BumpCount(CountRow& row, NodeId p);
+  /// Merges duplicate entries in place via a scratch hash (no sort:
+  /// a sort-based merge costs log(row) per bump amortized, which showed
+  /// up as the request engine's single hottest block). After this the
+  /// row holds one entry per node, in deterministic first-appearance
+  /// order. Capacity is retained. Readers that iterate entries
+  /// (placement, offload ranking) must coalesce first; CountFor need not.
+  void CoalesceRow(CountRow& row);
 
   /// Creates x's record (and grows the parallel arrays to match the slab).
   Handle InsertRecord(ObjectId x);
@@ -217,13 +250,14 @@ class HostAgent {
   /// Seconds of epoch this replica has observed at `now`.
   double EpochSeconds(const ReplicaRecord& rec, SimTime now) const;
 
-  /// Nodes with non-zero access counts in `counts`, excluding self, in
-  /// decreasing order of distance from self (ties: lower id first).
+  /// Nodes with non-zero access counts in `counts` (which must be
+  /// coalesced), excluding self, in decreasing order of distance from
+  /// self (ties: lower id first).
   /// Returns a reference to an internal scratch buffer, valid until the
   /// next call on this agent — placement calls it O(objects) times per
   /// round, so it must not allocate.
-  const std::vector<NodeId>& CandidatesByFarthest(
-      const std::uint32_t* counts, const PlacementContext& ctx);
+  const std::vector<NodeId>& CandidatesByFarthest(const CountRow& counts,
+                                                  const PlacementContext& ctx);
 
   NodeId self_;
   std::int32_t num_nodes_;
@@ -236,11 +270,10 @@ class HostAgent {
   std::vector<std::uint32_t> serviced_;
   /// load(x_s) from the last completed interval (requests/sec), per slot.
   std::vector<double> load_;
-  /// Non-zero when the slot's count row holds any non-zero entry; lets the
-  /// epoch reset skip the (mostly untouched) cold objects.
-  std::vector<std::uint8_t> counts_dirty_;
-  /// cnt(p, x) rows, num_nodes_ entries per slot.
-  std::vector<std::uint32_t> path_counts_;
+  /// Sparse cnt(p, x) rows, one per slot, append-ordered with duplicates
+  /// until coalesced. A cold object's row is empty; clear() keeps the
+  /// capacity for slot reuse.
+  std::vector<CountRow> counts_;
 
   // Scratch for CandidatesByFarthest (reused across calls; see above).
   struct Candidate {
@@ -249,6 +282,14 @@ class HostAgent {
   };
   std::vector<Candidate> candidate_scratch_;
   std::vector<NodeId> candidate_out_;
+
+  // Scratch for CoalesceRow: an open-addressing node -> compacted-
+  // position table, re-zeroed per coalesce (reused so steady-state
+  // coalescing never allocates). Sized to the row being merged, not to
+  // num_nodes — a hot row's distinct-node set is its path union, far
+  // smaller than the platform.
+  std::vector<NodeId> coalesce_keys_;
+  std::vector<std::uint32_t> coalesce_pos_;
 
   // Load measurement state. Estimate adjustments live in a two-slot
   // window: `cur` collects bounds for relocations in the running interval,

@@ -15,7 +15,9 @@ namespace radar::driver {
 
 struct CliOptions {
   SimConfig config;
-  std::string topology_file;  ///< empty = built-in UUNET backbone
+  /// Empty = built-in UUNET backbone; a "ts:"/"sf:" generator spec
+  /// (net/topology_gen.h) or a topology file path otherwise.
+  std::string topology_file;
   std::string trace_file;     ///< empty = workload-generated requests
   std::string json_file;      ///< empty = no JSON report artefact
   /// Fault plan file (fault/fault_plan.h text format); empty = perfect

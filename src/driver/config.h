@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "core/params.h"
 #include "fault/fault_plan.h"
+#include "net/latency_oracle.h"
 
 namespace radar::driver {
 
@@ -66,6 +67,11 @@ struct SimConfig {
   /// mode from shards == 0. Requires a time-invariant workload, no trace
   /// replay, and a distribution policy other than round-robin.
   int shards = 0;
+
+  /// Routing/latency backend (net/latency_oracle.h): kAuto picks dense
+  /// below kSparseAutoThreshold nodes and the sparse gateway-pivot
+  /// oracle at or above it; kDense / kSparse force a backend.
+  net::OracleKind oracle = net::OracleKind::kAuto;
 
   /// Initial home of each object; defaults (when null) to the paper's
   /// round-robin "object i is assigned to node i mod N".

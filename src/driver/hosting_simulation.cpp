@@ -11,12 +11,12 @@ namespace {
 
 constexpr int kMaxRedirects = 3;
 
-std::vector<NodeId> PickRedirectorHomes(const net::RoutingTable& routing,
-                                        int count) {
+std::vector<NodeId> PickRedirectorHomes(const net::NetModel& net, int count) {
   // The paper co-locates the redirector "with a node whose average distance
   // in hops to other nodes is minimum"; additional redirectors take the
-  // next-most-central nodes.
-  const std::vector<NodeId> by_centrality = routing.NodesByCentrality();
+  // next-most-central nodes. On the sparse backend centrality is measured
+  // from the gateway rows (identical ranking on all-gateway graphs).
+  const std::vector<NodeId> by_centrality = net.NodesByCentrality();
   RADAR_CHECK_GE(count, 1);
   RADAR_CHECK_LE(static_cast<std::size_t>(count), by_centrality.size());
   return {by_centrality.begin(), by_centrality.begin() + count};
@@ -30,13 +30,15 @@ HostingSimulation::HostingSimulation(SimConfig config)
 HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
     : config_(std::move(config)),
       topology_(std::move(topology)),
-      routing_(topology_.graph()),
-      latency_(routing_, topology_.graph(), config_.object_bytes),
-      distance_(routing_),
-      link_stats_(topology_.num_nodes()),
+      net_(topology_, config_.object_bytes, config_.oracle),
+      distance_(net_),
+      link_stats_(topology_.graph()),
       closest_(distance_) {
   config_.Check();
-  redirector_homes_ = PickRedirectorHomes(routing_, config_.num_redirectors);
+  redirector_homes_ = PickRedirectorHomes(net_, config_.num_redirectors);
+  // Redirector homes join the sparse oracle's rowed sources: the dispatch
+  // path reads their control rows (a no-op on the dense backend).
+  net_.AddRowSources(redirector_homes_);
   cluster_ = std::make_unique<core::Cluster>(
       topology_.num_nodes(), distance_, config_.protocol, redirector_homes_);
   report_ = std::make_unique<RunReport>(config_.metric_bucket);
@@ -64,6 +66,13 @@ HostingSimulation::HostingSimulation(SimConfig config, net::Topology topology)
       OnHostRecover(h, t);
     };
     hooks.on_topology_change = [this](SimTime t) { RebuildRouting(t); };
+    hooks.on_link_change = [this](std::size_t link_index, bool up) {
+      // The sparse oracle invalidates incrementally per link event; the
+      // dense backend waits for the batch's RebuildRouting instead.
+      if (net_.sparse()) {
+        net_.OnLinkChange(static_cast<std::int32_t>(link_index), up);
+      }
+    };
     injector_ = std::make_unique<fault::FaultInjector>(
         config_.faults, topology_.graph(), &sim_, config_.seed,
         std::move(hooks));
@@ -141,15 +150,15 @@ void HostingSimulation::PlaceInitialObjects() {
 
 SimTime HostingSimulation::ControlPathLatency(NodeId a, NodeId b) const {
   // Per-link propagation delay; control payloads are negligible. The sum
-  // over the canonical path is precomputed (net/path_latency.h).
-  return latency_.Control(a, b);
+  // over the canonical path is precomputed (net/latency_oracle.h).
+  return net_.Control(a, b);
 }
 
 SimTime HostingSimulation::TransferPathLatency(NodeId a, NodeId b) const {
   // Per-link propagation + serialization of one fixed-size object,
   // precomputed with the same per-link arithmetic as the path walk it
   // replaced (bit-identical events; see the golden determinism test).
-  return latency_.Transfer(a, b);
+  return net_.Transfer(a, b);
 }
 
 void HostingSimulation::SetTrace(workload::RequestTrace trace) {
@@ -336,18 +345,18 @@ void HostingSimulation::DispatchRequest(ObjectId x, NodeId gateway,
   core::Redirector& shard = cluster_->redirectors().For(x);
   const NodeId host =
       config_.distribution == baselines::DistributionPolicy::kRadar
-          ? shard.ChooseReplica(x, gateway, routing_.HopRow(gateway))
+          ? shard.ChooseReplica(x, gateway, net_.HopRow(gateway))
           : ChooseHost(x, gateway);
   if (host == kInvalidNode) {
     ++report_->availability.failed_requests;  // no live replica anywhere
     return;
   }
   // Control legs: gateway -> redirector -> host (propagation only). Row
-  // pointers skip the per-lookup index checks: both legs read the same
-  // precomputed matrix ControlPathLatency serves.
+  // pointers skip the per-lookup index checks: gateways and redirector
+  // homes are rowed sources on both backends, so the rows exist.
   const NodeId redirector = shard.home_node();
-  const SimTime control_in = latency_.ControlRow(gateway)[redirector];
-  SimTime control = control_in + latency_.ControlRow(redirector)[host];
+  const SimTime control_in = net_.ControlRow(gateway)[redirector];
+  SimTime control = control_in + net_.ControlRow(redirector)[host];
   if (injector_ != nullptr) {
     const fault::FaultInjector::RequestFate fate =
         injector_->FateForRequestLeg();
@@ -407,15 +416,18 @@ void HostingSimulation::ArriveAtHost(ObjectId x, NodeId gateway, NodeId host,
 void HostingSimulation::CompleteService(ObjectId x, NodeId gateway,
                                         NodeId host, SimTime t0) {
   core::HostAgent& agent = cluster_->host(host);
-  const std::vector<NodeId>& path = routing_.Path(host, gateway);
+  // The canonical path, walked into member scratch (allocation-free at
+  // steady capacity — per-completion vectors dominated this profile).
+  path_scratch_.clear();
+  net_.AppendPath(host, gateway, &path_scratch_);
+  const std::vector<NodeId>& path = path_scratch_;
   // One record lookup: counts the serviced request against x when it is
   // still hosted, or as untracked when it was dropped while queued.
   agent.RecordServicedIfHosted(x, path);
   const SimTime now = sim_.Now();
-  // The canonical path is the routing table's stored path, so its hop
-  // count IS HopDistance(host, gateway) — reuse the vector instead of a
-  // second row lookup. (Both come from the same table, also after a
-  // link-fault rebuild.)
+  // The path's hop count IS HopDistance(host, gateway) — reuse the
+  // vector instead of a second row lookup. (Both come from the same
+  // backend, also after a link-fault epoch.)
   const std::int64_t byte_hops =
       config_.object_bytes * static_cast<std::int64_t>(path.size() - 1);
   report_->traffic.AddPayload(now, byte_hops);
@@ -460,11 +472,13 @@ void HostingSimulation::InstallTransferHook() {
   cluster_->set_transfer_hook([this](NodeId from, NodeId to, ObjectId,
                                      core::CreateObjMethod, bool copied) {
     if (!copied) return;  // affinity increments move no object bytes
+    path_scratch_.clear();
+    net_.AppendPath(from, to, &path_scratch_);
     const std::int64_t byte_hops =
         config_.object_bytes *
-        static_cast<std::int64_t>(routing_.HopDistance(from, to));
+        static_cast<std::int64_t>(path_scratch_.size() - 1);
     report_->traffic.AddOverhead(sim_.Now(), byte_hops);
-    link_stats_.RecordPath(routing_.Path(from, to), config_.object_bytes);
+    link_stats_.RecordPath(path_scratch_, config_.object_bytes);
     ++report_->object_copies;
   });
 }
@@ -521,12 +535,13 @@ void HostingSimulation::OnHostRecover(NodeId h, SimTime t) {
 
 void HostingSimulation::RebuildRouting(SimTime t) {
   (void)t;
-  // A link fault epoch: recompute shortest paths and the per-pair latency
-  // matrix over the surviving backbone. The distance oracle reads through
-  // routing_, so placement and distribution see the new paths immediately.
-  const net::Graph live = injector_->LiveGraph();
-  routing_ = net::RoutingTable(live);
-  latency_ = net::PathLatencyMatrix(routing_, live, config_.object_bytes);
+  // A link fault epoch. The sparse backend already patched itself per
+  // link event (on_link_change); the dense backend recomputes shortest
+  // paths and the latency matrix over the surviving backbone wholesale.
+  // The distance oracle reads through net_, so placement and
+  // distribution see the new paths immediately either way.
+  if (net_.sparse()) return;
+  net_.RebuildDense(injector_->LiveGraph());
 }
 
 RunReport HostingSimulation::Run() {

@@ -29,8 +29,7 @@
 #include "fault/fault_injector.h"
 #include "fault/repair.h"
 #include "net/link_stats.h"
-#include "net/path_latency.h"
-#include "net/routing.h"
+#include "net/net_model.h"
 #include "net/topology.h"
 #include "net/uunet.h"
 #include "sim/fcfs_server.h"
@@ -41,22 +40,23 @@
 
 namespace radar::driver {
 
-/// Adapts the routing table to the protocol's proximity oracle. Exposes
-/// the table's dense hop-distance rows so hot loops (ChooseReplica) read
-/// distances with plain indexing instead of a virtual call per candidate.
+/// Adapts the network model to the protocol's proximity oracle. Exposes
+/// hop-distance rows so hot loops (ChooseReplica) read distances with
+/// plain indexing instead of a virtual call per candidate. DistanceRow
+/// may return nullptr on the sparse backend for sources without a row
+/// (the DistanceOracle contract; callers fall back to Distance).
 class RoutingDistance final : public core::DistanceOracle {
  public:
-  explicit RoutingDistance(const net::RoutingTable& routing)
-      : routing_(routing) {}
+  explicit RoutingDistance(const net::NetModel& net) : net_(net) {}
   std::int32_t Distance(NodeId from, NodeId to) const override {
-    return routing_.HopDistance(from, to);
+    return net_.HopDistance(from, to);
   }
   const std::int32_t* DistanceRow(NodeId from) const override {
-    return routing_.HopRow(from);
+    return net_.HopRow(from);
   }
 
  private:
-  const net::RoutingTable& routing_;
+  const net::NetModel& net_;
 };
 
 class HostingSimulation {
@@ -104,10 +104,14 @@ class HostingSimulation {
 
   // Post-run (or pre-run) inspection.
   const net::Topology& topology() const { return topology_; }
-  const net::RoutingTable& routing() const { return routing_; }
-  /// The per-pair latency matrix in force right now (rebuilt at every
-  /// applied link fault epoch; see DESIGN.md §11).
-  const net::PathLatencyMatrix& latency() const { return latency_; }
+  /// The routing/latency backend in force right now (dense: rebuilt at
+  /// every applied link fault epoch; sparse: patched incrementally).
+  const net::NetModel& net_model() const { return net_; }
+  /// Dense-backend shorthand (aborts on the sparse backend).
+  const net::RoutingTable& routing() const { return net_.routing(); }
+  const net::PathLatencyMatrix& latency() const {
+    return net_.dense_latency();
+  }
   /// The fault layer, or nullptr when the run's FaultPlan is empty.
   const fault::FaultInjector* fault_injector() const {
     return injector_.get();
@@ -190,10 +194,9 @@ class HostingSimulation {
 
   SimConfig config_;
   net::Topology topology_;
-  net::RoutingTable routing_;
-  /// Per-pair control/transfer latencies, precomputed at construction for
-  /// the run's fixed object size (see net/path_latency.h).
-  net::PathLatencyMatrix latency_;
+  /// Routing + per-pair latency backend (dense matrices or the sparse
+  /// gateway-pivot oracle; see net/net_model.h).
+  net::NetModel net_;
   RoutingDistance distance_;
   std::vector<NodeId> redirector_homes_;
   std::unique_ptr<core::Cluster> cluster_;
@@ -218,6 +221,9 @@ class HostingSimulation {
   std::unique_ptr<fault::AvailabilityTracker> availability_;
   std::unique_ptr<fault::ReplicaRepairer> repairer_;
   std::unique_ptr<RunReport> report_;
+  /// Scratch for canonical-path walks (CompleteService, transfer hook);
+  /// serial-engine-only state, reused so the hot path never allocates.
+  std::vector<NodeId> path_scratch_;
   /// Shard-queue event total, folded in by a sharded run's merge.
   std::uint64_t shard_events_executed_ = 0;
   sim::WindowExecutor* window_executor_ = nullptr;

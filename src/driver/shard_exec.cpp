@@ -73,11 +73,13 @@ RunReport ShardedExecution::Run() {
     last_topology_epoch_ = o_.injector_->topology_epoch();
   }
 
-  shard_of_ =
-      PartitionHosts(o_.latency_, o_.topology_.num_nodes(), num_shards_);
+  shard_of_ = o_.net_.sparse()
+                  ? PartitionHostsByPivot(o_.net_.sparse_oracle(), num_shards_)
+                  : PartitionHosts(o_.net_.dense_latency(),
+                                   o_.topology_.num_nodes(), num_shards_);
   shards_.reserve(static_cast<std::size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) {
-    shards_.push_back(std::make_unique<ShardState>(o_.topology_.num_nodes()));
+    shards_.push_back(std::make_unique<ShardState>(o_.topology_.graph()));
     shards_.back()->sim.ReserveKeySpace(kKeyBound);
   }
   mail_.Reset(num_shards_);
@@ -168,7 +170,7 @@ void ShardedExecution::FireArrival(Gateway* gwp) {
   m.gateway = gw.node;
   m.kind = kDecide;
   Send(gw.shard, shard_of_[static_cast<std::size_t>(redirector)],
-       at + o_.latency_.ControlRow(gw.node)[redirector] + fate.delay,
+       at + o_.net_.ControlRow(gw.node)[redirector] + fate.delay,
        base + 1, m);
 }
 
@@ -198,8 +200,7 @@ void ShardedExecution::HandleDecide(std::uint64_t key, const ReqMsg& m) {
     // dispatcher does); retries take the oracle path (as serial retries
     // do). Both read the same table.
     host = m.redirects == 0
-               ? rd.ChooseReplica(m.x, m.gateway,
-                                  o_.routing_.HopRow(m.gateway))
+               ? rd.ChooseReplica(m.x, m.gateway, o_.net_.HopRow(m.gateway))
                : rd.ChooseReplica(m.x, m.gateway);
   } else {
     const std::vector<NodeId> hosts = rd.ReplicaHosts(m.x);
@@ -213,7 +214,7 @@ void ShardedExecution::HandleDecide(std::uint64_t key, const ReqMsg& m) {
   fwd.kind = kArrive;
   fwd.host = host;
   Send(s, shard_of_[static_cast<std::size_t>(host)],
-       ss.sim.Now() + o_.latency_.ControlRow(home)[host], key + 1, fwd);
+       ss.sim.Now() + o_.net_.ControlRow(home)[host], key + 1, fwd);
 }
 
 void ShardedExecution::HandleArrive(std::uint64_t key, const ReqMsg& m) {
@@ -237,8 +238,10 @@ void ShardedExecution::HandleArrive(std::uint64_t key, const ReqMsg& m) {
     retry.kind = kDecide;
     retry.host = kInvalidNode;
     retry.redirects = static_cast<std::uint8_t>(m.redirects + 1);
+    // Scalar lookup: m.host is an arbitrary node, which the sparse
+    // backend keeps no row for (same value the row would hold).
     Send(s, shard_of_[static_cast<std::size_t>(redirector)],
-         now + o_.latency_.ControlRow(m.host)[redirector], key + 1, retry);
+         now + o_.net_.Control(m.host, redirector), key + 1, retry);
     return;
   }
   const SimTime completion =
@@ -263,13 +266,15 @@ void ShardedExecution::HandleComplete(std::uint64_t key, const ReqMsg& m) {
     return;
   }
   core::HostAgent& agent = o_.cluster_->host(m.host);
-  const std::vector<NodeId>& path = o_.routing_.Path(m.host, m.gateway);
+  ss.path_scratch.clear();
+  o_.net_.AppendPath(m.host, m.gateway, &ss.path_scratch);
+  const std::vector<NodeId>& path = ss.path_scratch;
   agent.RecordServicedIfHosted(m.x, path);
   const std::int64_t byte_hops =
       o_.config_.object_bytes * static_cast<std::int64_t>(path.size() - 1);
   ss.link_stats.RecordPath(path, o_.config_.object_bytes);
   const double total_latency =
-      SimToSeconds(now - m.t0 + o_.latency_.Transfer(m.host, m.gateway));
+      SimToSeconds(now - m.t0 + o_.net_.Transfer(m.host, m.gateway));
   // Floats commit to the per-shard log; the post-run merge adds them in
   // (when, key) order so the sums are byte-identical for every K.
   ss.commits.push_back(Commit{now, key, total_latency, byte_hops});
@@ -330,8 +335,8 @@ void ShardedExecution::Barrier(SimTime end) {
 }
 
 void ShardedExecution::RecomputeLookahead() {
-  const SimTime min_cross = o_.latency_.MinCrossPartitionControl(shard_of_);
-  if (min_cross == net::PathLatencyMatrix::kNoCrossPartition) {
+  const SimTime min_cross = o_.net_.MinCrossPartitionControl(shard_of_);
+  if (min_cross == net::LatencyOracle::kNoCrossPartition) {
     lookahead_ = sim::kUnboundedLookahead;  // K = 1: no horizon constraint
     return;
   }

@@ -109,10 +109,14 @@ class ShardedExecution final : public sim::WindowModel {
   /// touched only by this shard's thread during windows and only by the
   /// coordinator at barriers.
   struct ShardState {
-    explicit ShardState(std::int32_t num_nodes) : link_stats(num_nodes) {}
+    explicit ShardState(const net::Graph& graph) : link_stats(graph) {}
     sim::Simulator sim;
     net::LinkStats link_stats;
     std::vector<Commit> commits;
+    /// Canonical-path scratch (HandleComplete): per-shard, so concurrent
+    /// windows never share a buffer, and steady-state walks allocate
+    /// nothing.
+    std::vector<NodeId> path_scratch;
     std::int64_t failed_requests = 0;
     std::int64_t dropped_requests = 0;
   };

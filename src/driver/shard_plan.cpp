@@ -46,7 +46,7 @@ struct Pair {
 
 }  // namespace
 
-std::vector<int> PartitionHosts(const net::PathLatencyMatrix& latency,
+std::vector<int> PartitionHosts(const net::LatencyOracle& latency,
                                 std::int32_t num_nodes, int num_shards) {
   RADAR_CHECK_GT(num_nodes, 0);
   RADAR_CHECK_GE(num_shards, 1);
@@ -120,6 +120,65 @@ std::vector<int> PartitionHosts(const net::PathLatencyMatrix& latency,
     int& label = label_of_root[static_cast<std::size_t>(root)];
     if (label < 0) label = next_label++;
     shard_of[static_cast<std::size_t>(v)] = label;
+  }
+  RADAR_CHECK_EQ(next_label, num_shards);
+  return shard_of;
+}
+
+std::vector<int> PartitionHostsByPivot(const net::GatewayPivotOracle& oracle,
+                                       int num_shards) {
+  const std::int32_t num_nodes = oracle.num_nodes();
+  RADAR_CHECK_GE(num_shards, 1);
+  RADAR_CHECK_LE(num_shards, num_nodes);
+
+  // Concatenate the pivot clusters in order of each cluster's lowest
+  // member (first-seen order over an ascending node scan), members
+  // ascending within a cluster. Nodes sharing a pivot are mutually close
+  // — the pivot forest is a nearest-rowed-source Voronoi partition — so
+  // keeping a cluster contiguous keeps cheap edges inside one shard.
+  std::vector<std::vector<NodeId>> clusters;
+  std::vector<std::int32_t> cluster_of_pivot(
+      static_cast<std::size_t>(num_nodes), -1);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const NodeId pivot = oracle.PivotOf(v);
+    std::int32_t& c = cluster_of_pivot[static_cast<std::size_t>(pivot)];
+    if (c < 0) {
+      c = static_cast<std::int32_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<std::size_t>(c)].push_back(v);
+  }
+
+  // Deal the sequence into K shards sized base or base+1 (first
+  // num_nodes % K shards take the extra): every shard non-empty, none
+  // above ceil(N / K), labels in first-node order by construction.
+  const std::int32_t base = num_nodes / num_shards;
+  const std::int32_t rem = num_nodes % num_shards;
+  std::vector<int> shard_of(static_cast<std::size_t>(num_nodes), -1);
+  int shard = 0;
+  std::int32_t in_shard = 0;
+  for (const std::vector<NodeId>& cluster : clusters) {
+    for (const NodeId v : cluster) {
+      const std::int32_t target = base + (shard < rem ? 1 : 0);
+      if (in_shard == target) {
+        ++shard;
+        in_shard = 0;
+      }
+      shard_of[static_cast<std::size_t>(v)] = shard;
+      ++in_shard;
+    }
+  }
+  RADAR_CHECK_EQ(shard, num_shards - 1);
+
+  // Relabel in first-node order (a split cluster can carry a low node id
+  // into a late shard), matching PartitionHosts' labeling contract.
+  std::vector<int> label(static_cast<std::size_t>(num_shards), -1);
+  int next_label = 0;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    int& l = label[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(
+        v)])];
+    if (l < 0) l = next_label++;
+    shard_of[static_cast<std::size_t>(v)] = l;
   }
   RADAR_CHECK_EQ(next_label, num_shards);
   return shard_of;

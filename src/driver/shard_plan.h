@@ -18,15 +18,24 @@
 #include <vector>
 
 #include "common/types.h"
-#include "net/path_latency.h"
+#include "net/gateway_pivot.h"
+#include "net/latency_oracle.h"
 
 namespace radar::driver {
 
 /// Assigns each node in [0, num_nodes) a shard in [0, num_shards).
 /// Shards are labeled in order of their lowest-numbered member, every
 /// shard is non-empty, and no shard exceeds ceil(num_nodes / num_shards)
-/// nodes. Requires 1 <= num_shards <= num_nodes.
-std::vector<int> PartitionHosts(const net::PathLatencyMatrix& latency,
+/// nodes. Requires 1 <= num_shards <= num_nodes. Scans all ordered
+/// pairs — right for dense-backend scales only.
+std::vector<int> PartitionHosts(const net::LatencyOracle& latency,
                                 std::int32_t num_nodes, int num_shards);
+
+/// Sparse-backend partitioner: nodes grouped by their pivot label (the
+/// nearest rowed source — a locality cluster by construction) and the
+/// groups dealt sequentially into balanced shards. O(n), no pair scan.
+/// Same contract as PartitionHosts (labels, non-empty, balance cap).
+std::vector<int> PartitionHostsByPivot(const net::GatewayPivotOracle& oracle,
+                                       int num_shards);
 
 }  // namespace radar::driver

@@ -221,6 +221,7 @@ bool FaultInjector::ApplyLinkDown(std::size_t link_index) {
   }
   link_up_[link_index] = 0;
   ++counters_.link_downs;
+  if (hooks_.on_link_change) hooks_.on_link_change(link_index, false);
   return true;
 }
 
@@ -228,6 +229,7 @@ bool FaultInjector::ApplyLinkUp(std::size_t link_index) {
   if (link_up_[link_index] != 0) return false;
   link_up_[link_index] = 1;
   ++counters_.link_ups;
+  if (hooks_.on_link_change) hooks_.on_link_change(link_index, true);
   return true;
 }
 

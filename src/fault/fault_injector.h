@@ -73,6 +73,11 @@ class FaultInjector {
     std::function<void(NodeId, SimTime)> on_host_crash;
     std::function<void(NodeId, SimTime)> on_host_recover;
     std::function<void(SimTime)> on_topology_change;
+    /// Fires per *applied* link state change (suppressed / no-op changes
+    /// do not fire), before the batch's on_topology_change. The sparse
+    /// latency oracle consumes this for incremental invalidation — it
+    /// needs to know which link moved, not just that something did.
+    std::function<void(std::size_t link_index, bool up)> on_link_change;
   };
 
   /// A lost CreateObj send is retried at most this many times before the

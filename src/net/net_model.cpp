@@ -1,0 +1,42 @@
+#include "net/net_model.h"
+
+namespace radar::net {
+
+OracleKind ResolveOracleKind(OracleKind kind, std::int32_t num_nodes) {
+  if (kind != OracleKind::kAuto) return kind;
+  return num_nodes >= kSparseAutoThreshold ? OracleKind::kSparse
+                                           : OracleKind::kDense;
+}
+
+NetModel::NetModel(const Topology& topology, std::int64_t object_bytes,
+                   OracleKind kind)
+    : topology_(&topology),
+      num_nodes_(topology.num_nodes()),
+      object_bytes_(object_bytes) {
+  switch (ResolveOracleKind(kind, num_nodes_)) {
+    case OracleKind::kDense:
+      routing_.emplace(topology.graph());
+      matrix_.emplace(*routing_, topology.graph(), object_bytes_);
+      break;
+    case OracleKind::kSparse:
+      sparse_ = std::make_unique<GatewayPivotOracle>(
+          topology.graph(), topology.GatewayNodes(), object_bytes_);
+      break;
+    case OracleKind::kAuto:
+      RADAR_CHECK(false);  // resolved above
+      break;
+  }
+}
+
+void NetModel::RebuildDense(const Graph& live) {
+  RADAR_CHECK_MSG(!sparse(), "RebuildDense(): dense backend only");
+  routing_.emplace(live);
+  matrix_.emplace(*routing_, live, object_bytes_);
+}
+
+void NetModel::OnLinkChange(std::int32_t link_index, bool up) {
+  RADAR_CHECK_MSG(sparse(), "OnLinkChange(): sparse backend only");
+  sparse_->OnLinkChange(link_index, up);
+}
+
+}  // namespace radar::net

@@ -16,6 +16,12 @@
 // once per link and drift from the event-level golden). That is why the
 // matrix is parameterized by the run's fixed object size rather than
 // storing per-byte costs.
+//
+// Construction runs a dynamic program down each source's canonical
+// shortest-path tree (child = parent + that link's terms), which visits
+// every (source, node) pair once instead of re-walking every path — the
+// per-link integer sums are associative, so the totals are bit-identical
+// to the old per-pair walk.
 #pragma once
 
 #include <cstdint>
@@ -24,28 +30,30 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "net/graph.h"
+#include "net/latency_oracle.h"
 #include "net/routing.h"
 
 namespace radar::net {
 
-class PathLatencyMatrix {
+class PathLatencyMatrix final : public LatencyOracle {
  public:
   /// Precomputes both n x n matrices for `object_bytes`-sized transfers.
   /// `routing` and `graph` must describe the same topology.
   PathLatencyMatrix(const RoutingTable& routing, const Graph& graph,
                     std::int64_t object_bytes);
 
-  std::int32_t num_nodes() const { return num_nodes_; }
+  std::int32_t num_nodes() const override { return num_nodes_; }
   std::int64_t object_bytes() const { return object_bytes_; }
 
   /// Propagation-only latency along the canonical path a -> b.
-  SimTime Control(NodeId a, NodeId b) const {
+  SimTime Control(NodeId a, NodeId b) const override {
     return control_[Index(a, b)];
   }
 
   /// Row a of the control matrix (row[b] == Control(a, b)): bounds-checks
-  /// the source once for hot callers that resolve several legs.
-  const SimTime* ControlRow(NodeId a) const {
+  /// the source once for hot callers that resolve several legs. Never
+  /// nullptr — the dense matrix has a row for every source.
+  const SimTime* ControlRow(NodeId a) const override {
     RADAR_CHECK_GE(a, 0);
     RADAR_CHECK_LT(a, num_nodes_);
     return &control_[static_cast<std::size_t>(a) *
@@ -53,17 +61,12 @@ class PathLatencyMatrix {
   }
 
   /// Store-and-forward latency of one object along the path a -> b.
-  SimTime Transfer(NodeId a, NodeId b) const {
+  SimTime Transfer(NodeId a, NodeId b) const override {
     return transfer_[Index(a, b)];
   }
 
-  /// The minimum control latency over node pairs assigned to different
-  /// partitions — the conservative lookahead of a shard-parallel run
-  /// (sim/shard.h): a message between shards can never arrive sooner.
-  /// `partition` maps each node to its partition id (size == num_nodes).
-  /// Returns kNoCrossPartition when every node shares one partition.
-  static constexpr SimTime kNoCrossPartition = -1;
-  SimTime MinCrossPartitionControl(const std::vector<int>& partition) const;
+  SimTime MinCrossPartitionControl(
+      const std::vector<int>& partition) const override;
 
  private:
   std::size_t Index(NodeId a, NodeId b) const {

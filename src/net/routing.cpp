@@ -9,6 +9,8 @@
 namespace radar::net {
 namespace {
 
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
 struct QueueEntry {
   std::int64_t cost;
   NodeId node;
@@ -20,9 +22,127 @@ struct QueueEntry {
   }
 };
 
-/// Deterministic rank for equal-cost parent selection (SplitMix64-style
-/// mix of source, destination-side node, and candidate parent).
-std::uint64_t TieBreakRank(NodeId src, NodeId via, NodeId parent) {
+bool LinkIsUp(const std::vector<char>* link_up, std::int32_t link_index) {
+  return link_up == nullptr ||
+         (*link_up)[static_cast<std::size_t>(link_index)] != 0;
+}
+
+/// Unit-weight specialization: plain BFS for distances, then one pass per
+/// node picking the canonical parent. In Dijkstra with unit weights the
+/// candidate predecessors of v are exactly its neighbors one layer closer
+/// to the source, offered in settlement order (ascending node id within a
+/// layer, which is the adjacency order since neighbor lists are sorted);
+/// the first offer assigns unconditionally and later equal-cost offers
+/// win only on strictly smaller tie-break rank. Reproducing that argmin
+/// directly yields byte-identical trees at O(n + m) per source instead of
+/// O(m log n).
+void BuildHopTree(const Graph& graph, NodeId src,
+                  const std::vector<char>* link_up, ShortestPathTree* out) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  out->hops.assign(n, -1);
+  std::vector<std::int32_t>& hops = out->hops;
+  std::vector<NodeId>& queue = out->parent;  // reused as BFS queue storage
+  queue.clear();
+  queue.push_back(src);
+  hops[static_cast<std::size_t>(src)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId node = queue[head];
+    const std::int32_t next = hops[static_cast<std::size_t>(node)] + 1;
+    for (const Edge& e : graph.Neighbors(node)) {
+      if (!LinkIsUp(link_up, e.link_index)) continue;
+      auto& h = hops[static_cast<std::size_t>(e.to)];
+      if (h < 0) {
+        h = next;
+        queue.push_back(e.to);
+      }
+    }
+  }
+
+  out->parent.assign(n, kInvalidNode);
+  out->cost.assign(n, kInf);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::int32_t hv = hops[static_cast<std::size_t>(v)];
+    if (hv < 0) continue;  // unreachable under the mask; caller checks
+    out->cost[static_cast<std::size_t>(v)] = hv;
+    if (v == src) continue;
+    NodeId best = kInvalidNode;
+    std::uint64_t best_rank = 0;
+    for (const Edge& e : graph.Neighbors(v)) {
+      if (!LinkIsUp(link_up, e.link_index)) continue;
+      if (hops[static_cast<std::size_t>(e.to)] != hv - 1) continue;
+      const std::uint64_t rank = RouteTieBreakRank(src, v, e.to);
+      if (best == kInvalidNode || rank < best_rank) {
+        best = e.to;
+        best_rank = rank;
+      }
+    }
+    RADAR_CHECK(best != kInvalidNode);
+    out->parent[static_cast<std::size_t>(v)] = best;
+  }
+}
+
+void BuildDelayTree(const Graph& graph, NodeId src,
+                    const std::vector<char>* link_up, ShortestPathTree* out) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  out->cost.assign(n, kInf);
+  out->parent.assign(n, kInvalidNode);
+  out->hops.assign(n, -1);
+  std::vector<std::int64_t>& dist = out->cost;
+  std::vector<NodeId>& parent = out->parent;
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0, src});
+  while (!queue.empty()) {
+    const auto [cost, node] = queue.top();
+    queue.pop();
+    if (cost > dist[static_cast<std::size_t>(node)]) continue;
+    for (const Edge& e : graph.Neighbors(node)) {
+      if (!LinkIsUp(link_up, e.link_index)) continue;
+      const std::int64_t candidate = cost + static_cast<std::int64_t>(e.delay);
+      auto& d = dist[static_cast<std::size_t>(e.to)];
+      auto& p = parent[static_cast<std::size_t>(e.to)];
+      // Equal-cost ties break on a deterministic hash of (source,
+      // settled node, parent) rather than the lowest parent id: the
+      // paper only requires that "one path is chosen for all requests
+      // from i to j", and hashing spreads different destinations over
+      // the equal-cost alternatives the way real backbones load-share,
+      // instead of collapsing all multipath onto one canonical hub.
+      if (candidate < d ||
+          (candidate == d && RouteTieBreakRank(src, e.to, node) <
+                                 RouteTieBreakRank(src, e.to, p))) {
+        d = candidate;
+        p = node;
+        queue.push({candidate, e.to});
+      }
+    }
+  }
+
+  // Hop counts by walking each node's parent chain with memoization on
+  // the hops array itself (parents may settle in any cost order when
+  // zero-delay links exist, so a sorted DP is not safe here).
+  out->hops[static_cast<std::size_t>(src)] = 0;
+  std::vector<NodeId> chain;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] == kInf) continue;
+    chain.clear();
+    NodeId at = v;
+    while (out->hops[static_cast<std::size_t>(at)] < 0) {
+      chain.push_back(at);
+      at = parent[static_cast<std::size_t>(at)];
+      RADAR_CHECK(at != kInvalidNode);
+    }
+    std::int32_t h = out->hops[static_cast<std::size_t>(at)];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      out->hops[static_cast<std::size_t>(*it)] = ++h;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t RouteTieBreakRank(NodeId src, NodeId via, NodeId parent) {
   std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) ^
                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(via)) << 21) ^
                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent));
@@ -32,102 +152,78 @@ std::uint64_t TieBreakRank(NodeId src, NodeId via, NodeId parent) {
   return z ^ (z >> 31);
 }
 
-}  // namespace
+void BuildShortestPathTree(const Graph& graph, NodeId src, RoutingMetric metric,
+                           const std::vector<char>* link_up,
+                           ShortestPathTree* out) {
+  RADAR_CHECK_GE(src, 0);
+  RADAR_CHECK_LT(src, graph.num_nodes());
+  if (link_up != nullptr) {
+    RADAR_CHECK_EQ(link_up->size(), graph.num_links());
+  }
+  if (metric == RoutingMetric::kHops) {
+    BuildHopTree(graph, src, link_up, out);
+  } else {
+    BuildDelayTree(graph, src, link_up, out);
+  }
+}
 
 RoutingTable::RoutingTable(const Graph& graph, RoutingMetric metric)
-    : num_nodes_(graph.num_nodes()) {
+    : num_nodes_(graph.num_nodes()), metric_(metric) {
   RADAR_CHECK_GT(num_nodes_, 0);
   RADAR_CHECK_MSG(graph.IsConnected(), "routing requires a connected graph");
   const auto n = static_cast<std::size_t>(num_nodes_);
-  hop_distance_.assign(n * n, 0);
-  cost_.assign(n * n, 0);
-  paths_.resize(n * n);
+  hop_distance_.resize(n * n);
+  parent_.resize(n * n);
+  if (metric_ == RoutingMetric::kDelay) cost_.resize(n * n);
 
-  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
-  std::vector<std::int64_t> dist(n);
-  std::vector<NodeId> parent(n);
-
+  ShortestPathTree tree;
   for (NodeId src = 0; src < num_nodes_; ++src) {
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(parent.begin(), parent.end(), kInvalidNode);
-    dist[static_cast<std::size_t>(src)] = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        queue;
-    queue.push({0, src});
-    while (!queue.empty()) {
-      const auto [cost, node] = queue.top();
-      queue.pop();
-      if (cost > dist[static_cast<std::size_t>(node)]) continue;
-      for (const Edge& e : graph.Neighbors(node)) {
-        const std::int64_t weight =
-            metric == RoutingMetric::kHops ? 1 : static_cast<std::int64_t>(e.delay);
-        const std::int64_t candidate = cost + weight;
-        auto& d = dist[static_cast<std::size_t>(e.to)];
-        auto& p = parent[static_cast<std::size_t>(e.to)];
-        // Equal-cost ties break on a deterministic hash of (source,
-        // settled node, parent) rather than the lowest parent id: the
-        // paper only requires that "one path is chosen for all requests
-        // from i to j", and hashing spreads different destinations over
-        // the equal-cost alternatives the way real backbones load-share,
-        // instead of collapsing all multipath onto one canonical hub.
-        if (candidate < d ||
-            (candidate == d &&
-             TieBreakRank(src, e.to, node) <
-                 TieBreakRank(src, e.to, p))) {
-          d = candidate;
-          p = node;
-          queue.push({candidate, e.to});
-        }
-      }
-    }
-
-    for (NodeId dst = 0; dst < num_nodes_; ++dst) {
-      const auto idx = PairIndex(src, dst);
-      cost_[idx] = dist[static_cast<std::size_t>(dst)];
-      auto& path = paths_[idx];
-      // Reconstruct by walking parents from dst back to src.
-      path.clear();
-      for (NodeId at = dst; at != kInvalidNode; at = (at == src) ? kInvalidNode
-                                                  : parent[static_cast<std::size_t>(at)]) {
-        path.push_back(at);
-      }
-      std::reverse(path.begin(), path.end());
-      RADAR_CHECK_EQ(path.front(), src);
-      RADAR_CHECK_EQ(path.back(), dst);
-      hop_distance_[idx] = static_cast<std::int32_t>(path.size()) - 1;
+    BuildShortestPathTree(graph, src, metric_, nullptr, &tree);
+    const std::size_t base = static_cast<std::size_t>(src) * n;
+    for (std::size_t v = 0; v < n; ++v) {
+      RADAR_CHECK_GE(tree.hops[v], 0);
+      hop_distance_[base + v] = tree.hops[v];
+      parent_[base + v] = tree.parent[v];
+      if (metric_ == RoutingMetric::kDelay) cost_[base + v] = tree.cost[v];
     }
   }
 }
 
-std::size_t RoutingTable::PairIndex(NodeId from, NodeId to) const {
-  RADAR_CHECK_GE(from, 0);
-  RADAR_CHECK_LT(from, num_nodes_);
-  RADAR_CHECK_GE(to, 0);
-  RADAR_CHECK_LT(to, num_nodes_);
-  return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_nodes_) +
-         static_cast<std::size_t>(to);
-}
-
-std::int32_t RoutingTable::HopDistance(NodeId from, NodeId to) const {
-  return hop_distance_[PairIndex(from, to)];
-}
-
-const std::int32_t* RoutingTable::HopRow(NodeId from) const {
-  return &hop_distance_[PairIndex(from, 0)];
-}
-
 std::int64_t RoutingTable::Cost(NodeId from, NodeId to) const {
+  if (metric_ == RoutingMetric::kHops) return HopDistance(from, to);
   return cost_[PairIndex(from, to)];
 }
 
-const std::vector<NodeId>& RoutingTable::Path(NodeId from, NodeId to) const {
-  return paths_[PairIndex(from, to)];
+std::vector<NodeId> RoutingTable::Path(NodeId from, NodeId to) const {
+  std::vector<NodeId> path;
+  path.reserve(static_cast<std::size_t>(HopDistance(from, to)) + 1);
+  AppendPath(from, to, &path);
+  return path;
+}
+
+void RoutingTable::AppendPath(NodeId from, NodeId to,
+                              std::vector<NodeId>* out) const {
+  const NodeId* parent = ParentRow(from);
+  const auto start = static_cast<std::ptrdiff_t>(out->size());
+  for (NodeId at = to;;) {
+    out->push_back(at);
+    if (at == from) break;
+    at = parent[static_cast<std::size_t>(at)];
+    RADAR_CHECK(at != kInvalidNode);
+  }
+  std::reverse(out->begin() + start, out->end());
 }
 
 NodeId RoutingTable::NextHop(NodeId from, NodeId to) const {
-  const auto& path = Path(from, to);
-  return path.size() > 1 ? path[1] : from;
+  if (from == to) return from;
+  const NodeId* parent = ParentRow(from);
+  (void)PairIndex(from, to);
+  NodeId at = to;
+  while (parent[static_cast<std::size_t>(at)] != from) {
+    at = parent[static_cast<std::size_t>(at)];
+    RADAR_CHECK(at != kInvalidNode);
+  }
+  return at;
 }
 
 double RoutingTable::MeanHopDistance(NodeId from) const {

@@ -1,0 +1,12 @@
+// Violates net-rng-confinement: only net/topology_gen.cpp may draw
+// random numbers inside src/net/.
+#include "common/rng.h"
+
+namespace radar::net {
+
+double JitteredDelay(double base) {
+  Rng rng(42);
+  return base * (1.0 + rng.NextDouble());
+}
+
+}  // namespace radar::net

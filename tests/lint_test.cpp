@@ -416,6 +416,46 @@ TEST(LintSourceTest, HashMapBanQuietOnLookalikes) {
 }
 
 // ---------------------------------------------------------------------
+// RNG confinement in src/net/
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsRngInNetCode) {
+  FileKind net_kind;
+  net_kind.forbid_net_rng = true;
+  EXPECT_TRUE(HasRule(
+      LintSource("src/net/routing.cpp", "Rng rng(7);\n", net_kind),
+      "net-rng-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/net/graph.cpp",
+                 "std::uint64_t s = 1; auto x = SplitMix64(s);\n", net_kind),
+      "net-rng-confinement"));
+}
+
+TEST(LintSourceTest, TopologyGeneratorMayUseRng) {
+  // net/topology_gen.cpp is the one src/net/ file classified without the
+  // flag: the generator owns all net-side randomness.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/net/topology_gen.cpp", "Rng rng(7);\n", Source()),
+      "net-rng-confinement"));
+}
+
+TEST(LintSourceTest, NetRngBanQuietOnLookalikesAndOtherModules) {
+  FileKind net_kind;
+  net_kind.forbid_net_rng = true;
+  // Prose mentions and identifier-boundary lookalikes stay quiet.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/net/routing.cpp",
+                 "// SplitMix64-style mix of source, via, and parent\n"
+                 "std::uint64_t RngLikeMix(std::uint64_t z) { return z; }\n",
+                 net_kind),
+      "net-rng-confinement"));
+  // Other modules (workloads, fault plans) draw from Rng by design.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/workload/trace.cpp", "Rng rng(7);\n", Source()),
+      "net-rng-confinement"));
+}
+
+// ---------------------------------------------------------------------
 // Protocol-literal audit
 // ---------------------------------------------------------------------
 
@@ -865,6 +905,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "seq-reservation"));
   EXPECT_TRUE(HasRule(violations, "fault-confinement"));
   EXPECT_TRUE(HasRule(violations, "core-no-hash-maps"));
+  EXPECT_TRUE(HasRule(violations, "net-rng-confinement"));
   EXPECT_TRUE(HasRule(violations, "nondet-unordered-iteration"));
   EXPECT_TRUE(HasRule(violations, "nondet-pointer-key"));
   EXPECT_TRUE(HasRule(violations, "nondet-pointer-hash"));

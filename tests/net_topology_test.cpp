@@ -165,8 +165,23 @@ TEST(UunetTest, NamesAreUnique) {
   }
 }
 
+// A small line/cycle graph for the LinkStats tests; counters live per
+// directed link of this graph, so every recorded hop must be one of its
+// links.
+Graph ChainGraph(std::int32_t num_nodes, bool close_cycle = false) {
+  Graph g(num_nodes);
+  for (NodeId n = 0; n + 1 < num_nodes; ++n) {
+    g.AddLink(n, n + 1, MillisToSim(1.0), 1000.0);
+  }
+  if (close_cycle && num_nodes > 2) {
+    g.AddLink(0, num_nodes - 1, MillisToSim(1.0), 1000.0);
+  }
+  return g;
+}
+
 TEST(LinkStatsTest, RecordPathChargesEveryHop) {
-  LinkStats stats(4);
+  const Graph g = ChainGraph(4);
+  LinkStats stats(g);
   stats.RecordPath({0, 1, 2, 3}, 100);
   EXPECT_EQ(stats.total_byte_hops(), 300);
   EXPECT_EQ(stats.BytesOnHop(0, 1), 100);
@@ -176,13 +191,15 @@ TEST(LinkStatsTest, RecordPathChargesEveryHop) {
 }
 
 TEST(LinkStatsTest, SingletonPathChargesNothing) {
-  LinkStats stats(2);
+  const Graph g = ChainGraph(2);
+  LinkStats stats(g);
   stats.RecordPath({1}, 500);
   EXPECT_EQ(stats.total_byte_hops(), 0);
 }
 
 TEST(LinkStatsTest, BusiestHop) {
-  LinkStats stats(3);
+  const Graph g = ChainGraph(3, /*close_cycle=*/true);
+  LinkStats stats(g);
   stats.RecordHop(0, 1, 10);
   stats.RecordHop(1, 2, 30);
   stats.RecordHop(2, 0, 20);
@@ -192,7 +209,8 @@ TEST(LinkStatsTest, BusiestHop) {
 }
 
 TEST(LinkStatsTest, ResetClears) {
-  LinkStats stats(2);
+  const Graph g = ChainGraph(2);
+  LinkStats stats(g);
   stats.RecordHop(0, 1, 10);
   stats.Reset();
   EXPECT_EQ(stats.total_byte_hops(), 0);

@@ -1,0 +1,164 @@
+// Property tests for the synthetic topology generators (net/topology_gen):
+// spec parsing, exact sizing, connectivity, gateway/region metadata, and
+// bit-exact determinism from (spec, seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/topology_gen.h"
+
+namespace radar::net {
+namespace {
+
+/// Structural equality of two topologies: same nodes (name, region,
+/// gateway flag) and same link list (endpoints, delay, bandwidth) in the
+/// same order. Link order matters — routing tie-breaks and LinkStats
+/// indices key off it, so "deterministic" means the full build sequence.
+void ExpectIdentical(const Topology& a, const Topology& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.node(n).name, b.node(n).name) << "node " << n;
+    EXPECT_EQ(a.node(n).region, b.node(n).region) << "node " << n;
+    EXPECT_EQ(a.node(n).is_gateway, b.node(n).is_gateway) << "node " << n;
+  }
+  ASSERT_EQ(a.graph().num_links(), b.graph().num_links());
+  for (std::size_t i = 0; i < a.graph().num_links(); ++i) {
+    const Link& la = a.graph().links()[i];
+    const Link& lb = b.graph().links()[i];
+    EXPECT_EQ(la.a, lb.a) << "link " << i;
+    EXPECT_EQ(la.b, lb.b) << "link " << i;
+    EXPECT_EQ(la.delay, lb.delay) << "link " << i;
+    EXPECT_EQ(la.bandwidth_bps, lb.bandwidth_bps) << "link " << i;
+  }
+}
+
+TEST(TopologySpecTest, RecognizesGeneratorPrefixes) {
+  EXPECT_TRUE(IsTopologySpec("ts:n=100,seed=1"));
+  EXPECT_TRUE(IsTopologySpec("sf:n=100,m=2"));
+  EXPECT_FALSE(IsTopologySpec("uunet"));
+  EXPECT_FALSE(IsTopologySpec("topologies/uunet.txt"));
+  EXPECT_FALSE(IsTopologySpec(""));
+}
+
+TEST(TopologySpecTest, ParsesTransitStubFields) {
+  const TopologySpec spec =
+      ParseTopologySpec("ts:domains=2,transit=3,stubs=4,stub=5,seed=9");
+  EXPECT_EQ(spec.family, TopologySpec::Family::kTransitStub);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.transit_domains, 2);
+  EXPECT_EQ(spec.transit_per_domain, 3);
+  EXPECT_EQ(spec.stubs_per_transit, 4);
+  EXPECT_EQ(spec.stub_size, 5);
+  // 2*3 transit routers + 2*3*4 stub domains of 5 nodes each.
+  EXPECT_EQ(spec.ExpectedNodes(), 6 + 24 * 5);
+  EXPECT_EQ(spec.ExpectedGateways(), 24);
+}
+
+TEST(TopologySpecTest, ParsesScaleFreeFields) {
+  const TopologySpec spec = ParseTopologySpec("sf:n=300,m=3,gw=17,seed=4");
+  EXPECT_EQ(spec.family, TopologySpec::Family::kScaleFree);
+  EXPECT_EQ(spec.seed, 4u);
+  EXPECT_EQ(spec.target_nodes, 300);
+  EXPECT_EQ(spec.edges_per_node, 3);
+  EXPECT_EQ(spec.ExpectedNodes(), 300);
+  EXPECT_EQ(spec.ExpectedGateways(), 17);
+}
+
+TEST(TopologyGenTest, TransitStubMatchesSpecSizing) {
+  const TopologySpec spec =
+      ParseTopologySpec("ts:domains=3,transit=2,stubs=3,stub=4,seed=11");
+  const Topology topo = GenerateTopology(spec);
+  EXPECT_EQ(topo.num_nodes(), spec.ExpectedNodes());
+  EXPECT_TRUE(topo.graph().IsConnected());
+  EXPECT_EQ(topo.GatewayNodes().size(),
+            static_cast<std::size_t>(spec.ExpectedGateways()));
+}
+
+TEST(TopologyGenTest, TransitStubExactTargetNodes) {
+  // "n=" pins the exact total; the generator derives the stub size.
+  for (const std::int32_t n : {500, 1000, 2000}) {
+    const TopologySpec spec =
+        ParseTopologySpec("ts:n=" + std::to_string(n) + ",seed=7");
+    ASSERT_EQ(spec.ExpectedNodes(), n);
+    const Topology topo = GenerateTopology(spec);
+    EXPECT_EQ(topo.num_nodes(), n) << "n=" << n;
+    EXPECT_TRUE(topo.graph().IsConnected()) << "n=" << n;
+    EXPECT_EQ(topo.GatewayNodes().size(),
+              static_cast<std::size_t>(spec.ExpectedGateways()))
+        << "n=" << n;
+  }
+}
+
+TEST(TopologyGenTest, TransitStubCoversAllFourRegions) {
+  // Regions follow transit domains (d mod 4); with >= 4 domains the
+  // regional workloads see traffic in every region.
+  const Topology topo =
+      GenerateTopology("ts:domains=4,transit=2,stubs=2,stub=3,seed=1");
+  for (int r = 0; r < kNumRegions; ++r) {
+    EXPECT_FALSE(topo.NodesInRegion(static_cast<Region>(r)).empty())
+        << RegionName(static_cast<Region>(r));
+  }
+}
+
+TEST(TopologyGenTest, ScaleFreeMatchesSpecSizing) {
+  const TopologySpec spec = ParseTopologySpec("sf:n=256,m=2,gw=16,seed=3");
+  const Topology topo = GenerateTopology(spec);
+  EXPECT_EQ(topo.num_nodes(), 256);
+  EXPECT_TRUE(topo.graph().IsConnected());
+  EXPECT_EQ(topo.GatewayNodes().size(), 16u);
+}
+
+TEST(TopologyGenTest, ScaleFreeDefaultGatewayCount) {
+  // gw=0 (unset) derives max(4, n/16).
+  EXPECT_EQ(ParseTopologySpec("sf:n=320,seed=1").ExpectedGateways(), 20);
+  EXPECT_EQ(ParseTopologySpec("sf:n=32,seed=1").ExpectedGateways(), 4);
+}
+
+TEST(TopologyGenTest, ScaleFreeRegionsAreContiguousIdBlocks) {
+  const Topology topo = GenerateTopology("sf:n=200,m=2,gw=12,seed=5");
+  std::size_t total = 0;
+  for (int r = 0; r < kNumRegions; ++r) {
+    const std::vector<NodeId> nodes =
+        topo.NodesInRegion(static_cast<Region>(r));
+    ASSERT_FALSE(nodes.empty());
+    // NodesInRegion returns ascending ids; a contiguous block spans
+    // exactly its own size.
+    EXPECT_EQ(nodes.back() - nodes.front() + 1,
+              static_cast<NodeId>(nodes.size()))
+        << RegionName(static_cast<Region>(r));
+    total += nodes.size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(topo.num_nodes()));
+}
+
+TEST(TopologyGenTest, ScaleFreeGatewaysSpreadAcrossRegions) {
+  const Topology topo = GenerateTopology("sf:n=256,m=2,gw=16,seed=2");
+  std::set<Region> regions_with_gateway;
+  for (const NodeId g : topo.GatewayNodes()) {
+    regions_with_gateway.insert(topo.RegionOf(g));
+  }
+  EXPECT_EQ(regions_with_gateway.size(), static_cast<std::size_t>(kNumRegions));
+}
+
+TEST(TopologyGenTest, SameSpecAndSeedIsBitIdentical) {
+  for (const char* spec : {"ts:domains=3,transit=2,stubs=2,stub=4,seed=13",
+                           "ts:n=600,seed=21", "sf:n=220,m=2,gw=14,seed=8"}) {
+    ExpectIdentical(GenerateTopology(spec), GenerateTopology(spec));
+  }
+}
+
+TEST(TopologyGenTest, DifferentSeedsProduceDifferentWiring) {
+  const Topology a = GenerateTopology("sf:n=200,m=2,gw=12,seed=1");
+  const Topology b = GenerateTopology("sf:n=200,m=2,gw=12,seed=2");
+  bool differs = a.graph().num_links() != b.graph().num_links();
+  for (std::size_t i = 0; i < a.graph().num_links() && !differs; ++i) {
+    differs = a.graph().links()[i].a != b.graph().links()[i].a ||
+              a.graph().links()[i].b != b.graph().links()[i].b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace radar::net

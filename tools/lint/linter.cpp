@@ -207,6 +207,14 @@ void PassBannedTokens(const Ctx& ctx, const Code& code) {
                     "pass a fault::FaultPlan instead of spelling rates "
                     "elsewhere");
       }
+      if (kind.forbid_net_rng &&
+          (t.text == "Rng" || t.text == "SplitMix64")) {
+        ctx.Violate(line, "net-rng-confinement",
+                    "random number generation in src/net/ is confined to "
+                    "net/topology_gen.cpp; routing and latency oracles must "
+                    "be pure functions of the graph so generated topologies "
+                    "replay bit-identically from (spec, seed)");
+      }
       if (kind.forbid_hash_maps && t.text == "std" &&
           (SeqStd(code, i, "unordered_map") || SeqStd(code, i, "map"))) {
         ctx.Violate(line, "core-no-hash-maps",
@@ -923,6 +931,8 @@ Analysis AnalyzeTree(const std::vector<std::filesystem::path>& roots) {
         kind.allow_keyed_push = rel.rfind("sim/", 0) == 0 ||
                                 rel.rfind("driver/shard_exec", 0) == 0 ||
                                 rel.rfind("driver/shard_plan", 0) == 0;
+        kind.forbid_net_rng =
+            rel.rfind("net/", 0) == 0 && rel != "net/topology_gen.cpp";
       }
       AnalyzeSource(root_name + "/" + rel, buf.str(), kind,
                     DefaultGlobalWhitelist(), &analysis);

@@ -102,6 +102,10 @@ struct FileKind {
   /// may call EventQueue::PushAtSeq / Simulator::ScheduleKeyedAt; other
   /// callers would bypass the seq reservation protocol. Appended last.
   bool allow_keyed_push = false;
+  /// src/net/ must not use radar::Rng — net/topology_gen.cpp owns the
+  /// only generator randomness, so routing, oracles, and fault epoching
+  /// stay pure functions of the graph. Appended last (see above).
+  bool forbid_net_rng = false;
 };
 
 /// One sanctioned piece of shared mutable state. A mutable global is

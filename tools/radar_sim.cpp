@@ -2,6 +2,7 @@
 //
 //   radar_sim --workload=regional --duration=1800 --series
 //   radar_sim --topology=my_backbone.txt --trace=requests.trace
+//   radar_sim --topology=ts:n=10000,seed=7 --objects=100000 --duration=60
 //   radar_sim --workload=zipf --json=report.json
 //
 // Execution goes through the experiment engine (src/runner): the run is a
@@ -17,6 +18,7 @@
 #include "driver/hosting_simulation.h"
 #include "driver/report_json.h"
 #include "fault/fault_plan.h"
+#include "net/topology_gen.h"
 #include "net/topology_io.h"
 #include "runner/experiment_plan.h"
 #include "runner/shard_executor.h"
@@ -38,7 +40,13 @@ int main(int argc, char** argv) {
   }
 
   std::shared_ptr<net::Topology> topology;
-  if (!options->topology_file.empty()) {
+  if (net::IsTopologySpec(options->topology_file)) {
+    // A "ts:" / "sf:" generator spec (net/topology_gen.h): synthesize the
+    // backbone instead of loading a file.
+    topology =
+        std::make_shared<net::Topology>(net::GenerateTopology(
+            options->topology_file));
+  } else if (!options->topology_file.empty()) {
     std::ifstream in(options->topology_file);
     if (!in) {
       std::cerr << "error: cannot open topology file '"
