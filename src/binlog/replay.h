@@ -1,0 +1,45 @@
+// Captured-traffic replay: turns a real-mode capture binlog back into a
+// deterministic simulator workload (DESIGN.md §16).
+//
+// A redirector daemon run with --capture appends every frame it receives
+// to a binlog. This module decodes that capture and extracts the client
+// kRequest stream as a workload::RequestTrace, which
+// HostingSimulation::SetTrace replays on the simulation clock. Replay is
+// a pure function of the capture bytes: the same file produces the same
+// trace, and the simulator is deterministic, so two replays of one
+// capture emit byte-identical radar.report/1 documents — the debugging
+// loop for real-mode incidents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace radar::binlog {
+
+/// What a capture contained, by frame type (diagnostics; the trace itself
+/// carries only the requests).
+struct CaptureSummary {
+  std::uint64_t records = 0;        ///< valid binlog records
+  std::uint64_t requests = 0;       ///< kRequest frames -> trace records
+  std::uint64_t create_obj = 0;     ///< kReplicate + kMigrate frames
+  std::uint64_t placement_stats = 0;
+  std::uint64_t announces = 0;
+  std::uint64_t other = 0;          ///< hello/ack/redirect/shutdown/...
+  std::uint64_t undecodable = 0;    ///< records whose payload is not a frame
+  bool clean = true;                ///< capture file ended on a boundary
+};
+
+/// Reads `path` and extracts the request stream. Record timestamps are
+/// clamped to be non-decreasing (a capture is single-writer and its clock
+/// monotonic, so this is a no-op on well-formed files) and shifted so the
+/// first request lands at time `start_offset_us`. Returns nullopt (and
+/// fills *error) only when the file cannot be read at all; a torn tail
+/// truncates, it does not fail.
+std::optional<workload::RequestTrace> TraceFromCapture(
+    const std::string& path, std::int64_t start_offset_us,
+    CaptureSummary* summary, std::string* error);
+
+}  // namespace radar::binlog

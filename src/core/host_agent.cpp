@@ -99,9 +99,10 @@ void HostAgent::CoalesceRow(CountRow& row) {
   row.resize(w);
 }
 
-void HostAgent::AddInitialReplica(ObjectId x) {
+void HostAgent::AddInitialReplica(ObjectId x, int affinity) {
   RADAR_CHECK_MSG(!HasObject(x), "initial replica already present");
-  InsertRecord(x);
+  RADAR_CHECK_GE(affinity, 1);
+  records_.At(InsertRecord(x)).aff = affinity;
 }
 
 int HostAgent::Affinity(ObjectId x) const {
@@ -225,6 +226,18 @@ CreateObjResponse HostAgent::HandleCreateObj(CreateObjMethod method,
   }
   upper_adjust_cur_ += RecipientIncreaseBoundFromUnitLoad(unit_load);
   return resp;
+}
+
+void HostAgent::NoteReplicationShed(ObjectId x) {
+  const Handle h = HandleOf(x);
+  lower_adjust_cur_ += ReplicationSourceDecreaseBound(load_[h]);
+}
+
+void HostAgent::DropReplica(ObjectId x) {
+  const Handle h = HandleOf(x);
+  lower_adjust_cur_ +=
+      MigrationSourceDecreaseBound(load_[h], records_.At(h).aff);
+  EraseRecord(x);
 }
 
 void HostAgent::ResetAfterCrash(SimTime now) {

@@ -70,8 +70,9 @@ class HostAgent {
   // ---- Replica state ----
 
   /// Installs the initial copy of an object (system bootstrap; does not
-  /// count as an acquisition for load-estimate purposes).
-  void AddInitialReplica(ObjectId x);
+  /// count as an acquisition for load-estimate purposes). `affinity` lets
+  /// a real-mode host rebuild a multi-affinity replica from its WAL.
+  void AddInitialReplica(ObjectId x, int affinity = 1);
 
   bool HasObject(ObjectId x) const { return records_.Contains(x); }
   int Affinity(ObjectId x) const;
@@ -145,6 +146,24 @@ class HostAgent {
   /// Fig. 3 (+ Fig. 5 when offloading): one placement round at time `now`.
   /// Resets the per-object access counts afterwards.
   PlacementStats RunPlacement(PlacementContext& ctx, SimTime now);
+
+  // ---- Real-system mode surface (src/transport drives these) ----
+  //
+  // The networked daemons run Fig. 4 admission via HandleCreateObj, but
+  // their source-side drop is asynchronous: a CreateObj acceptance and the
+  // redirector's drop grant arrive as separate wire frames, not inside one
+  // synchronous PlacementContext call. These entry points apply the same
+  // Theorem 1/3 accounting as RunPlacement's internal relocation paths.
+
+  /// Source-side bookkeeping after a peer accepted a REPLICATE of x (the
+  /// source keeps its copy): charges the Theorem 1 decrease bound so the
+  /// offload estimate reflects the shed load. Requires x hosted.
+  void NoteReplicationShed(ObjectId x);
+
+  /// Drops the local replica of x after the redirector granted the drop
+  /// (migration source side): charges the Theorem 3 decrease bound and
+  /// erases the record. Requires x hosted.
+  void DropReplica(ObjectId x);
 
   // ---- Fault reaction (src/fault drives these) ----
 

@@ -1,0 +1,141 @@
+#include "transport/node_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace radar::transport {
+namespace {
+
+bool ParseRole(const std::string& word, NodeRole* out) {
+  if (word == "host") {
+    *out = NodeRole::kHost;
+  } else if (word == "redirector") {
+    *out = NodeRole::kRedirector;
+  } else if (word == "client") {
+    *out = NodeRole::kClient;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool Fail(std::string* error, int line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "node config line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kHost:
+      return "host";
+    case NodeRole::kRedirector:
+      return "redirector";
+    case NodeRole::kClient:
+      return "client";
+  }
+  return "?";
+}
+
+std::optional<NodeConfig> NodeConfig::Load(std::istream& in,
+                                           std::string* error) {
+  NodeConfig config;
+  std::string line;
+  int line_no = 0;
+  bool ok = true;
+  while (ok && std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::int64_t id = 0;
+    std::string role_word;
+    if (!(fields >> id)) continue;  // blank / comment-only line
+    NodeEntry entry;
+    std::int64_t port = 0;
+    if (!(fields >> role_word >> entry.address >> port)) {
+      ok = Fail(error, line_no, "want: <id> <role> <address> <port> [weight]");
+      break;
+    }
+    if (id != static_cast<std::int64_t>(config.nodes_.size())) {
+      ok = Fail(error, line_no, "ids must be dense 0..n-1 in file order");
+      break;
+    }
+    if (!ParseRole(role_word, &entry.role)) {
+      ok = Fail(error, line_no, "unknown role '" + role_word + "'");
+      break;
+    }
+    if (port < 0 || port > 65535) {
+      ok = Fail(error, line_no, "port out of range");
+      break;
+    }
+    if (port == 0 && entry.role != NodeRole::kClient) {
+      ok = Fail(error, line_no, "only clients may use port 0");
+      break;
+    }
+    entry.id = static_cast<NodeId>(id);
+    entry.port = static_cast<std::uint16_t>(port);
+    if (fields >> entry.weight) {
+      if (!(entry.weight > 0.0)) {
+        ok = Fail(error, line_no, "weight must be positive");
+        break;
+      }
+    }
+    if (entry.role == NodeRole::kRedirector) {
+      if (config.redirector_ != kInvalidNode) {
+        ok = Fail(error, line_no, "more than one redirector");
+        break;
+      }
+      config.redirector_ = entry.id;
+    } else if (entry.role == NodeRole::kHost) {
+      config.hosts_.push_back(entry.id);
+    }
+    config.nodes_.push_back(std::move(entry));
+  }
+  if (!ok) return std::nullopt;
+  if (config.nodes_.empty()) {
+    if (error != nullptr) *error = "node config: no nodes";
+    return std::nullopt;
+  }
+  if (config.redirector_ == kInvalidNode) {
+    if (error != nullptr) *error = "node config: no redirector";
+    return std::nullopt;
+  }
+  return config;
+}
+
+std::optional<NodeConfig> NodeConfig::LoadFile(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  return Load(in, error);
+}
+
+const NodeEntry& NodeConfig::At(NodeId id) const {
+  RADAR_CHECK(Has(id));
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId NodeConfig::InitialHome(ObjectId x) const {
+  RADAR_CHECK_GE(x, 0);
+  RADAR_CHECK(!hosts_.empty());
+  return hosts_[static_cast<std::size_t>(x) % hosts_.size()];
+}
+
+std::int32_t CliqueDistance::Distance(NodeId from, NodeId to) const {
+  RADAR_CHECK_GE(from, 0);
+  RADAR_CHECK_LT(from, num_nodes_);
+  RADAR_CHECK_GE(to, 0);
+  RADAR_CHECK_LT(to, num_nodes_);
+  return from == to ? 0 : 1;
+}
+
+}  // namespace radar::transport

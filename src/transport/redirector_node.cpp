@@ -1,0 +1,121 @@
+#include "transport/redirector_node.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace radar::transport {
+
+RedirectorNode::RedirectorNode(const NodeConfig& config, Transport* transport,
+                               Options options)
+    : config_(config),
+      transport_(transport),
+      options_(options),
+      distance_(config.num_nodes()),
+      redirector_(distance_, options.distribution_constant,
+                  config.redirector()) {
+  RADAR_CHECK_EQ(transport->self(), config.redirector());
+  redirector_.set_min_replicas(options_.min_replicas);
+  for (ObjectId x = 0; x < options_.num_objects; ++x) {
+    redirector_.RegisterObject(x, config_.InitialHome(x));
+  }
+}
+
+void RedirectorNode::OnFrame(NodeId from, const wire::DecodedFrame& frame) {
+  switch (wire::TypeOf(frame.msg)) {
+    case wire::MsgType::kRequest: {
+      const auto& req = std::get<wire::Request>(frame.msg);
+      NodeId host = kInvalidNode;
+      if (req.object >= 0 && redirector_.KnowsObject(req.object) &&
+          config_.Has(req.gateway)) {
+        host = redirector_.ChooseReplica(req.object, req.gateway);
+      }
+      if (host == kInvalidNode) {
+        ++counters_.redirects_no_replica;
+      } else {
+        ++counters_.redirects;
+      }
+      transport_->Send(from, wire::Redirect{req.object, host});
+      break;
+    }
+    case wire::MsgType::kReplicate: {
+      // A host reports it created a copy (or bumped its affinity) after
+      // accepting a CreateObj — recorded after the fact, so the registry
+      // stays a subset of physical copies.
+      const auto& note = std::get<wire::Replicate>(frame.msg);
+      if (note.object >= 0 && redirector_.KnowsObject(note.object) &&
+          note.to == from) {
+        redirector_.OnReplicaCreated(note.object, note.to);
+        ++counters_.creates_recorded;
+      }
+      transport_->Send(from, wire::Ack{frame.seq, true, false});
+      break;
+    }
+    case wire::MsgType::kMigrate: {
+      // Drop arbitration: `from` migrated its copy away and asks to drop.
+      const auto& req = std::get<wire::Migrate>(frame.msg);
+      bool granted = false;
+      if (req.object >= 0 && redirector_.KnowsObject(req.object) &&
+          req.from == from) {
+        granted = redirector_.RequestDrop(req.object, from);
+      }
+      if (granted) {
+        ++counters_.drops_granted;
+      } else {
+        ++counters_.drops_refused;
+      }
+      transport_->Send(from, wire::Ack{frame.seq, granted, false});
+      break;
+    }
+    case wire::MsgType::kAnnounce: {
+      const auto& ann = std::get<wire::Announce>(frame.msg);
+      if (ann.object >= 0 && redirector_.KnowsObject(ann.object) &&
+          ann.host == from && ann.affinity >= 1 &&
+          redirector_.AffinityOf(ann.object, ann.host) == 0) {
+        redirector_.RestoreReplica(ann.object, ann.host, ann.affinity);
+        ++counters_.announces_restored;
+      } else {
+        ++counters_.announces_ignored;
+      }
+      break;
+    }
+    case wire::MsgType::kPlacementStat: {
+      const auto& stat = std::get<wire::PlacementStat>(frame.msg);
+      if (stat.host != from) break;
+      host_stats_[from] = stat;
+      // The Sec. 4.2.2 load exchange, hub-and-spoke: relay to every other
+      // host. A down host's relays spool and drain on its reconnect.
+      for (const NodeId peer : config_.hosts()) {
+        if (peer == from) continue;
+        transport_->Send(peer, stat);
+        ++counters_.stats_relayed;
+      }
+      break;
+    }
+    case wire::MsgType::kShutdown:
+      shutdown_ = true;
+      break;
+    default:
+      break;  // hello/redirect/ack: nothing for the redirector brain
+  }
+}
+
+void RedirectorNode::OnPeerDown(NodeId peer) {
+  if (!config_.Has(peer) || config_.At(peer).role != NodeRole::kHost) return;
+  const int pruned = redirector_.PruneHost(peer);
+  if (pruned > 0) {
+    ++counters_.hosts_pruned;
+    counters_.replicas_pruned += static_cast<std::uint64_t>(pruned);
+  }
+  host_stats_.erase(peer);
+}
+
+std::int32_t RedirectorNode::CountObjectsWithoutReplica() const {
+  std::int32_t lost = 0;
+  for (ObjectId x = 0; x < options_.num_objects; ++x) {
+    if (redirector_.ReplicaCount(x) == 0) ++lost;
+  }
+  return lost;
+}
+
+}  // namespace radar::transport

@@ -1,0 +1,117 @@
+#include "transport/sim_transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "wire/codec.h"
+
+namespace radar::transport {
+
+SimNet::SimNet(sim::Simulator* sim, std::int32_t num_nodes,
+               std::int64_t delay_us)
+    : sim_(sim), delay_us_(delay_us) {
+  RADAR_CHECK_GT(num_nodes, 0);
+  RADAR_CHECK_GE(delay_us, 0);
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+SimNet::Node& SimNet::NodeAt(NodeId id) {
+  RADAR_CHECK_GE(id, 0);
+  RADAR_CHECK_LT(id, static_cast<NodeId>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const SimNet::Node& SimNet::NodeAt(NodeId id) const {
+  RADAR_CHECK_GE(id, 0);
+  RADAR_CHECK_LT(id, static_cast<NodeId>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Transport* SimNet::Attach(NodeId id, Handler* handler) {
+  Node& node = NodeAt(id);
+  RADAR_CHECK_MSG(node.transport == nullptr, "node attached twice");
+  node.transport = std::make_unique<SimTransport>(this, id);
+  node.handler = handler;
+  return node.transport.get();
+}
+
+bool SimNet::IsUp(NodeId id) const { return NodeAt(id).up; }
+
+void SimNet::SetNodeUp(NodeId id, bool up) {
+  Node& node = NodeAt(id);
+  if (node.up == up) return;
+  node.up = up;
+  if (up) {
+    // Drain the spool first so OnPeerUp observers find the backlog already
+    // queued (the TcpTransport ordering).
+    for (Delivery& d : node.spool) {
+      ++frames_drained_;
+      ScheduleDelivery(std::move(d));
+    }
+    node.spool.clear();
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId peer = static_cast<NodeId>(i);
+    if (peer == id) continue;
+    Node& other = nodes_[i];
+    if (!other.up || other.handler == nullptr) continue;
+    if (up) {
+      other.handler->OnPeerUp(id);
+      if (node.handler != nullptr) node.handler->OnPeerUp(peer);
+    } else {
+      other.handler->OnPeerDown(id);
+    }
+  }
+}
+
+std::int64_t SimNet::SimTransport::Now() const { return net_->sim_->Now(); }
+
+std::uint64_t SimNet::SimTransport::Send(NodeId to, const wire::Message& msg) {
+  return net_->SendFrom(self_, to, msg);
+}
+
+std::uint64_t SimNet::SendFrom(NodeId src, NodeId dst,
+                               const wire::Message& msg) {
+  Node& sender = NodeAt(src);
+  const std::uint64_t seq = sender.next_seq++;
+  Delivery delivery{src, dst, wire::Encode(seq, msg)};
+  Node& receiver = NodeAt(dst);
+  if (!receiver.up) {
+    ++frames_spooled_;
+    receiver.spool.push_back(std::move(delivery));
+  } else {
+    ScheduleDelivery(std::move(delivery));
+  }
+  return seq;
+}
+
+void SimNet::ScheduleDelivery(Delivery delivery) {
+  const std::uint64_t id = next_delivery_id_++;
+  in_flight_.emplace(id, std::move(delivery));
+  // The closure captures 16 bytes (well inside EventFn's inline buffer);
+  // the frame bytes themselves stay in in_flight_.
+  sim_->Schedule(delay_us_, [this, id] { Deliver(id); });
+}
+
+void SimNet::Deliver(std::uint64_t id) {
+  const auto it = in_flight_.find(id);
+  RADAR_CHECK(it != in_flight_.end());
+  const Delivery delivery = std::move(it->second);
+  in_flight_.erase(it);
+  Node& receiver = NodeAt(delivery.dst);
+  if (!receiver.up || receiver.handler == nullptr) {
+    // The destination died while the frame was in flight: connection loss
+    // drops it, exactly as TCP would.
+    ++frames_dropped_;
+    return;
+  }
+  const wire::DecodeResult decoded =
+      wire::DecodeFrame(delivery.bytes.data(), delivery.bytes.size());
+  RADAR_CHECK_MSG(decoded.status == wire::DecodeStatus::kOk,
+                  "SimNet produced an undecodable frame");
+  RADAR_CHECK_EQ(decoded.consumed, delivery.bytes.size());
+  ++frames_delivered_;
+  receiver.handler->OnFrame(delivery.src, decoded.frame);
+}
+
+}  // namespace radar::transport

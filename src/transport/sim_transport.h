@@ -1,0 +1,96 @@
+// Simulator-backed transport (DESIGN.md §16).
+//
+// SimNet is an in-memory message hub over sim::Simulator: every Send is
+// encoded through the real wire codec, held for a fixed propagation
+// delay, decoded, and handed to the destination brain — so a brain
+// running under SimNet exercises exactly the bytes TcpTransport would put
+// on a socket, deterministically. Node up/down mirrors TCP semantics:
+// frames to a down node spool in memory and drain on SetNodeUp(true),
+// frames already in flight to it are lost (a dropped connection loses its
+// buffered data), and the other brains observe OnPeerDown/OnPeerUp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace radar::transport {
+
+class SimNet {
+ public:
+  /// `sim` must outlive the net. Every pair of nodes is `delay_us` apart.
+  SimNet(sim::Simulator* sim, std::int32_t num_nodes, std::int64_t delay_us);
+
+  /// Attaches `handler` as node `id`'s brain and returns the Transport the
+  /// brain should send through. The transport is owned by the net. Nodes
+  /// start up.
+  Transport* Attach(NodeId id, Handler* handler);
+
+  /// Marks a node down (its in-flight deliveries will be dropped, sends to
+  /// it spool) or back up (spool drains, peers are notified). Notifies the
+  /// handlers of all *other* up nodes, and — on up — the returning node's
+  /// handler about every up peer.
+  void SetNodeUp(NodeId id, bool up);
+
+  bool IsUp(NodeId id) const;
+
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_spooled() const { return frames_spooled_; }
+  std::uint64_t frames_drained() const { return frames_drained_; }
+
+ private:
+  class SimTransport final : public Transport {
+   public:
+    SimTransport(SimNet* net, NodeId self) : net_(net), self_(self) {}
+
+    NodeId self() const override { return self_; }
+    std::int64_t Now() const override;
+    std::uint64_t Send(NodeId to, const wire::Message& msg) override;
+    bool IsPeerUp(NodeId to) const override { return net_->IsUp(to); }
+
+   private:
+    SimNet* net_;
+    NodeId self_;
+  };
+
+  struct Delivery {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  struct Node {
+    std::unique_ptr<SimTransport> transport;
+    Handler* handler = nullptr;
+    bool up = true;
+    std::uint64_t next_seq = 1;
+    /// Encoded frames awaiting this node's return, in send order.
+    std::vector<Delivery> spool;
+  };
+
+  Node& NodeAt(NodeId id);
+  const Node& NodeAt(NodeId id) const;
+  std::uint64_t SendFrom(NodeId src, NodeId dst, const wire::Message& msg);
+  /// Schedules `delivery` to arrive delay_us from now.
+  void ScheduleDelivery(Delivery delivery);
+  /// Event body: decode and dispatch (or drop, if dst went down).
+  void Deliver(std::uint64_t id);
+
+  sim::Simulator* sim_;
+  std::int64_t delay_us_;
+  std::vector<Node> nodes_;
+  std::map<std::uint64_t, Delivery> in_flight_;
+  std::uint64_t next_delivery_id_ = 1;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_spooled_ = 0;
+  std::uint64_t frames_drained_ = 0;
+};
+
+}  // namespace radar::transport

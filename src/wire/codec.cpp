@@ -1,0 +1,389 @@
+#include "wire/codec.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace radar::wire {
+namespace {
+
+// ---------------------------------------------------------------------
+// Byte-order helpers. The wire is little-endian; these spell the byte
+// shuffles explicitly so the codec is correct on any host order.
+// ---------------------------------------------------------------------
+
+void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutNode(std::vector<std::uint8_t>& out, NodeId v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+}
+
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over one payload. Every Get
+/// aborts the decode (ok() false) instead of reading past the end, so a
+/// short payload can never become an out-of-bounds read.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  /// True when the payload was consumed exactly (strict decode: trailing
+  /// bytes are a payload error, not padding).
+  bool Exhausted() const { return ok_ && pos_ == size_; }
+
+  std::uint8_t U8() {
+    if (!Require(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t U16() {
+    if (!Require(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[pos_]) |
+        static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t U32() {
+    if (!Require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t U64() {
+    if (!Require(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  NodeId Node() { return static_cast<NodeId>(U32()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+
+ private:
+  bool Require(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void EncodePayload(std::vector<std::uint8_t>& out, const Message& msg) {
+  std::visit(
+      [&out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          PutNode(out, m.node);
+          PutU8(out, static_cast<std::uint8_t>(m.role));
+        } else if constexpr (std::is_same_v<T, Request>) {
+          PutU32(out, static_cast<std::uint32_t>(m.object));
+          PutNode(out, m.gateway);
+        } else if constexpr (std::is_same_v<T, Redirect>) {
+          PutU32(out, static_cast<std::uint32_t>(m.object));
+          PutNode(out, m.host);
+        } else if constexpr (std::is_same_v<T, Replicate> ||
+                             std::is_same_v<T, Migrate>) {
+          PutU32(out, static_cast<std::uint32_t>(m.object));
+          PutNode(out, m.from);
+          PutNode(out, m.to);
+          PutF64(out, m.unit_load);
+        } else if constexpr (std::is_same_v<T, Ack>) {
+          PutU64(out, m.acked_seq);
+          PutU8(out, m.accepted ? 1 : 0);
+          PutU8(out, m.created_new_copy ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, PlacementStat>) {
+          PutNode(out, m.host);
+          PutF64(out, m.load);
+          PutF64(out, m.weight);
+          PutU32(out, m.num_objects);
+        } else if constexpr (std::is_same_v<T, Announce>) {
+          PutU32(out, static_cast<std::uint32_t>(m.object));
+          PutNode(out, m.host);
+          PutU32(out, static_cast<std::uint32_t>(m.affinity));
+        } else {
+          static_assert(std::is_same_v<T, Shutdown>);
+        }
+      },
+      msg);
+}
+
+/// Decodes one payload; returns false on any range violation (short or
+/// long payload, out-of-range enum/flag byte).
+bool DecodePayload(MsgType type, const std::uint8_t* data, std::size_t size,
+                   Message* out) {
+  Reader r(data, size);
+  switch (type) {
+    case MsgType::kHello: {
+      Hello m;
+      m.node = r.Node();
+      const std::uint8_t role = r.U8();
+      if (role > static_cast<std::uint8_t>(PeerRole::kClient)) return false;
+      m.role = static_cast<PeerRole>(role);
+      *out = m;
+      break;
+    }
+    case MsgType::kRequest: {
+      Request m;
+      m.object = static_cast<ObjectId>(r.U32());
+      m.gateway = r.Node();
+      *out = m;
+      break;
+    }
+    case MsgType::kRedirect: {
+      Redirect m;
+      m.object = static_cast<ObjectId>(r.U32());
+      m.host = r.Node();
+      *out = m;
+      break;
+    }
+    case MsgType::kReplicate: {
+      Replicate m;
+      m.object = static_cast<ObjectId>(r.U32());
+      m.from = r.Node();
+      m.to = r.Node();
+      m.unit_load = r.F64();
+      *out = m;
+      break;
+    }
+    case MsgType::kMigrate: {
+      Migrate m;
+      m.object = static_cast<ObjectId>(r.U32());
+      m.from = r.Node();
+      m.to = r.Node();
+      m.unit_load = r.F64();
+      *out = m;
+      break;
+    }
+    case MsgType::kAck: {
+      Ack m;
+      m.acked_seq = r.U64();
+      const std::uint8_t accepted = r.U8();
+      const std::uint8_t created = r.U8();
+      if (accepted > 1 || created > 1) return false;
+      m.accepted = accepted != 0;
+      m.created_new_copy = created != 0;
+      *out = m;
+      break;
+    }
+    case MsgType::kPlacementStat: {
+      PlacementStat m;
+      m.host = r.Node();
+      m.load = r.F64();
+      m.weight = r.F64();
+      m.num_objects = r.U32();
+      *out = m;
+      break;
+    }
+    case MsgType::kAnnounce: {
+      Announce m;
+      m.object = static_cast<ObjectId>(r.U32());
+      m.host = r.Node();
+      m.affinity = static_cast<std::int32_t>(r.U32());
+      *out = m;
+      break;
+    }
+    case MsgType::kShutdown: {
+      *out = Shutdown{};
+      break;
+    }
+  }
+  return r.Exhausted();
+}
+
+bool ValidType(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint16_t>(MsgType::kShutdown);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kRequest: return "REQUEST";
+    case MsgType::kRedirect: return "REDIRECT";
+    case MsgType::kReplicate: return "REPLICATE";
+    case MsgType::kMigrate: return "MIGRATE";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kPlacementStat: return "PLACEMENT_STAT";
+    case MsgType::kAnnounce: return "ANNOUNCE";
+    case MsgType::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+MsgType TypeOf(const Message& msg) {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return MsgType::kHello;
+        else if constexpr (std::is_same_v<T, Request>) return MsgType::kRequest;
+        else if constexpr (std::is_same_v<T, Redirect>)
+          return MsgType::kRedirect;
+        else if constexpr (std::is_same_v<T, Replicate>)
+          return MsgType::kReplicate;
+        else if constexpr (std::is_same_v<T, Migrate>) return MsgType::kMigrate;
+        else if constexpr (std::is_same_v<T, Ack>) return MsgType::kAck;
+        else if constexpr (std::is_same_v<T, PlacementStat>)
+          return MsgType::kPlacementStat;
+        else if constexpr (std::is_same_v<T, Announce>)
+          return MsgType::kAnnounce;
+        else return MsgType::kShutdown;
+      },
+      msg);
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kBadPayload: return "bad-payload";
+  }
+  return "?";
+}
+
+std::uint32_t PayloadSize(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return 5;
+    case MsgType::kRequest: return 8;
+    case MsgType::kRedirect: return 8;
+    case MsgType::kReplicate: return 20;
+    case MsgType::kMigrate: return 20;
+    case MsgType::kAck: return 10;
+    case MsgType::kPlacementStat: return 24;
+    case MsgType::kAnnounce: return 12;
+    case MsgType::kShutdown: return 0;
+  }
+  RADAR_CHECK_MSG(false, "unknown message type");
+  return 0;
+}
+
+void EncodeAppend(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                  const Message& msg) {
+  const MsgType type = TypeOf(msg);
+  const std::size_t header_at = out.size();
+  PutU32(out, kMagic);
+  PutU16(out, kVersion);
+  PutU16(out, static_cast<std::uint16_t>(type));
+  PutU32(out, PayloadSize(type));
+  PutU64(out, seq);
+  const std::size_t payload_at = out.size();
+  EncodePayload(out, msg);
+  RADAR_CHECK_EQ(out.size() - payload_at,
+                 static_cast<std::size_t>(PayloadSize(type)));
+  RADAR_CHECK_EQ(payload_at - header_at, kHeaderSize);
+}
+
+std::vector<std::uint8_t> Encode(std::uint64_t seq, const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + PayloadSize(TypeOf(msg)));
+  EncodeAppend(out, seq, msg);
+  return out;
+}
+
+DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size) {
+  DecodeResult result;
+
+  // Magic and version are validated from whatever prefix is present, so a
+  // stream that is garbage from byte 0 is rejected immediately instead of
+  // stalling in kNeedMore until kHeaderSize bytes of garbage accumulate.
+  for (std::size_t i = 0; i < 4 && i < size; ++i) {
+    if (data[i] != static_cast<std::uint8_t>((kMagic >> (8 * i)) & 0xff)) {
+      result.status = DecodeStatus::kBadMagic;
+      return result;
+    }
+  }
+  if (size >= 6) {
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data[4]) |
+        static_cast<std::uint16_t>(data[5]) << 8);
+    if (version != kVersion) {
+      result.status = DecodeStatus::kBadVersion;
+      return result;
+    }
+  }
+  if (size < kHeaderSize) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+
+  Reader header(data, kHeaderSize);
+  header.U32();  // magic (validated above)
+  header.U16();  // version (validated above)
+  const std::uint16_t raw_type = header.U16();
+  const std::uint32_t len = header.U32();
+  const std::uint64_t seq = header.U64();
+
+  if (len > kMaxPayload) {
+    result.status = DecodeStatus::kBadLength;
+    return result;
+  }
+  if (!ValidType(raw_type)) {
+    result.status = DecodeStatus::kBadType;
+    return result;
+  }
+  const MsgType type = static_cast<MsgType>(raw_type);
+  if (len != PayloadSize(type)) {
+    result.status = DecodeStatus::kBadPayload;
+    return result;
+  }
+  if (size - kHeaderSize < len) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  if (!DecodePayload(type, data + kHeaderSize, len, &result.frame.msg)) {
+    result.status = DecodeStatus::kBadPayload;
+    return result;
+  }
+  result.frame.seq = seq;
+  result.status = DecodeStatus::kOk;
+  result.consumed = kHeaderSize + len;
+  return result;
+}
+
+}  // namespace radar::wire

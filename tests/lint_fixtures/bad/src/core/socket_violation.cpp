@@ -1,0 +1,9 @@
+// VIOLATION FIXTURE: raw socket syscalls outside src/transport/ —
+// protocol code must stay behind the Transport seam so the simulator and
+// the daemons share it.
+int OpenControlSocket() {
+  const int fd = socket(2, 1, 0);
+  poll(nullptr, 0, 10);
+  fcntl(fd, 4, 0);
+  return fd;
+}

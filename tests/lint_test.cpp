@@ -662,6 +662,60 @@ TEST(LintSourceTest, WallClockQuietOnLookalikes) {
 }
 
 // ---------------------------------------------------------------------
+// Transport confinement: syscalls stay behind the Transport seam
+// ---------------------------------------------------------------------
+
+TEST(LintSourceTest, FlagsSocketSyscallsOutsideTransport) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/x.cpp", "int fd = socket(2, 1, 0);\n", Source()),
+      "transport-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/driver/x.cpp", "poll(fds, 3, 100);\n", Source()),
+      "transport-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/sim/x.cpp", "fcntl(fd, F_SETFL, flags);\n", Source()),
+      "transport-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/workload/x.cpp", "send(fd, buf, n, 0);\n", Source()),
+      "transport-confinement"));
+}
+
+TEST(LintSourceTest, TransportAndBinlogMaySyscallAndReadClocks) {
+  FileKind transport_kind;
+  transport_kind.allow_transport_syscalls = true;
+  transport_kind.allow_wall_clock = true;
+  EXPECT_FALSE(HasRule(
+      LintSource("src/transport/tcp_transport.cpp",
+                 "int fd = socket(2, 1, 0);\npoll(fds, 3, 100);\n"
+                 "clock_gettime(0, &ts);\n",
+                 transport_kind),
+      "transport-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/binlog/binlog.cpp", "fsync(fd_);\nftruncate(fd_, 0);\n",
+                 transport_kind),
+      "transport-confinement"));
+}
+
+TEST(LintSourceTest, TransportConfinementQuietOnLookalikes) {
+  // Method calls and non-call mentions use different tokens or no call
+  // position: the brains' Transport::Send / PollOnce wrappers are fine.
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "transport_->Send(to, msg);\n", Source()),
+      "transport-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "transport.PollOnce(20);\n", Source()),
+      "transport-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "// socket() is confined to src/transport/\n",
+                 Source()),
+      "transport-confinement"));
+  EXPECT_FALSE(HasRule(
+      LintSource("f.cpp", "bool shutdown = node.shutdown_requested();\n",
+                 Source()),
+      "transport-confinement"));
+}
+
+// ---------------------------------------------------------------------
 // Mutable-global audit
 // ---------------------------------------------------------------------
 
@@ -906,6 +960,7 @@ TEST(LintTreeTest, RejectsViolatingFixture) {
   EXPECT_TRUE(HasRule(violations, "fault-confinement"));
   EXPECT_TRUE(HasRule(violations, "core-no-hash-maps"));
   EXPECT_TRUE(HasRule(violations, "net-rng-confinement"));
+  EXPECT_TRUE(HasRule(violations, "transport-confinement"));
   EXPECT_TRUE(HasRule(violations, "nondet-unordered-iteration"));
   EXPECT_TRUE(HasRule(violations, "nondet-pointer-key"));
   EXPECT_TRUE(HasRule(violations, "nondet-pointer-hash"));

@@ -223,6 +223,22 @@ void PassBannedTokens(const Ctx& ctx, const Code& code) {
                     "(common/slab_map.h) for dense ObjectId keys or a "
                     "sorted inline vector for tiny replica sets");
       }
+      if (!kind.allow_transport_syscalls && call &&
+          AnyOf(t.text,
+                {"socket",      "bind",          "listen",     "accept",
+                 "accept4",     "connect",       "poll",       "ppoll",
+                 "select",      "epoll_create",  "epoll_create1",
+                 "epoll_ctl",   "epoll_wait",    "fcntl",      "setsockopt",
+                 "getsockopt",  "send",          "recv",       "sendto",
+                 "recvfrom",    "sendmsg",       "recvmsg",    "shutdown",
+                 "getaddrinfo", "fsync",         "ftruncate",  "ioctl"})) {
+        ctx.Violate(line, "transport-confinement",
+                    "socket/poll/fcntl-family syscalls are confined to "
+                    "src/transport/ and src/binlog/; everything else talks "
+                    "through the Transport seam (transport/transport.h) so "
+                    "protocol brains stay shared between the simulator and "
+                    "the daemons (DESIGN.md section 16)");
+      }
       if (!kind.allow_wall_clock) {
         if (AnyOf(t.text,
                   {"system_clock", "steady_clock", "high_resolution_clock"})) {
@@ -925,7 +941,12 @@ Analysis AnalyzeTree(const std::vector<std::filesystem::path>& roots) {
         kind.forbid_std_function = rel.rfind("sim/", 0) == 0;
         kind.allow_fault_injection = rel.rfind("fault/", 0) == 0;
         kind.forbid_hash_maps = rel.rfind("core/", 0) == 0;
-        kind.allow_wall_clock = rel.rfind("runner/", 0) == 0;
+        kind.allow_transport_syscalls = rel.rfind("transport/", 0) == 0 ||
+                                        rel.rfind("binlog/", 0) == 0;
+        // The transport layer owns the real clock too (TcpTransport::Now
+        // is CLOCK_MONOTONIC; binlog records carry real timestamps).
+        kind.allow_wall_clock =
+            rel.rfind("runner/", 0) == 0 || kind.allow_transport_syscalls;
         kind.allow_shard_sync = rel == "sim/mailbox.h" ||
                                 rel == "sim/shard.h" || rel == "sim/shard.cpp";
         kind.allow_keyed_push = rel.rfind("sim/", 0) == 0 ||

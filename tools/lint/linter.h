@@ -35,6 +35,11 @@
 //     driver/shard_plan*) — keyed pushes bypass the auto seq counter, and
 //     callers outside the reservation protocol would silently break the
 //     keyed-before-auto tiebreak (sim/event_queue.h)
+//   - transport-confinement: socket/poll/fcntl-family syscalls (and, via
+//     the wall-clock allowance, real-clock reads) only in src/transport/
+//     and src/binlog/ — every other layer talks through the Transport
+//     seam (transport/transport.h), which is what lets the simulator and
+//     the daemons share the protocol brains verbatim (DESIGN.md §16)
 //
 // Shard-readiness passes (the ROADMAP's deterministic-parallel-execution
 // item depends on all four holding tree-wide):
@@ -106,6 +111,12 @@ struct FileKind {
   /// only generator randomness, so routing, oracles, and fault epoching
   /// stay pure functions of the graph. Appended last (see above).
   bool forbid_net_rng = false;
+  /// src/transport/ and src/binlog/ (and only they) may make
+  /// socket/poll/fcntl-family syscalls — and they also get the wall-clock
+  /// allowance (TcpTransport::Now is CLOCK_MONOTONIC). Everything else
+  /// reaches the network through the Transport seam so the protocol
+  /// brains stay shareable with the simulator. Appended last (see above).
+  bool allow_transport_syscalls = false;
 };
 
 /// One sanctioned piece of shared mutable state. A mutable global is
